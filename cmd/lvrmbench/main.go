@@ -1,0 +1,110 @@
+// Command lvrmbench reproduces the paper's evaluation: it runs the
+// registered experiments (one per table/figure of Chapter 4) and prints
+// their result tables as markdown.
+//
+// Usage:
+//
+//	lvrmbench -list
+//	lvrmbench [-full] [-seed N] [-run 1a,2c,...|all] [-o results.md]
+//
+// Quick mode (the default) scales durations (and, for the allocation
+// timelines, rates and thresholds together) so the whole suite finishes in
+// minutes; -full uses paper-scale parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lvrm/internal/experiments"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list the available experiments and exit")
+		full = flag.Bool("full", false, "run at paper scale (slower)")
+		seed = flag.Uint64("seed", 1, "seed for all stochastic components")
+		runF = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		out  = flag.String("o", "", "also write the tables to this markdown file")
+		csvD = flag.String("csv", "", "also write one CSV per experiment into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Printf("%-8s %-10s %s\n", s.ID, s.Figure, s.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *runF == "all" {
+		for _, s := range experiments.All() {
+			ids = append(ids, s.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*runF, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	cfg := experiments.Config{Full: *full, Seed: *seed}
+	var sb strings.Builder
+	mode := "quick"
+	if *full {
+		mode = "full (paper scale)"
+	}
+	fmt.Fprintf(&sb, "# LVRM experiment results — %s mode, seed %d\n\n", mode, *seed)
+
+	start := time.Now()
+	failed := 0
+	for _, id := range ids {
+		fmt.Fprintf(os.Stderr, "running %s...\n", id)
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			continue
+		}
+		table := res.Table()
+		fmt.Println(table)
+		sb.WriteString(table)
+		sb.WriteString("\n")
+		if *csvD != "" {
+			if err := writeCSV(*csvD, res); err != nil {
+				fmt.Fprintf(os.Stderr, "csv for %s: %v\n", id, err)
+				failed++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "  done in %v\n", res.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeCSV writes one experiment's rows as <dir>/<stem>.csv.
+func writeCSV(dir string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, res.FileStem()+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.WriteCSV(f)
+}

@@ -1,0 +1,18 @@
+// Package lvrm is a from-scratch Go reproduction of "An Extensible Design of
+// a Load-Aware Virtual Router Monitor in User Space" (Choi and Lee, SRMPDS /
+// ICPP 2011): a user-space monitor that hosts software virtual routers on a
+// multi-core machine and dynamically assigns CPU cores to them according to
+// their traffic loads.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the runnable entry points are:
+//
+//   - cmd/lvrmbench — regenerates every table and figure of the paper's
+//     evaluation chapter on the discrete-event testbed.
+//   - cmd/lvrmd — runs LVRM live with goroutine VRIs over lock-free queues.
+//   - cmd/trafficgen — builds frame traces for the main-memory backend.
+//   - examples/ — runnable programs exercising the public API.
+//
+// The benchmarks in bench_test.go wrap the experiment registry: one
+// benchmark per paper figure, plus microbenchmarks of the hot paths.
+package lvrm

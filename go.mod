@@ -1,0 +1,3 @@
+module lvrm
+
+go 1.22

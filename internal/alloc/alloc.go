@@ -1,0 +1,230 @@
+// Package alloc implements the core-allocation policies of Section 3.2
+// (Figure 3.2): the VR monitor periodically compares each VR's estimated
+// traffic load against thresholds and decides to allocate an additional CPU
+// core (spawn a VRI), deallocate one (kill a VRI), or hold.
+//
+// Three policies ship:
+//
+//   - Fixed: a pre-assigned number of cores, set when the VR starts.
+//   - DynamicFixed: fixed thresholds — one core per T frames/second of
+//     arrival rate (the paper's Experiment 2c rule: c cores while the rate is
+//     in (60(c-1), 60c] Kfps with T = 60 Kfps).
+//   - DynamicService: dynamic thresholds — compare the arrival rate against
+//     the VR's measured per-VRI service rate: grow when arrivals exceed what
+//     the current VRIs can serve, shrink when one fewer VRI would still keep
+//     up (Experiment 2e).
+//
+// Policies are pure decision functions over a load snapshot; the VR monitor
+// owns the 1-second pacing rule ("called upon receipt of a packet after 1s
+// or more from the previous re-assignment") and the actual VRI lifecycle.
+package alloc
+
+import "fmt"
+
+// Decision is the outcome of one policy evaluation for one VR.
+type Decision int
+
+const (
+	// Hold keeps the current number of cores.
+	Hold Decision = iota
+	// Grow allocates one more core (spawn a VRI on the best free core).
+	Grow
+	// Shrink releases one core (kill the VRI on the worst bound core).
+	Shrink
+)
+
+// String returns the decision label.
+func (d Decision) String() string {
+	switch d {
+	case Hold:
+		return "hold"
+	case Grow:
+		return "grow"
+	case Shrink:
+		return "shrink"
+	default:
+		return "unknown"
+	}
+}
+
+// Snapshot is the per-VR load picture a policy decides on.
+type Snapshot struct {
+	// Cores is the number of cores (VRIs) currently allocated to the VR.
+	Cores int
+	// ArrivalRate is the VR's estimated traffic load in frames/second
+	// (EWMA of inter-arrival gaps, Section 3.4).
+	ArrivalRate float64
+	// ServiceRatePerVRI is the estimated per-VRI departure rate in
+	// frames/second (Section 3.6). Zero when unknown; only the
+	// dynamic-threshold policy consults it.
+	ServiceRatePerVRI float64
+	// FreeCores is the number of cores still available machine-wide.
+	FreeCores int
+	// MaxCores caps this VR's allocation (0 means unlimited).
+	MaxCores int
+}
+
+// Policy decides how a VR's core allocation should change, per Figure 3.2's
+// "allocate" routine.
+type Policy interface {
+	// Decide returns the action for the VR described by s.
+	Decide(s Snapshot) Decision
+	// Name returns the policy label used in the experiments.
+	Name() string
+}
+
+// NewByName constructs one of the shipped policies: "fixed:<n>",
+// "dynamic-fixed:<threshold fps>", or "dynamic-service".
+func NewByName(spec string) (Policy, error) {
+	var n int
+	var f float64
+	switch {
+	case spec == "dynamic-service":
+		return NewDynamicService(DefaultHeadroom), nil
+	case matchInt(spec, "fixed:%d", &n):
+		return NewFixed(n), nil
+	case matchFloat(spec, "dynamic-fixed:%g", &f):
+		return NewDynamicFixed(f), nil
+	default:
+		return nil, fmt.Errorf("alloc: unknown policy spec %q", spec)
+	}
+}
+
+func matchInt(s, format string, out *int) bool {
+	_, err := fmt.Sscanf(s, format, out)
+	return err == nil
+}
+
+func matchFloat(s, format string, out *float64) bool {
+	_, err := fmt.Sscanf(s, format, out)
+	return err == nil
+}
+
+// Fixed pre-assigns a constant number of cores (the "fixed approach").
+type Fixed struct {
+	// N is the target core count.
+	N int
+}
+
+// NewFixed returns a fixed policy targeting n cores.
+func NewFixed(n int) *Fixed {
+	if n < 1 {
+		n = 1
+	}
+	return &Fixed{N: n}
+}
+
+// Decide grows or shrinks toward the fixed target, then holds.
+func (p *Fixed) Decide(s Snapshot) Decision {
+	target := p.N
+	if s.MaxCores > 0 && target > s.MaxCores {
+		target = s.MaxCores
+	}
+	switch {
+	case s.Cores < target && s.FreeCores > 0:
+		return Grow
+	case s.Cores > target && s.Cores > 1:
+		return Shrink
+	default:
+		return Hold
+	}
+}
+
+// Name returns "fixed".
+func (p *Fixed) Name() string { return "fixed" }
+
+// DynamicFixed is the dynamic approach with fixed thresholds: the VR should
+// hold c cores while its arrival rate lies in (T*(c-1), T*c]; above that it
+// grows, below it shrinks. A small hysteresis fraction keeps the allocation
+// from flapping when the rate sits exactly on a boundary.
+type DynamicFixed struct {
+	// ThresholdFPS is the per-core capacity threshold T in frames/second.
+	ThresholdFPS float64
+	// Hysteresis, when positive, shrinks only once the rate falls below
+	// (1-Hysteresis)*T*(c-1). The paper's rule (Figure 3.2) has none —
+	// the EWMA load estimate already smooths boundary noise — so the
+	// default is 0; set it for workloads that sit exactly on a boundary
+	// with bursty arrivals.
+	Hysteresis float64
+}
+
+// NewDynamicFixed returns a dynamic policy with per-core threshold
+// thresholdFPS (frames/second), matching Figure 3.2's thresholds exactly.
+func NewDynamicFixed(thresholdFPS float64) *DynamicFixed {
+	return &DynamicFixed{ThresholdFPS: thresholdFPS}
+}
+
+// Decide compares the arrival rate against the fixed per-core thresholds.
+func (p *DynamicFixed) Decide(s Snapshot) Decision {
+	if p.ThresholdFPS <= 0 || s.Cores < 1 {
+		return Hold
+	}
+	upper := p.ThresholdFPS * float64(s.Cores)
+	lower := p.ThresholdFPS * float64(s.Cores-1) * (1 - p.Hysteresis)
+	switch {
+	case s.ArrivalRate > upper && s.FreeCores > 0 && (s.MaxCores == 0 || s.Cores < s.MaxCores):
+		return Grow
+	case s.Cores > 1 && s.ArrivalRate <= lower:
+		return Shrink
+	default:
+		return Hold
+	}
+}
+
+// Name returns "dynamic-fixed".
+func (p *DynamicFixed) Name() string { return "dynamic-fixed" }
+
+// DynamicService is the dynamic approach with dynamic thresholds: thresholds
+// are derived from the VR's measured per-VRI service rate rather than a
+// configured constant, so a VR whose frames are expensive (low service rate)
+// earns cores sooner. Following Figure 3.2:
+//
+//	if arrival <= threshold(service rate with one fewer VRI): shrink
+//	else if threshold(current service rate) <= arrival:        grow
+//
+// where threshold(r) applies a headroom factor to the raw capacity r.
+type DynamicService struct {
+	// Headroom scales the capacity estimate: grow once arrivals exceed
+	// Headroom * cores * perVRIRate. Values slightly below 1 grow a little
+	// early, absorbing estimation lag.
+	Headroom float64
+}
+
+// DefaultHeadroom grows when arrivals exceed 95% of measured capacity.
+const DefaultHeadroom = 0.95
+
+// NewDynamicService returns a dynamic-threshold policy with the given
+// headroom factor (0 selects DefaultHeadroom).
+func NewDynamicService(headroom float64) *DynamicService {
+	if headroom <= 0 {
+		headroom = DefaultHeadroom
+	}
+	return &DynamicService{Headroom: headroom}
+}
+
+// Decide compares the arrival rate against service-rate-derived thresholds.
+func (p *DynamicService) Decide(s Snapshot) Decision {
+	if s.ServiceRatePerVRI <= 0 || s.Cores < 1 {
+		return Hold // no service estimate yet: cannot move safely
+	}
+	capacity := func(cores int) float64 {
+		return p.Headroom * float64(cores) * s.ServiceRatePerVRI
+	}
+	switch {
+	case s.ArrivalRate >= capacity(s.Cores) && s.FreeCores > 0 && (s.MaxCores == 0 || s.Cores < s.MaxCores):
+		return Grow
+	case s.Cores > 1 && s.ArrivalRate <= capacity(s.Cores-1):
+		return Shrink
+	default:
+		return Hold
+	}
+}
+
+// Name returns "dynamic-service".
+func (p *DynamicService) Name() string { return "dynamic-service" }
+
+var (
+	_ Policy = (*Fixed)(nil)
+	_ Policy = (*DynamicFixed)(nil)
+	_ Policy = (*DynamicService)(nil)
+)

@@ -1,0 +1,38 @@
+package alloc_test
+
+import (
+	"fmt"
+
+	"lvrm/internal/alloc"
+)
+
+// The dynamic-fixed policy follows the paper's Experiment 2c rule: one core
+// per 60 Kfps of estimated arrival rate.
+func ExampleDynamicFixed() {
+	p := alloc.NewDynamicFixed(60000)
+	for _, s := range []alloc.Snapshot{
+		{Cores: 1, ArrivalRate: 45000, FreeCores: 6},  // fits one core
+		{Cores: 1, ArrivalRate: 100000, FreeCores: 6}, // needs a second
+		{Cores: 4, ArrivalRate: 100000, FreeCores: 3}, // two would do
+	} {
+		fmt.Printf("%.0f Kfps on %d cores -> %s\n", s.ArrivalRate/1000, s.Cores, p.Decide(s))
+	}
+	// Output:
+	// 45 Kfps on 1 cores -> hold
+	// 100 Kfps on 1 cores -> grow
+	// 100 Kfps on 4 cores -> shrink
+}
+
+// The dynamic-threshold policy compares arrivals against the VR's *measured*
+// per-VRI service rate, so an expensive VR earns cores sooner than a cheap
+// one under the same load (Experiment 2e).
+func ExampleDynamicService() {
+	p := alloc.NewDynamicService(1.0)
+	slow := alloc.Snapshot{Cores: 1, ArrivalRate: 45000, ServiceRatePerVRI: 30000, FreeCores: 6}
+	fast := alloc.Snapshot{Cores: 1, ArrivalRate: 45000, ServiceRatePerVRI: 60000, FreeCores: 6}
+	fmt.Println("slow VR:", p.Decide(slow))
+	fmt.Println("fast VR:", p.Decide(fast))
+	// Output:
+	// slow VR: grow
+	// fast VR: hold
+}

@@ -1,0 +1,280 @@
+package balance
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lvrm/internal/packet"
+)
+
+func fixedTargets(loads ...float64) []Target {
+	ts := make([]Target, len(loads))
+	for i, l := range loads {
+		l := l
+		ts[i] = Target{ID: i + 100, Load: func() float64 { return l }}
+	}
+	return ts
+}
+
+func udpFrame(t testing.TB, srcPort uint16) *packet.Frame {
+	t.Helper()
+	f, err := packet.BuildUDP(packet.UDPBuildOpts{
+		Src: packet.IPv4(10, 1, 0, 1), Dst: packet.IPv4(10, 2, 0, 1),
+		SrcPort: srcPort, DstPort: 9, WireSize: packet.MinWireSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"jsq", "rr", "random"} {
+		b, err := NewByName(name, 1)
+		if err != nil || b.Name() != name {
+			t.Errorf("NewByName(%q) = (%v,%v)", name, b, err)
+		}
+	}
+	if _, err := NewByName("magic", 1); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestJSQPicksLightest(t *testing.T) {
+	j := NewJSQ()
+	if got := j.Pick(fixedTargets(5, 2, 7), nil); got != 1 {
+		t.Errorf("Pick = %d, want 1", got)
+	}
+	// Tie goes to the first (lowest index), matching Figure 3.3's scan.
+	if got := j.Pick(fixedTargets(3, 3, 3), nil); got != 0 {
+		t.Errorf("tie Pick = %d, want 0", got)
+	}
+	if got := j.Pick(fixedTargets(9), nil); got != 0 {
+		t.Errorf("single target Pick = %d", got)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	r := NewRoundRobin()
+	ts := fixedTargets(0, 0, 0)
+	var got []int
+	for i := 0; i < 7; i++ {
+		got = append(got, r.Pick(ts, nil))
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v", got)
+		}
+	}
+}
+
+func TestRoundRobinShrinkingTargets(t *testing.T) {
+	r := NewRoundRobin()
+	ts3 := fixedTargets(0, 0, 0)
+	r.Pick(ts3, nil)
+	r.Pick(ts3, nil) // next = 2
+	// VRI set shrinks to 1: must not panic or return out of range.
+	ts1 := fixedTargets(0)
+	if got := r.Pick(ts1, nil); got != 0 {
+		t.Errorf("Pick after shrink = %d", got)
+	}
+}
+
+func TestRandomUniformish(t *testing.T) {
+	r := NewRandom(42)
+	ts := fixedTargets(0, 0, 0, 0)
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(ts, nil)]++
+	}
+	for i, c := range counts {
+		if c < n/4-n/40 || c > n/4+n/40 {
+			t.Errorf("target %d got %d of %d picks", i, c, n)
+		}
+	}
+}
+
+func TestRandomDeterministicFromSeed(t *testing.T) {
+	a, b := NewRandom(7), NewRandom(7)
+	ts := fixedTargets(0, 0, 0)
+	for i := 0; i < 100; i++ {
+		if a.Pick(ts, nil) != b.Pick(ts, nil) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestPickInRangeProperty(t *testing.T) {
+	f := func(seed uint64, nTargets uint8, rounds uint8) bool {
+		n := int(nTargets)%7 + 1
+		ts := make([]Target, n)
+		for i := range ts {
+			ts[i] = Target{ID: i, Load: func() float64 { return 0 }}
+		}
+		for _, b := range []Balancer{NewJSQ(), NewRoundRobin(), NewRandom(seed)} {
+			for r := 0; r < int(rounds); r++ {
+				if got := b.Pick(ts, nil); got < 0 || got >= n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowBasedPinsFlow(t *testing.T) {
+	fb := NewFlowBased(NewRoundRobin(), 0, nil)
+	ts := fixedTargets(0, 0, 0)
+	fA, fB := udpFrame(t, 1000), udpFrame(t, 2000)
+	a1 := fb.Pick(ts, fA) // round robin -> 0
+	b1 := fb.Pick(ts, fB) // round robin -> 1
+	if a1 == b1 {
+		t.Fatalf("two flows pinned to same VRI: %d", a1)
+	}
+	// Later frames of each flow must follow the first.
+	for i := 0; i < 10; i++ {
+		if got := fb.Pick(ts, fA); got != a1 {
+			t.Fatalf("flow A moved: %d -> %d", a1, got)
+		}
+		if got := fb.Pick(ts, fB); got != b1 {
+			t.Fatalf("flow B moved: %d -> %d", b1, got)
+		}
+	}
+	if fb.Flows() != 2 {
+		t.Errorf("Flows = %d", fb.Flows())
+	}
+	hits, misses := fb.Stats()
+	if hits != 20 || misses != 2 {
+		t.Errorf("Stats = (%d,%d), want (20,2)", hits, misses)
+	}
+	if fb.Name() != "flow-rr" {
+		t.Errorf("Name = %q", fb.Name())
+	}
+}
+
+func TestFlowBasedRepinsWhenVRIGone(t *testing.T) {
+	fb := NewFlowBased(NewRoundRobin(), 0, nil)
+	ts := fixedTargets(0, 0, 0)
+	f := udpFrame(t, 1000)
+	first := fb.Pick(ts, f)
+	// Remove the pinned VRI from the target set (core deallocated).
+	var remaining []Target
+	for i, tgt := range ts {
+		if i != first {
+			remaining = append(remaining, tgt)
+		}
+	}
+	got := fb.Pick(remaining, f)
+	if got < 0 || got >= len(remaining) {
+		t.Fatalf("Pick out of range: %d", got)
+	}
+	// And the new pin must stick.
+	if again := fb.Pick(remaining, f); again != got {
+		t.Errorf("re-pin did not stick: %d -> %d", got, again)
+	}
+}
+
+func TestFlowBasedIdleEviction(t *testing.T) {
+	now := int64(0)
+	fb := NewFlowBased(NewRoundRobin(), time.Second, func() int64 { return now })
+	ts := fixedTargets(0, 0)
+	f := udpFrame(t, 1000)
+	first := fb.Pick(ts, f)
+	// Within the timeout the flow stays pinned.
+	now = int64(500 * time.Millisecond)
+	if got := fb.Pick(ts, f); got != first {
+		t.Fatalf("flow moved within timeout")
+	}
+	// After the timeout the entry is stale; the flow is re-dispatched
+	// (round-robin moves it to the other VRI).
+	now += int64(2 * time.Second)
+	got := fb.Pick(ts, f)
+	if got == first {
+		t.Errorf("stale entry reused")
+	}
+}
+
+func TestFlowBasedExpire(t *testing.T) {
+	now := int64(0)
+	fb := NewFlowBased(NewRoundRobin(), time.Second, func() int64 { return now })
+	ts := fixedTargets(0, 0)
+	for p := uint16(1); p <= 50; p++ {
+		fb.Pick(ts, udpFrame(t, p))
+	}
+	if fb.Flows() != 50 {
+		t.Fatalf("Flows = %d", fb.Flows())
+	}
+	now = int64(5 * time.Second)
+	if n := fb.Expire(now); n != 50 {
+		t.Errorf("Expire evicted %d", n)
+	}
+	if fb.Flows() != 0 {
+		t.Errorf("Flows = %d after Expire", fb.Flows())
+	}
+	// With no timeout, Expire is a no-op.
+	fb2 := NewFlowBased(NewRoundRobin(), 0, nil)
+	fb2.Pick(ts, udpFrame(t, 9))
+	if n := fb2.Expire(1 << 60); n != 0 {
+		t.Errorf("timeout-less Expire evicted %d", n)
+	}
+}
+
+func TestFlowBasedNonIPFallsThrough(t *testing.T) {
+	fb := NewFlowBased(NewRoundRobin(), 0, nil)
+	ts := fixedTargets(0, 0)
+	arp := &packet.Frame{Buf: make([]byte, packet.EthHeaderLen)}
+	arp.Buf[12], arp.Buf[13] = 0x08, 0x06
+	a := fb.Pick(ts, arp)
+	b := fb.Pick(ts, arp)
+	if a == b {
+		t.Error("non-IP frames appear to be flow-pinned")
+	}
+	if fb.Flows() != 0 {
+		t.Errorf("non-IP frame created a flow entry")
+	}
+}
+
+func TestFlowBasedDistributesFlows(t *testing.T) {
+	// Many flows through flow-based JSQ-with-zero-loads should spread.
+	fb := NewFlowBased(NewRoundRobin(), 0, nil)
+	ts := fixedTargets(0, 0, 0, 0, 0, 0)
+	counts := make([]int, 6)
+	for p := uint16(1); p <= 600; p++ {
+		counts[fb.Pick(ts, udpFrame(t, p))]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Errorf("VRI %d got %d flows, want 100 (round-robin of first frames)", i, c)
+		}
+	}
+}
+
+func BenchmarkJSQPick6(b *testing.B) {
+	j := NewJSQ()
+	ts := fixedTargets(1, 2, 3, 4, 5, 6)
+	f := udpFrame(b, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = j.Pick(ts, f)
+	}
+}
+
+func BenchmarkFlowBasedPick(b *testing.B) {
+	fb := NewFlowBased(NewJSQ(), 0, nil)
+	ts := fixedTargets(1, 2, 3, 4, 5, 6)
+	frames := make([]*packet.Frame, 64)
+	for i := range frames {
+		frames[i] = udpFrame(b, uint16(i+1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fb.Pick(ts, frames[i%len(frames)])
+	}
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"lvrm/internal/alloc"
+	"lvrm/internal/balance"
+	"lvrm/internal/cores"
+	"lvrm/internal/estimate"
+	"lvrm/internal/ipc"
+	"lvrm/internal/netio"
+	"lvrm/internal/packet"
+)
+
+// Config configures an LVRM instance.
+type Config struct {
+	// Adapter is the socket adapter (Section 3.1) frames enter and leave
+	// through.
+	Adapter netio.Adapter
+	// Mechanism labels the I/O cost model the testbed charges; it does not
+	// change live behaviour.
+	Mechanism netio.Mechanism
+	// Topology describes the machine; zero selects the paper's 2×4 cores.
+	Topology cores.Topology
+	// LVRMCore is the core LVRM itself is pinned to.
+	LVRMCore int
+	// QueueKind selects the IPC queue implementation (default LockFree).
+	QueueKind ipc.Kind
+	// DataQueueCap and ControlQueueCap size the per-VRI queue pairs.
+	DataQueueCap, ControlQueueCap int
+	// AllocPeriod is the minimum interval between core re-allocation
+	// passes; the paper uses 1 second.
+	AllocPeriod time.Duration
+	// Clock supplies the current time in nanoseconds (virtual in the
+	// testbed, wall-clock in the live runtime). Required.
+	Clock func() int64
+	// SpawnCost and DestroyCost model the VRI lifecycle latency
+	// (Figures 4.10-4.11: allocations ≈ 900 µs, deallocations ≈ 700 µs,
+	// allocations costlier because of the heavyweight process creation).
+	// Zero selects the defaults.
+	SpawnCost, DestroyCost time.Duration
+	// PerVRIMonitorCost is the extra reallocation latency charged per
+	// hosted VRI (iterating monitors and load estimates).
+	PerVRIMonitorCost time.Duration
+	// AllowSharedLVRMCore lets a VRI fall back onto LVRM's own core when
+	// no free core remains, re-creating the contention the paper observes
+	// when more cores are requested than the machine has (Experiment 2b).
+	AllowSharedLVRMCore bool
+}
+
+// Default lifecycle cost constants (see DESIGN.md calibration).
+const (
+	DefaultSpawnCost         = 650 * time.Microsecond
+	DefaultDestroyCost       = 450 * time.Microsecond
+	DefaultPerVRIMonitorCost = 25 * time.Microsecond
+	// DispatchCost is LVRM's per-frame classification + balancing +
+	// enqueue cost on its own core.
+	DispatchCost = 45 * time.Nanosecond
+	// RelayCost is LVRM's per-frame cost for moving a processed frame
+	// from a VRI's outgoing queue to the socket adapter.
+	RelayCost = 25 * time.Nanosecond
+	// ControlRelayCost is LVRM's cost for relaying one control event
+	// between VRIs.
+	ControlRelayCost = 1500 * time.Nanosecond
+	// QueueHopCost is the cost of one IPC queue transfer (enqueue +
+	// dequeue of one entry under lock-free synchronization).
+	QueueHopCost = 30 * time.Nanosecond
+)
+
+// AllocEvent records one core allocation or deallocation, for the reaction
+// time figures of Experiment 2c.
+type AllocEvent struct {
+	// At is when the decision executed (ns).
+	At int64
+	// VR identifies the VR whose allocation changed.
+	VR int
+	// Grow is true for an allocation, false for a deallocation.
+	Grow bool
+	// Core is the core allocated or released.
+	Core int
+	// Cores is the VR's core count after the event.
+	Cores int
+	// Latency is the modeled reaction time of the reallocation: from the
+	// start of the VR monitor's iteration to the VRI adapter being
+	// created/destroyed.
+	Latency time.Duration
+}
+
+// LVRM is the load-aware virtual router monitor.
+type LVRM struct {
+	cfg       Config
+	allocator *cores.Allocator
+	vrs       []*VR
+
+	lastAlloc   int64
+	allocEvents []AllocEvent
+
+	received    atomic.Int64
+	unclassifed atomic.Int64
+	sent        atomic.Int64
+	ctlRelayed  atomic.Int64
+	ctlDropped  atomic.Int64
+
+	// OnSpawn/OnDestroy are called whenever a VRI is created/destroyed;
+	// the live runtime uses them to start and stop worker goroutines.
+	OnSpawn   func(*VR, *VRIAdapter)
+	OnDestroy func(*VR, *VRIAdapter)
+}
+
+// New constructs an LVRM instance and binds its own core.
+func New(cfg Config) (*LVRM, error) {
+	if cfg.Adapter == nil {
+		return nil, errors.New("core: Config.Adapter is required")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("core: Config.Clock is required")
+	}
+	if cfg.Topology.Total() == 0 {
+		cfg.Topology = cores.DefaultTopology()
+	}
+	if cfg.DataQueueCap == 0 {
+		cfg.DataQueueCap = 4096
+	}
+	if cfg.ControlQueueCap == 0 {
+		cfg.ControlQueueCap = 256
+	}
+	if cfg.AllocPeriod == 0 {
+		cfg.AllocPeriod = time.Second
+	}
+	if cfg.SpawnCost == 0 {
+		cfg.SpawnCost = DefaultSpawnCost
+	}
+	if cfg.DestroyCost == 0 {
+		cfg.DestroyCost = DefaultDestroyCost
+	}
+	if cfg.PerVRIMonitorCost == 0 {
+		cfg.PerVRIMonitorCost = DefaultPerVRIMonitorCost
+	}
+	allocator, err := cores.NewAllocator(cfg.Topology, cfg.LVRMCore)
+	if err != nil {
+		return nil, err
+	}
+	return &LVRM{cfg: cfg, allocator: allocator, lastAlloc: -int64(cfg.AllocPeriod)}, nil
+}
+
+// Config returns the effective configuration.
+func (l *LVRM) Config() Config { return l.cfg }
+
+// Allocator exposes the core allocator for inspection.
+func (l *LVRM) Allocator() *cores.Allocator { return l.allocator }
+
+// VRs returns the hosted VRs.
+func (l *LVRM) VRs() []*VR { return l.vrs }
+
+// AddVR registers a VR and spawns its initial VRIs. It implements the
+// sibling-first placement heuristic through the allocator.
+func (l *LVRM) AddVR(cfg VRConfig) (*VR, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("core: VRConfig.Engine is required")
+	}
+	if cfg.Balancer == nil {
+		cfg.Balancer = balance.NewJSQ()
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = alloc.NewFixed(maxInt(cfg.InitialVRIs, 1))
+	}
+	if cfg.InitialVRIs < 1 {
+		cfg.InitialVRIs = 1
+	}
+	v := &VR{ID: len(l.vrs), cfg: cfg, arrival: estimate.NewArrivalRate(0)}
+	now := l.cfg.Clock()
+	for i := 0; i < cfg.InitialVRIs; i++ {
+		if _, err := l.growVR(v, now); err != nil {
+			return nil, fmt.Errorf("core: spawning initial VRI %d for %s: %w", i, cfg.Name, err)
+		}
+	}
+	l.vrs = append(l.vrs, v)
+	return v, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// growVR allocates the best free core and spawns a VRI on it. With
+// AllowSharedLVRMCore, an exhausted machine over-subscribes LVRM's own core
+// instead of failing.
+func (l *LVRM) growVR(v *VR, now int64) (*VRIAdapter, error) {
+	coreID, err := l.allocator.BestCore()
+	shared := false
+	if err != nil {
+		if !l.cfg.AllowSharedLVRMCore {
+			return nil, err
+		}
+		coreID, shared = l.allocator.LVRMCore(), true
+	}
+	if !shared {
+		owner := fmt.Sprintf("%s/%d", v.cfg.Name, v.nextID)
+		if err := l.allocator.Bind(coreID, owner); err != nil {
+			return nil, err
+		}
+	}
+	a, err := v.spawnVRI(coreID, now, l.cfg.QueueKind, l.cfg.DataQueueCap, l.cfg.ControlQueueCap)
+	if err != nil {
+		if !shared {
+			l.allocator.Release(coreID)
+		}
+		return nil, err
+	}
+	if l.OnSpawn != nil {
+		l.OnSpawn(v, a)
+	}
+	return a, nil
+}
+
+// shrinkVR destroys the VRI on the VR's worst bound core and releases it.
+func (l *LVRM) shrinkVR(v *VR) (*VRIAdapter, error) {
+	worst := -1
+	var worstRank = -1
+	for _, a := range v.vris {
+		rank := a.Core
+		if !l.cfg.Topology.SameSocket(a.Core, l.cfg.LVRMCore) {
+			rank += l.cfg.Topology.Total()
+		}
+		if rank > worstRank {
+			worst, worstRank = a.Core, rank
+		}
+	}
+	if worst < 0 {
+		return nil, fmt.Errorf("core: VR %s has no VRIs to shrink", v.cfg.Name)
+	}
+	a, err := v.destroyVRI(worst)
+	if err != nil {
+		return nil, err
+	}
+	if worst != l.allocator.LVRMCore() {
+		if err := l.allocator.Release(worst); err != nil {
+			return nil, err
+		}
+	}
+	if l.OnDestroy != nil {
+		l.OnDestroy(v, a)
+	}
+	return a, nil
+}
+
+// Classify returns the VR that should process the frame, per the source-IP
+// rule of Chapter 2 (first matching VR wins).
+func (l *LVRM) Classify(f *packet.Frame) (*VR, bool) {
+	for _, v := range l.vrs {
+		if v.match(f) {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// RecvAndDispatch polls the socket adapter for one frame and dispatches it
+// to the owning VR's chosen VRI. It returns whether a frame was received.
+// After dispatching, it runs the core allocation check, matching Figure
+// 3.2's "called upon receipt of a packet after 1s or more from previous
+// core allocation".
+func (l *LVRM) RecvAndDispatch() (received bool) {
+	f, ok := l.cfg.Adapter.Recv()
+	if !ok {
+		return false
+	}
+	now := l.cfg.Clock()
+	f.Timestamp = now
+	l.received.Add(1)
+	if v, ok := l.Classify(f); ok {
+		_ = v.dispatch(f, now) // queue-full drops are counted by the VR
+	} else {
+		l.unclassifed.Add(1)
+	}
+	l.MaybeAllocate(now)
+	return true
+}
+
+// RelayOut drains up to budget frames from every VRI's outgoing data queue
+// into the socket adapter and returns how many were sent.
+func (l *LVRM) RelayOut(budget int) int {
+	sent := 0
+	for _, v := range l.vrs {
+		for _, a := range v.vris {
+			for budget <= 0 || sent < budget {
+				f, ok := a.Data.Out.Dequeue()
+				if !ok {
+					break
+				}
+				if err := l.cfg.Adapter.Send(f); err == nil {
+					l.sent.Add(1)
+					sent++
+				}
+			}
+		}
+	}
+	return sent
+}
+
+// RelayOneFrom drains exactly one frame from the given VRI's outgoing data
+// queue into the socket adapter, reporting whether a frame moved. The
+// testbed uses it so each VRI's completions relay that VRI's own output
+// (a global scan would starve later VRIs whenever an earlier one is busy).
+func (l *LVRM) RelayOneFrom(a *VRIAdapter) bool {
+	f, ok := a.Data.Out.Dequeue()
+	if !ok {
+		return false
+	}
+	if err := l.cfg.Adapter.Send(f); err != nil {
+		return false
+	}
+	l.sent.Add(1)
+	return true
+}
+
+// RelayControl moves pending control events from every VRI's outgoing
+// control queue to their destinations' incoming control queues. Events to
+// unknown destinations are dropped and counted.
+func (l *LVRM) RelayControl() int {
+	moved := 0
+	for _, v := range l.vrs {
+		for _, a := range v.vris {
+			for {
+				ev, ok := a.Control.Out.Dequeue()
+				if !ok {
+					break
+				}
+				if l.deliverControl(ev) {
+					moved++
+				} else {
+					l.ctlDropped.Add(1)
+				}
+			}
+		}
+	}
+	return moved
+}
+
+func (l *LVRM) deliverControl(ev *ControlEvent) bool {
+	if ev.DstVR < 0 || ev.DstVR >= len(l.vrs) {
+		return false
+	}
+	dst, ok := l.vrs[ev.DstVR].vriByID(ev.DstVRI)
+	if !ok {
+		return false
+	}
+	if !dst.Control.In.Enqueue(ev) {
+		return false
+	}
+	l.ctlRelayed.Add(1)
+	return true
+}
+
+// MaybeAllocate runs one core-allocation pass if at least AllocPeriod has
+// elapsed since the previous one (Figure 3.2's pacing rule). It returns the
+// allocation events performed.
+func (l *LVRM) MaybeAllocate(now int64) []AllocEvent {
+	if now-l.lastAlloc < int64(l.cfg.AllocPeriod) {
+		return nil
+	}
+	l.lastAlloc = now
+	return l.Allocate(now)
+}
+
+// Allocate runs the VR monitor's allocation pass unconditionally: for each
+// VR, evaluate its policy against the current load snapshot and grow or
+// shrink by at most one core (Figure 3.2's "allocate").
+func (l *LVRM) Allocate(now int64) []AllocEvent {
+	var events []AllocEvent
+	totalVRIs := 0
+	for _, v := range l.vrs {
+		totalVRIs += len(v.vris)
+	}
+	// Iterating VR monitors and retrieving load estimates costs more with
+	// more VRIs — the effect Experiment 2c measures on reaction latency.
+	iterCost := time.Duration(totalVRIs) * l.cfg.PerVRIMonitorCost
+	for _, v := range l.vrs {
+		s := alloc.Snapshot{
+			Cores:             len(v.vris),
+			ArrivalRate:       v.arrival.Estimate(),
+			ServiceRatePerVRI: v.ServiceRatePerVRI(),
+			FreeCores:         l.allocator.FreeCount(),
+			MaxCores:          v.cfg.MaxVRIs,
+		}
+		switch v.cfg.Policy.Decide(s) {
+		case alloc.Grow:
+			a, err := l.growVR(v, now)
+			if err != nil {
+				continue // no free core after all: hold
+			}
+			events = append(events, AllocEvent{
+				At: now, VR: v.ID, Grow: true, Core: a.Core, Cores: len(v.vris),
+				Latency: iterCost + l.cfg.SpawnCost,
+			})
+		case alloc.Shrink:
+			a, err := l.shrinkVR(v)
+			if err != nil {
+				continue
+			}
+			events = append(events, AllocEvent{
+				At: now, VR: v.ID, Grow: false, Core: a.Core, Cores: len(v.vris),
+				Latency: iterCost + l.cfg.DestroyCost,
+			})
+		}
+	}
+	l.allocEvents = append(l.allocEvents, events...)
+	return events
+}
+
+// AllocEvents returns every allocation event since start.
+func (l *LVRM) AllocEvents() []AllocEvent { return l.allocEvents }
+
+// Stats summarizes LVRM-level counters.
+type Stats struct {
+	Received        int64 // frames captured from the adapter
+	Sent            int64 // frames forwarded to the adapter
+	Unclassified    int64 // frames no VR claimed
+	ControlRelayed  int64
+	ControlDropped  int64
+	VRIsLive        int
+	AllocationCount int
+}
+
+// Stats returns a snapshot of the monitor's counters.
+func (l *LVRM) Stats() Stats {
+	live := 0
+	for _, v := range l.vrs {
+		live += v.Cores()
+	}
+	return Stats{
+		Received:        l.received.Load(),
+		Sent:            l.sent.Load(),
+		Unclassified:    l.unclassifed.Load(),
+		ControlRelayed:  l.ctlRelayed.Load(),
+		ControlDropped:  l.ctlDropped.Load(),
+		VRIsLive:        live,
+		AllocationCount: len(l.allocEvents),
+	}
+}
+
+// PollOnce performs one monitor iteration: relay control, receive+dispatch
+// up to rxBudget frames, relay outgoing frames. It reports whether any work
+// was done, letting callers back off when idle.
+func (l *LVRM) PollOnce(rxBudget int) bool {
+	work := false
+	if l.RelayControl() > 0 {
+		work = true
+	}
+	for i := 0; i < rxBudget; i++ {
+		if !l.RecvAndDispatch() {
+			break
+		}
+		work = true
+	}
+	if l.RelayOut(0) > 0 {
+		work = true
+	}
+	return work
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime drives an LVRM instance with real goroutines, standing in for the
+// paper's user-space deployment: the monitor loop runs on one goroutine (as
+// the LVRM process pinned to its core) and every VRI runs on its own
+// goroutine (as a vfork()ed VRI process pinned to its core), all connected
+// by the lock-free queues.
+//
+// Go's runtime cannot pin goroutines to physical cores, so the "binding" is
+// logical: the one-VRI-per-core discipline and the sibling-first preference
+// are still enforced by the allocator, and the performance consequences of
+// placement are the testbed's job, not the live runtime's.
+type Runtime struct {
+	lvrm *LVRM
+
+	// ControlHandler, if set, is invoked on the VRI goroutine for every
+	// control event the VRI consumes.
+	ControlHandler func(*VR, *VRIAdapter, *ControlEvent)
+
+	// BurnCost makes VRI goroutines busy-spin for each frame's simulated
+	// cost, turning the cost model into real CPU load (useful to
+	// demonstrate load-aware allocation live).
+	BurnCost bool
+
+	mu      sync.Mutex
+	stops   map[*VRIAdapter]chan struct{}
+	stopped chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewRuntime wraps an LVRM instance. It installs spawn/destroy hooks, so it
+// must be created before VRIs exist (i.e. before AddVR) or the initial VRIs
+// will not get worker goroutines until Start re-scans.
+func NewRuntime(l *LVRM) *Runtime {
+	r := &Runtime{
+		lvrm:    l,
+		stops:   make(map[*VRIAdapter]chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	l.OnSpawn = func(v *VR, a *VRIAdapter) { r.startVRI(v, a) }
+	l.OnDestroy = func(v *VR, a *VRIAdapter) { r.stopVRI(a) }
+	return r
+}
+
+// LVRM returns the wrapped monitor.
+func (r *Runtime) LVRM() *LVRM { return r.lvrm }
+
+// Start launches the monitor goroutine and workers for any VRIs that were
+// spawned before Start.
+func (r *Runtime) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+
+	for _, v := range r.lvrm.VRs() {
+		for _, a := range v.VRIs() {
+			r.startVRI(v, a)
+		}
+	}
+	r.wg.Add(1)
+	go r.monitorLoop()
+}
+
+// Stop halts the monitor and all VRI goroutines and waits for them.
+func (r *Runtime) Stop() {
+	r.mu.Lock()
+	if !r.started {
+		r.mu.Unlock()
+		return
+	}
+	select {
+	case <-r.stopped:
+	default:
+		close(r.stopped)
+	}
+	for a, ch := range r.stops {
+		select {
+		case <-ch:
+		default:
+			close(ch)
+		}
+		delete(r.stops, a)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// monitorLoop is the LVRM process: poll the socket adapter, dispatch,
+// relay, and run the periodic allocation pass.
+func (r *Runtime) monitorLoop() {
+	defer r.wg.Done()
+	idle := 0
+	for {
+		select {
+		case <-r.stopped:
+			return
+		default:
+		}
+		if r.lvrm.PollOnce(64) {
+			idle = 0
+			continue
+		}
+		// Allocation must still run while traffic is quiet so that idle
+		// VRs give their cores back.
+		r.lvrm.MaybeAllocate(r.lvrm.cfg.Clock())
+		idle++
+		if idle > 64 {
+			time.Sleep(50 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// startVRI launches the worker goroutine for a VRI.
+func (r *Runtime) startVRI(v *VR, a *VRIAdapter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.started {
+		return // Start will launch it
+	}
+	if _, dup := r.stops[a]; dup {
+		return
+	}
+	stop := make(chan struct{})
+	r.stops[a] = stop
+	r.wg.Add(1)
+	go r.vriLoop(v, a, stop)
+}
+
+// stopVRI signals a VRI goroutine to exit.
+func (r *Runtime) stopVRI(a *VRIAdapter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ch, ok := r.stops[a]; ok {
+		close(ch)
+		delete(r.stops, a)
+	}
+}
+
+// vriLoop is one VRI process: drain control events first, then data frames.
+func (r *Runtime) vriLoop(v *VR, a *VRIAdapter, stop chan struct{}) {
+	defer r.wg.Done()
+	onControl := func(ev *ControlEvent) {
+		if r.ControlHandler != nil {
+			r.ControlHandler(v, a, ev)
+		}
+	}
+	idle := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-r.stopped:
+			return
+		default:
+		}
+		cost, did := a.Step(r.lvrm.cfg.Clock(), onControl)
+		if did {
+			idle = 0
+			if r.BurnCost && cost > 0 {
+				burn(cost)
+			}
+			continue
+		}
+		idle++
+		if idle > 64 {
+			time.Sleep(50 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// burn busy-spins for approximately d, emulating per-frame CPU load.
+func burn(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// WallClock is the live runtime's conventional Config.Clock.
+func WallClock() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,73 @@
+package core
+
+import "encoding/json"
+
+// Status is a JSON-friendly snapshot of the whole monitor: the paper's
+// centralized resource-monitoring role, exposed for operators (lvrmd serves
+// it over HTTP).
+type Status struct {
+	Stats Stats      `json:"stats"`
+	VRs   []VRStatus `json:"vrs"`
+}
+
+// VRStatus snapshots one hosted VR.
+type VRStatus struct {
+	ID          int         `json:"id"`
+	Name        string      `json:"name"`
+	Cores       int         `json:"cores"`
+	ArrivalRate float64     `json:"arrival_fps"`
+	ServiceRate float64     `json:"service_fps_per_vri"`
+	Dispatched  int64       `json:"dispatched"`
+	InDrops     int64       `json:"in_drops"`
+	Balancer    string      `json:"balancer"`
+	VRIs        []VRIStatus `json:"vris"`
+}
+
+// VRIStatus snapshots one VR instance.
+type VRIStatus struct {
+	ID             int     `json:"id"`
+	Core           int     `json:"core"`
+	Processed      int64   `json:"processed"`
+	EngineDrops    int64   `json:"engine_drops"`
+	OutDrops       int64   `json:"out_drops"`
+	ControlHandled int64   `json:"control_handled"`
+	QueueEstimate  float64 `json:"queue_estimate"`
+	Engine         string  `json:"engine"`
+}
+
+// Status assembles a snapshot of the monitor and every VR/VRI. It is safe to
+// call while the live runtime is processing traffic.
+func (l *LVRM) Status() Status {
+	st := Status{Stats: l.Stats()}
+	for _, v := range l.vrs {
+		vs := VRStatus{
+			ID:          v.ID,
+			Name:        v.Name(),
+			Cores:       v.Cores(),
+			ArrivalRate: v.ArrivalRate(),
+			ServiceRate: v.ServiceRatePerVRI(),
+			Dispatched:  v.Dispatched(),
+			InDrops:     v.InDrops(),
+			Balancer:    v.Balancer().Name(),
+		}
+		for _, a := range v.VRIs() {
+			vs.VRIs = append(vs.VRIs, VRIStatus{
+				ID:             a.ID,
+				Core:           a.Core,
+				Processed:      a.Processed(),
+				EngineDrops:    a.EngineDrops(),
+				OutDrops:       a.OutDrops(),
+				ControlHandled: a.ControlHandled(),
+				QueueEstimate:  a.QueueEst.Estimate(),
+				Engine:         a.Engine.Name(),
+			})
+		}
+		st.VRs = append(st.VRs, vs)
+	}
+	return st
+}
+
+// StatusJSON marshals Status with indentation.
+func (l *LVRM) StatusJSON() ([]byte, error) {
+	return json.MarshalIndent(l.Status(), "", "  ")
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lvrm/internal/alloc"
+	"lvrm/internal/balance"
+	"lvrm/internal/estimate"
+	"lvrm/internal/ipc"
+	"lvrm/internal/packet"
+	"lvrm/internal/vr"
+)
+
+// VRConfig describes one virtual router to host.
+type VRConfig struct {
+	// Name labels the VR in statistics and logs.
+	Name string
+	// SrcPrefix/SrcBits classify traffic: LVRM inspects each captured
+	// frame's source IP address and dispatches it to the VR whose subnet
+	// covers it (Chapter 2 workflow, step 2). Classify overrides this
+	// when set.
+	SrcPrefix packet.IP
+	SrcBits   int
+	// Classify, when non-nil, replaces the subnet rule.
+	Classify func(*packet.Frame) bool
+	// Engine builds a fresh packet engine per spawned VRI.
+	Engine vr.Factory
+	// Policy is the VR's core-allocation policy (nil = fixed at 1 core).
+	Policy alloc.Policy
+	// Balancer dispatches frames among the VR's VRIs (nil = JSQ).
+	Balancer balance.Balancer
+	// InitialVRIs is the number of VRIs to spawn at start (minimum 1).
+	InitialVRIs int
+	// MaxVRIs caps the VR's VRIs (0 = limited only by free cores).
+	MaxVRIs int
+}
+
+// VR is one hosted virtual router: its VRI monitor state (the balancer and
+// the live VRI set) plus the per-VR estimators the VR monitor reads.
+type VR struct {
+	// ID is the VR's index within LVRM.
+	ID  int
+	cfg VRConfig
+
+	// mu guards vris and nextID: the monitor goroutine mutates the VRI
+	// set during allocation passes while stats readers snapshot it.
+	mu     sync.Mutex
+	vris   []*VRIAdapter
+	nextID int
+
+	// arrival estimates the VR's traffic load for core allocation.
+	arrival *estimate.ArrivalRate
+
+	dispatched atomic.Int64
+	inDrops    atomic.Int64 // frames lost to full VRI input queues
+}
+
+// Name returns the VR's configured name.
+func (v *VR) Name() string { return v.cfg.Name }
+
+// VRIs returns a snapshot of the VR's live VRI adapters.
+func (v *VR) VRIs() []*VRIAdapter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*VRIAdapter, len(v.vris))
+	copy(out, v.vris)
+	return out
+}
+
+// Cores returns the number of cores (VRIs) currently allocated.
+func (v *VR) Cores() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.vris)
+}
+
+// ArrivalRate returns the VR's estimated traffic load in frames/second.
+func (v *VR) ArrivalRate() float64 { return v.arrival.Estimate() }
+
+// Dispatched returns the number of frames dispatched into the VR's VRIs.
+func (v *VR) Dispatched() int64 { return v.dispatched.Load() }
+
+// InDrops returns frames lost to full VRI input queues.
+func (v *VR) InDrops() int64 { return v.inDrops.Load() }
+
+// Balancer returns the VR's load balancer.
+func (v *VR) Balancer() balance.Balancer { return v.cfg.Balancer }
+
+// ServiceRatePerVRI averages the VRIs' service-rate estimates, feeding the
+// dynamic-threshold allocation policy.
+func (v *VR) ServiceRatePerVRI() float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var sum float64
+	n := 0
+	for _, a := range v.vris {
+		if a.SvcEst.Valid() {
+			sum += a.SvcEst.Estimate()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// match reports whether the frame belongs to this VR.
+func (v *VR) match(f *packet.Frame) bool {
+	if v.cfg.Classify != nil {
+		return v.cfg.Classify(f)
+	}
+	if f.EtherType() != packet.EtherTypeIPv4 || len(f.Buf) < packet.EthHeaderLen+packet.IPv4HeaderLen {
+		return false
+	}
+	h, _, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:])
+	if err != nil {
+		return false
+	}
+	if v.cfg.SrcBits == 0 {
+		return true // 0-bit prefix matches everything
+	}
+	mask := ^uint32(0) << (32 - uint(v.cfg.SrcBits))
+	return uint32(h.Src)&mask == uint32(v.cfg.SrcPrefix)&mask
+}
+
+// dispatch hands a frame to one of the VR's VRIs using the configured load
+// balancing scheme, and performs the VRI adapter's load estimation.
+func (v *VR) dispatch(f *packet.Frame, now int64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	// The paper's traffic load is the *arrival* rate of incoming frames
+	// for the VR, so estimate it before any queue-full drop — otherwise a
+	// saturated VR would under-report its load and never earn more cores.
+	v.arrival.Observe(now)
+	if len(v.vris) == 0 {
+		v.inDrops.Add(1)
+		return errors.New("core: VR has no VRIs")
+	}
+	targets := make([]balance.Target, len(v.vris))
+	for i, a := range v.vris {
+		a := a
+		targets[i] = balance.Target{ID: a.ID, Load: a.Load}
+	}
+	idx := v.cfg.Balancer.Pick(targets, f)
+	a := v.vris[idx]
+	// Figure 3.4 "queue length": observe occupancy when forwarding.
+	a.QueueEst.Observe(a.Data.In.Len())
+	if !a.Data.In.Enqueue(f) {
+		v.inDrops.Add(1)
+		return fmt.Errorf("core: VRI %d/%d input queue full", v.ID, a.ID)
+	}
+	v.dispatched.Add(1)
+	return nil
+}
+
+// vriByID returns the VRI adapter with the given ID.
+func (v *VR) vriByID(id int) (*VRIAdapter, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, a := range v.vris {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// spawnVRI creates a new VRI adapter bound to core (Figure 3.2's "create
+// VRI adapter"): create the queue pairs, bind the core, build the engine,
+// add to the VRI list.
+func (v *VR) spawnVRI(core int, now int64, queueKind ipc.Kind, dataCap, ctlCap int) (*VRIAdapter, error) {
+	engine, err := v.cfg.Engine()
+	if err != nil {
+		return nil, fmt.Errorf("core: VR %s: building engine: %w", v.cfg.Name, err)
+	}
+	v.mu.Lock()
+	id := v.nextID
+	v.mu.Unlock()
+	a := &VRIAdapter{
+		ID:        id,
+		VRID:      v.ID,
+		Core:      core,
+		Data:      ipc.NewPair[*packet.Frame](queueKind, dataCap),
+		Control:   ipc.NewPair[*ControlEvent](queueKind, ctlCap),
+		QueueEst:  estimate.NewQueueLength(0),
+		SvcEst:    estimate.NewServiceRate(0),
+		Engine:    engine,
+		SpawnedAt: now,
+	}
+	a.state.Store(int32(VRIRunning))
+	v.mu.Lock()
+	v.nextID++
+	v.vris = append(v.vris, a)
+	v.mu.Unlock()
+	return a, nil
+}
+
+// destroyVRI removes the VRI bound to core (Figure 3.2's "destroy VRI
+// adapter"): mark it stopped and drop it from the list. Frames still in its
+// queues are lost, as when the paper kill()s the process.
+func (v *VR) destroyVRI(core int) (*VRIAdapter, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i, a := range v.vris {
+		if a.Core == core {
+			a.state.Store(int32(VRIStopped))
+			v.vris = append(v.vris[:i], v.vris[i+1:]...)
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("core: VR %s has no VRI on core %d", v.cfg.Name, core)
+}

@@ -1,0 +1,233 @@
+// Package core implements LVRM itself: the user-space load-aware virtual
+// router monitor of Chapters 2 and 3. LVRM is organized exactly as the
+// paper's hierarchy (Figure 3.1):
+//
+//	LVRM
+//	├── socket adapter              (internal/netio)
+//	└── VR monitor                  — core allocation across VRs
+//	    └── VRI monitor (per VR)    — load balancing among the VR's VRIs
+//	        └── VRI adapter (per VRI) — load estimation + IPC queues
+//	            └── VRI             — the packet engine (internal/vr)
+//
+// The components are engine-agnostic: the discrete-event testbed drives them
+// step by step under virtual time (charging every action's CPU cost to a
+// simulated core), and the live Runtime drives the same components with real
+// goroutines over the lock-free queues.
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"lvrm/internal/estimate"
+	"lvrm/internal/ipc"
+	"lvrm/internal/packet"
+	"lvrm/internal/vr"
+)
+
+// ControlEvent is a message one VRI sends to another through the control
+// queues (e.g. to synchronize routing state, Section 3.7). LVRM relays the
+// event from the source VRI's outgoing control queue to the destination
+// VRI's incoming control queue. Control events always have priority over
+// data frames at the receiving VRI.
+type ControlEvent struct {
+	// SrcVR and SrcVRI identify the sender.
+	SrcVR, SrcVRI int
+	// DstVR and DstVRI identify the receiver. The paper shares control
+	// state among VRIs of the same VR, but cross-VR addressing is allowed
+	// for user-specified protocols.
+	DstVR, DstVRI int
+	// Payload is the opaque message body, accessed like a datagram.
+	Payload []byte
+	// SentAt is the enqueue timestamp (ns), for latency measurement.
+	SentAt int64
+}
+
+// VRIState describes a VRI's lifecycle.
+type VRIState int
+
+const (
+	// VRIRunning means the VRI processes frames.
+	VRIRunning VRIState = iota
+	// VRIStopped means the VRI was destroyed (core deallocated).
+	VRIStopped
+)
+
+// VRIAdapter is the per-VRI state LVRM keeps (Section 3.4): the queue pairs
+// that attach the VRI to LVRM, the load estimator it reports to the VRI
+// monitor, and the engine that does the packet processing. In the paper a
+// VRI is a separate process created with vfork(); here it is a worker driven
+// either by the testbed (virtual time) or by a dedicated goroutine (live).
+type VRIAdapter struct {
+	// ID is the VRI's identifier, unique within its VR across the VR's
+	// lifetime (never reused, so stale flow-table pins can't mis-route).
+	ID int
+	// VRID is the owning VR's identifier.
+	VRID int
+	// Core is the CPU core this VRI is bound to.
+	Core int
+
+	// Data carries raw frames: In from LVRM to VRI, Out back.
+	Data ipc.Pair[*packet.Frame]
+	// Control carries control events, with priority over Data.
+	Control ipc.Pair[*ControlEvent]
+
+	// QueueEst is the EWMA queue-length estimate the VRI adapter reports
+	// for load balancing (Figure 3.4 "queue length").
+	QueueEst *estimate.QueueLength
+	// SvcEst is the EWMA service-rate estimate the LVRM adapter reports
+	// for dynamic-threshold core allocation (Section 3.6).
+	SvcEst *estimate.ServiceRate
+
+	// Engine is the VRI's packet processor.
+	Engine vr.Engine
+
+	// FreezeLoadOnRead reverts Load to the literal Figure 3.4 behaviour:
+	// the queue-length estimate is only updated when a frame is dispatched
+	// to this VRI, never refreshed when the balancer reads it. Exists for
+	// the estimate-freshness ablation (experiment "a2"); leave false.
+	FreezeLoadOnRead bool
+
+	state atomic.Int32 // VRIState; atomic because the live runtime's
+	// VRI goroutine polls it while the monitor goroutine stops the VRI
+	processed  atomic.Int64
+	engDrops   atomic.Int64
+	outDrops   atomic.Int64
+	ctlHandled atomic.Int64
+
+	// SpawnedAt records when the VRI was created (ns).
+	SpawnedAt int64
+}
+
+// State returns the VRI's lifecycle state.
+func (a *VRIAdapter) State() VRIState { return VRIState(a.state.Load()) }
+
+// Processed returns the number of data frames the VRI has handled.
+func (a *VRIAdapter) Processed() int64 { return a.processed.Load() }
+
+// EngineDrops returns frames dropped by the engine (no route, TTL, ...).
+func (a *VRIAdapter) EngineDrops() int64 { return a.engDrops.Load() }
+
+// OutDrops returns frames lost because the outgoing data queue was full.
+func (a *VRIAdapter) OutDrops() int64 { return a.outDrops.Load() }
+
+// ControlHandled returns the number of control events consumed.
+func (a *VRIAdapter) ControlHandled() int64 { return a.ctlHandled.Load() }
+
+// Load returns the queue-length estimate used by JSQ. Reading the load
+// also folds the instantaneous queue occupancy into the EWMA — the VRI
+// adapter reports a fresh estimate whenever the VRI monitor balances
+// (Figure 3.4) — so a VRI whose queue has drained becomes attractive again
+// even if it has not been dispatched to recently.
+func (a *VRIAdapter) Load() float64 {
+	if !a.FreezeLoadOnRead {
+		a.QueueEst.Observe(a.Data.In.Len())
+	}
+	return a.QueueEst.Estimate()
+}
+
+// Step performs one VRI scheduling quantum at virtual/wall time now: it
+// consumes one control event if available (control queues have priority),
+// otherwise one data frame. It returns the simulated CPU cost of the work
+// and whether any work was done. The caller (testbed or live runtime) owns
+// charging the cost and pacing.
+func (a *VRIAdapter) Step(now int64, onControl func(*ControlEvent)) (cost time.Duration, did bool) {
+	if VRIState(a.state.Load()) != VRIRunning {
+		return 0, false
+	}
+	// Control first.
+	if ev, ok := a.Control.In.Dequeue(); ok {
+		a.ctlHandled.Add(1)
+		if onControl != nil {
+			onControl(ev)
+		}
+		return ControlHandleCost, true
+	}
+	f, ok := a.Data.In.Dequeue()
+	if !ok {
+		return 0, false
+	}
+	// The LVRM adapter measures the service rate by the gap between
+	// consecutive FromLVRM calls (Section 3.6) — but only while the queue
+	// stays backed up, so the estimate is the VRI's capacity and not an
+	// echo of the arrival rate.
+	if a.Data.In.Len() > 0 {
+		a.SvcEst.Observe(now)
+	} else {
+		a.SvcEst.Break()
+	}
+	cost, err := a.Engine.Process(f)
+	a.processed.Add(1)
+	if err != nil || f.Out == vr.Drop {
+		a.engDrops.Add(1)
+		return cost, true
+	}
+	if !a.Data.Out.Enqueue(f) {
+		a.outDrops.Add(1)
+	}
+	return cost, true
+}
+
+// SendControl lets VRI-side code emit a control event toward another VRI;
+// it reports whether the outgoing control queue had room.
+func (a *VRIAdapter) SendControl(ev *ControlEvent) bool {
+	ev.SrcVR, ev.SrcVRI = a.VRID, a.ID
+	return a.Control.Out.Enqueue(ev)
+}
+
+// ControlHandleCost is the simulated CPU cost of retrieving one control
+// event at the VRI (part of the 5-7 µs no-load relay latency of Fig. 4.7,
+// the rest being LVRM's relay work and queue hops).
+const ControlHandleCost = 2 * time.Microsecond
+
+// LVRMAdapter is the VRI-side API of Section 3.6: instead of touching the
+// IPC queues directly, VRI code (user code in the live runtime, the
+// quickstart examples) calls FromLVRM and ToLVRM. It is handed to the VRI at
+// spawn, playing the role of the shared-memory identifier passed via main
+// arguments in the paper.
+type LVRMAdapter struct {
+	vri   *VRIAdapter
+	clock func() int64
+}
+
+// NewLVRMAdapter wraps a VRI's queues in the Section 3.6 API. clock supplies
+// nanosecond timestamps for service-rate estimation.
+func NewLVRMAdapter(vri *VRIAdapter, clock func() int64) *LVRMAdapter {
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	return &LVRMAdapter{vri: vri, clock: clock}
+}
+
+// FromLVRM polls the next inbound data frame, observing the service rate.
+func (l *LVRMAdapter) FromLVRM() (*packet.Frame, bool) {
+	f, ok := l.vri.Data.In.Dequeue()
+	if ok {
+		l.vri.SvcEst.Observe(l.clock())
+	}
+	return f, ok
+}
+
+// ToLVRM hands a processed frame back toward LVRM; it reports whether the
+// outgoing queue had room.
+func (l *LVRMAdapter) ToLVRM(f *packet.Frame) bool {
+	ok := l.vri.Data.Out.Enqueue(f)
+	if !ok {
+		l.vri.outDrops.Add(1)
+	}
+	return ok
+}
+
+// RecvControl polls the next inbound control event.
+func (l *LVRMAdapter) RecvControl() (*ControlEvent, bool) {
+	ev, ok := l.vri.Control.In.Dequeue()
+	if ok {
+		l.vri.ctlHandled.Add(1)
+	}
+	return ev, ok
+}
+
+// SendControl emits a control event toward another VRI.
+func (l *LVRMAdapter) SendControl(ev *ControlEvent) bool {
+	return l.vri.SendControl(ev)
+}

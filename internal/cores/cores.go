@@ -1,0 +1,213 @@
+// Package cores models the gateway's multi-core CPU topology and the core
+// allocation bookkeeping of Section 3.2. The paper's testbed gateway has two
+// quad-core Xeon CPUs (eight cores); LVRM runs pinned on one core and hands
+// out the remaining cores to VRIs, one VRI per core, preferring "sibling"
+// cores (same socket as LVRM) over "non-sibling" cores (the other socket).
+//
+// The topology is a pure bookkeeping structure: it knows which core belongs
+// to which socket, which cores are bound, and in which order free cores
+// should be picked. Performance effects of the placement (cross-socket
+// queue traffic, shared-core contention, OS migration) are charged by the
+// testbed's cost model, not here.
+package cores
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Affinity classifies a core's placement relative to the LVRM core,
+// mirroring the four approaches of Experiment 2a.
+type Affinity int
+
+const (
+	// Sibling is a distinct core on the same socket as LVRM.
+	Sibling Affinity = iota
+	// NonSibling is a core on a different socket than LVRM.
+	NonSibling
+	// Same is the very core LVRM runs on (two processes share one core).
+	Same
+	// Default lets the "kernel" place the process: no dedicated core, the
+	// process may migrate between cores at the scheduler's whim.
+	Default
+)
+
+// String returns the experiment label for the affinity mode.
+func (a Affinity) String() string {
+	switch a {
+	case Sibling:
+		return "sibling"
+	case NonSibling:
+		return "non-sibling"
+	case Same:
+		return "same"
+	case Default:
+		return "default"
+	default:
+		return "unknown"
+	}
+}
+
+// Errors returned by the allocator.
+var (
+	ErrNoFreeCore = errors.New("cores: no free core available")
+	ErrNotBound   = errors.New("cores: core is not bound")
+	ErrBound      = errors.New("cores: core is already bound")
+	ErrBadCore    = errors.New("cores: core id out of range")
+)
+
+// Topology describes the machine: Sockets × CoresPerSocket cores, numbered
+// socket-major (cores 0..C-1 are socket 0, C..2C-1 are socket 1, ...).
+type Topology struct {
+	Sockets        int
+	CoresPerSocket int
+}
+
+// DefaultTopology is the paper's gateway: two quad-core CPUs.
+func DefaultTopology() Topology {
+	return Topology{Sockets: 2, CoresPerSocket: 4}
+}
+
+// Total returns the total number of cores.
+func (t Topology) Total() int { return t.Sockets * t.CoresPerSocket }
+
+// SocketOf returns the socket that owns the core.
+func (t Topology) SocketOf(core int) int { return core / t.CoresPerSocket }
+
+// SameSocket reports whether two cores share a socket.
+func (t Topology) SameSocket(a, b int) bool { return t.SocketOf(a) == t.SocketOf(b) }
+
+// Allocator tracks which cores are bound to which owner (LVRM itself or a
+// VRI) and picks free cores sibling-first, per the heuristic in Section 3.2.
+type Allocator struct {
+	topo     Topology
+	lvrmCore int
+	owner    map[int]string // core -> owner name; absent = free
+}
+
+// NewAllocator creates an allocator for the topology and immediately binds
+// lvrmCore to the monitor itself (owner "lvrm").
+func NewAllocator(topo Topology, lvrmCore int) (*Allocator, error) {
+	if lvrmCore < 0 || lvrmCore >= topo.Total() {
+		return nil, ErrBadCore
+	}
+	a := &Allocator{topo: topo, lvrmCore: lvrmCore, owner: make(map[int]string)}
+	a.owner[lvrmCore] = "lvrm"
+	return a, nil
+}
+
+// Topology returns the machine description.
+func (a *Allocator) Topology() Topology { return a.topo }
+
+// LVRMCore returns the core the monitor is pinned to.
+func (a *Allocator) LVRMCore() int { return a.lvrmCore }
+
+// AffinityOf classifies core relative to the LVRM core.
+func (a *Allocator) AffinityOf(core int) Affinity {
+	switch {
+	case core == a.lvrmCore:
+		return Same
+	case a.topo.SameSocket(core, a.lvrmCore):
+		return Sibling
+	default:
+		return NonSibling
+	}
+}
+
+// Free returns the free cores in allocation-preference order: sibling cores
+// (ascending id) first, then non-sibling cores. The LVRM core is never free.
+func (a *Allocator) Free() []int {
+	var sib, non []int
+	for c := 0; c < a.topo.Total(); c++ {
+		if _, bound := a.owner[c]; bound {
+			continue
+		}
+		if a.topo.SameSocket(c, a.lvrmCore) {
+			sib = append(sib, c)
+		} else {
+			non = append(non, c)
+		}
+	}
+	sort.Ints(sib)
+	sort.Ints(non)
+	return append(sib, non...)
+}
+
+// FreeCount returns the number of unbound cores.
+func (a *Allocator) FreeCount() int { return a.topo.Total() - len(a.owner) }
+
+// BestCore returns the core the dynamic approach should allocate next
+// ("best CPU" in Figure 3.2): the first free sibling core, else the first
+// free non-sibling core.
+func (a *Allocator) BestCore() (int, error) {
+	free := a.Free()
+	if len(free) == 0 {
+		return -1, ErrNoFreeCore
+	}
+	return free[0], nil
+}
+
+// Bind assigns core to owner. It fails if the core is out of range or
+// already bound.
+func (a *Allocator) Bind(core int, owner string) error {
+	if core < 0 || core >= a.topo.Total() {
+		return ErrBadCore
+	}
+	if cur, bound := a.owner[core]; bound {
+		return fmt.Errorf("%w: core %d owned by %s", ErrBound, core, cur)
+	}
+	a.owner[core] = owner
+	return nil
+}
+
+// Release frees a bound core. The LVRM core cannot be released.
+func (a *Allocator) Release(core int) error {
+	if core == a.lvrmCore {
+		return fmt.Errorf("cores: refusing to release the LVRM core %d", core)
+	}
+	if _, bound := a.owner[core]; !bound {
+		return ErrNotBound
+	}
+	delete(a.owner, core)
+	return nil
+}
+
+// OwnerOf returns the owner of a core and whether it is bound.
+func (a *Allocator) OwnerOf(core int) (string, bool) {
+	o, ok := a.owner[core]
+	return o, ok
+}
+
+// Bound returns all bound cores of the given owner, ascending.
+func (a *Allocator) Bound(owner string) []int {
+	var out []int
+	for c, o := range a.owner {
+		if o == owner {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WorstBound returns the bound core of owner that the dynamic approach
+// should release first when scaling down: non-sibling cores before sibling
+// cores (reverse of the allocation preference), highest id first.
+func (a *Allocator) WorstBound(owner string) (int, error) {
+	bound := a.Bound(owner)
+	if len(bound) == 0 {
+		return -1, ErrNotBound
+	}
+	best, bestRank := -1, -1
+	for _, c := range bound {
+		rank := c
+		if !a.topo.SameSocket(c, a.lvrmCore) {
+			rank += a.topo.Total() // non-siblings sort after all siblings
+		}
+		if rank > bestRank {
+			best, bestRank = c, rank
+		}
+	}
+	return best, nil
+}

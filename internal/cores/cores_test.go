@@ -1,0 +1,205 @@
+package cores
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustAlloc(t *testing.T) *Allocator {
+	t.Helper()
+	a, err := NewAllocator(DefaultTopology(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestTopology(t *testing.T) {
+	topo := DefaultTopology()
+	if topo.Total() != 8 {
+		t.Fatalf("Total = %d", topo.Total())
+	}
+	if topo.SocketOf(0) != 0 || topo.SocketOf(3) != 0 || topo.SocketOf(4) != 1 || topo.SocketOf(7) != 1 {
+		t.Error("SocketOf wrong for default topology")
+	}
+	if !topo.SameSocket(1, 3) || topo.SameSocket(3, 4) {
+		t.Error("SameSocket wrong")
+	}
+}
+
+func TestNewAllocatorValidation(t *testing.T) {
+	if _, err := NewAllocator(DefaultTopology(), -1); !errors.Is(err, ErrBadCore) {
+		t.Errorf("core -1: %v", err)
+	}
+	if _, err := NewAllocator(DefaultTopology(), 8); !errors.Is(err, ErrBadCore) {
+		t.Errorf("core 8: %v", err)
+	}
+}
+
+func TestAffinityOf(t *testing.T) {
+	a := mustAlloc(t)
+	cases := map[int]Affinity{0: Same, 1: Sibling, 3: Sibling, 4: NonSibling, 7: NonSibling}
+	for core, want := range cases {
+		if got := a.AffinityOf(core); got != want {
+			t.Errorf("AffinityOf(%d) = %v, want %v", core, got, want)
+		}
+	}
+}
+
+func TestAffinityString(t *testing.T) {
+	for a, s := range map[Affinity]string{Sibling: "sibling", NonSibling: "non-sibling", Same: "same", Default: "default", Affinity(9): "unknown"} {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), s)
+		}
+	}
+}
+
+func TestSiblingFirstOrder(t *testing.T) {
+	a := mustAlloc(t)
+	free := a.Free()
+	want := []int{1, 2, 3, 4, 5, 6, 7} // core 0 is LVRM's
+	if len(free) != len(want) {
+		t.Fatalf("Free() = %v", free)
+	}
+	for i := range want {
+		if free[i] != want[i] {
+			t.Fatalf("Free() = %v, want %v (siblings first)", free, want)
+		}
+	}
+	// With LVRM on socket 1, non-siblings are 0-3 and come last.
+	a2, _ := NewAllocator(DefaultTopology(), 5)
+	free = a2.Free()
+	want = []int{4, 6, 7, 0, 1, 2, 3}
+	for i := range want {
+		if free[i] != want[i] {
+			t.Fatalf("LVRM@5: Free() = %v, want %v", free, want)
+		}
+	}
+}
+
+func TestBindReleaseCycle(t *testing.T) {
+	a := mustAlloc(t)
+	c, err := a.BestCore()
+	if err != nil || c != 1 {
+		t.Fatalf("BestCore = (%d,%v), want (1,nil)", c, err)
+	}
+	if err := a.Bind(c, "vr1/0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Bind(c, "vr2/0"); !errors.Is(err, ErrBound) {
+		t.Errorf("double bind: %v", err)
+	}
+	if owner, ok := a.OwnerOf(c); !ok || owner != "vr1/0" {
+		t.Errorf("OwnerOf = (%q,%v)", owner, ok)
+	}
+	if a.FreeCount() != 6 {
+		t.Errorf("FreeCount = %d", a.FreeCount())
+	}
+	if err := a.Release(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(c); !errors.Is(err, ErrNotBound) {
+		t.Errorf("double release: %v", err)
+	}
+	if err := a.Release(0); err == nil {
+		t.Error("released the LVRM core")
+	}
+	if err := a.Bind(99, "x"); !errors.Is(err, ErrBadCore) {
+		t.Errorf("bind out of range: %v", err)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := mustAlloc(t)
+	for i := 0; i < 7; i++ {
+		c, err := a.BestCore()
+		if err != nil {
+			t.Fatalf("BestCore #%d: %v", i, err)
+		}
+		if err := a.Bind(c, "vr"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.BestCore(); !errors.Is(err, ErrNoFreeCore) {
+		t.Errorf("BestCore on full machine: %v", err)
+	}
+	if a.FreeCount() != 0 {
+		t.Errorf("FreeCount = %d", a.FreeCount())
+	}
+	if got := len(a.Bound("vr")); got != 7 {
+		t.Errorf("Bound count = %d", got)
+	}
+}
+
+func TestWorstBoundPrefersNonSibling(t *testing.T) {
+	a := mustAlloc(t)
+	for _, c := range []int{1, 2, 4, 5} {
+		if err := a.Bind(c, "vr"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scale-down should give up non-sibling cores first, highest id first.
+	c, err := a.WorstBound("vr")
+	if err != nil || c != 5 {
+		t.Fatalf("WorstBound = (%d,%v), want (5,nil)", c, err)
+	}
+	a.Release(5)
+	a.Release(4)
+	c, _ = a.WorstBound("vr")
+	if c != 2 {
+		t.Fatalf("WorstBound among siblings = %d, want 2", c)
+	}
+	if _, err := a.WorstBound("nobody"); !errors.Is(err, ErrNotBound) {
+		t.Errorf("WorstBound with no cores: %v", err)
+	}
+}
+
+// TestAllocatorInvariant property: after any sequence of bind/release
+// operations, bound + free == total and no core is double-counted.
+func TestAllocatorInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a, _ := NewAllocator(DefaultTopology(), 0)
+		owned := map[int]bool{}
+		for _, op := range ops {
+			if op%2 == 0 {
+				if c, err := a.BestCore(); err == nil {
+					if a.Bind(c, "vr") != nil {
+						return false
+					}
+					owned[c] = true
+				}
+			} else if len(owned) > 0 {
+				if c, err := a.WorstBound("vr"); err == nil {
+					if a.Release(c) != nil {
+						return false
+					}
+					delete(owned, c)
+				}
+			}
+			if a.FreeCount()+len(owned)+1 != a.Topology().Total() {
+				return false
+			}
+			// Free cores must never include an owned one or core 0.
+			for _, c := range a.Free() {
+				if owned[c] || c == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLVRMCoreAccessors(t *testing.T) {
+	a := mustAlloc(t)
+	if a.LVRMCore() != 0 {
+		t.Errorf("LVRMCore = %d", a.LVRMCore())
+	}
+	if owner, ok := a.OwnerOf(0); !ok || owner != "lvrm" {
+		t.Errorf("core 0 owner = (%q,%v)", owner, ok)
+	}
+}

@@ -1,0 +1,251 @@
+// Package estimate implements the load-estimation algorithms of Section 3.4
+// (Figure 3.4): exponentially weighted moving averages over per-frame
+// observations. Three estimators ship, matching the paper's variants:
+//
+//   - ArrivalRate: EWMA of the frame inter-arrival gap, inverted to a rate.
+//     The VR monitor uses it to measure each VR's traffic load.
+//   - QueueLength: EWMA of the incoming data queue occupancy, sampled when a
+//     frame is forwarded to the VRI. The VRI adapter reports it to the VRI
+//     monitor for join-the-shortest-queue balancing.
+//   - ServiceRate: EWMA of the gap between consecutive FromLVRM calls,
+//     inverted to a departure rate. The LVRM adapter reports it for the
+//     dynamic-threshold core allocator.
+//
+// The concrete estimators are safe for concurrent use (the live runtime
+// updates them from VRI goroutines while the monitor reads them); the bare
+// EWMA is not.
+//
+// All estimators follow the update rule in Figure 3.4:
+//
+//	avg <- (current + weight*avg) / (1 + weight)
+package estimate
+
+import (
+	"sync"
+	"time"
+)
+
+// Estimator is the common contract: feed observations, read a smoothed load
+// value. The meaning of the value (rate in 1/s, queue occupancy) depends on
+// the concrete estimator.
+type Estimator interface {
+	// Estimate returns the current smoothed load value.
+	Estimate() float64
+	// Valid reports whether enough observations have arrived for Estimate
+	// to be meaningful.
+	Valid() bool
+	// Reset forgets all history.
+	Reset()
+}
+
+// EWMA is the scalar average underlying every estimator. The zero value is
+// invalid until the first Update; Weight defaults to DefaultWeight when 0.
+type EWMA struct {
+	// Weight is the history weight: larger values smooth more. The paper's
+	// update is avg = (cur + w*avg)/(1+w), i.e. alpha = 1/(1+w).
+	Weight float64
+	avg    float64
+	valid  bool
+}
+
+// DefaultWeight gives alpha = 1/8, a common smoothing factor for network
+// rate estimation (same order as TCP's SRTT weight).
+const DefaultWeight = 7
+
+// Update folds a new observation into the average and returns it.
+func (e *EWMA) Update(current float64) float64 {
+	w := e.Weight
+	if w <= 0 {
+		w = DefaultWeight
+	}
+	if !e.valid {
+		e.avg = current
+		e.valid = true
+		return e.avg
+	}
+	e.avg = (current + w*e.avg) / (1 + w)
+	return e.avg
+}
+
+// Value returns the current average (0 if no observations).
+func (e *EWMA) Value() float64 { return e.avg }
+
+// Valid reports whether at least one observation has arrived.
+func (e *EWMA) Valid() bool { return e.valid }
+
+// Reset forgets all history.
+func (e *EWMA) Reset() { e.avg, e.valid = 0, false }
+
+// ArrivalRate estimates a frame arrival rate (frames/second) from the EWMA
+// of inter-arrival times, per the "arrival time" routine of Figure 3.4.
+type ArrivalRate struct {
+	mu       sync.Mutex
+	gap      EWMA
+	prev     int64
+	havePrev bool
+}
+
+// NewArrivalRate returns an arrival-rate estimator with the given EWMA
+// weight (0 selects DefaultWeight).
+func NewArrivalRate(weight float64) *ArrivalRate {
+	return &ArrivalRate{gap: EWMA{Weight: weight}}
+}
+
+// Observe records a frame arrival at virtual time now (ns).
+func (a *ArrivalRate) Observe(now int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.havePrev {
+		gap := float64(now - a.prev)
+		if gap > 0 {
+			a.gap.Update(gap)
+		}
+	}
+	a.prev = now
+	a.havePrev = true
+}
+
+// Estimate returns the smoothed arrival rate in frames per second.
+func (a *ArrivalRate) Estimate() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.gap.Valid() || a.gap.Value() <= 0 {
+		return 0
+	}
+	return 1e9 / a.gap.Value()
+}
+
+// Valid reports whether at least two arrivals have been observed.
+func (a *ArrivalRate) Valid() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gap.Valid()
+}
+
+// Reset forgets all history.
+func (a *ArrivalRate) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.gap.Reset()
+	a.havePrev = false
+}
+
+// IdleSince reports whether no arrival has been observed for at least d at
+// time now; used by the allocator to detect a VR going quiet.
+func (a *ArrivalRate) IdleSince(now int64, d time.Duration) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return !a.havePrev || now-a.prev >= int64(d)
+}
+
+// QueueLength estimates the average occupancy of a VRI's incoming data
+// queue, per the "queue length" routine of Figure 3.4.
+type QueueLength struct {
+	mu  sync.Mutex
+	avg EWMA
+}
+
+// NewQueueLength returns a queue-length estimator with the given EWMA weight
+// (0 selects DefaultWeight).
+func NewQueueLength(weight float64) *QueueLength {
+	return &QueueLength{avg: EWMA{Weight: weight}}
+}
+
+// Observe records the instantaneous queue occupancy.
+func (q *QueueLength) Observe(length int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.avg.Update(float64(length))
+}
+
+// Estimate returns the smoothed queue occupancy.
+func (q *QueueLength) Estimate() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.avg.Value()
+}
+
+// Valid reports whether any occupancy sample has arrived.
+func (q *QueueLength) Valid() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.avg.Valid()
+}
+
+// Reset forgets all history.
+func (q *QueueLength) Reset() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.avg.Reset()
+}
+
+// ServiceRate estimates a VRI's service (departure) rate in frames/second
+// from the gaps between consecutive service completions, as measured by the
+// LVRM adapter between FromLVRM calls (Section 3.6).
+type ServiceRate struct {
+	mu       sync.Mutex
+	gap      EWMA
+	prev     int64
+	havePrev bool
+}
+
+// NewServiceRate returns a service-rate estimator with the given EWMA weight
+// (0 selects DefaultWeight).
+func NewServiceRate(weight float64) *ServiceRate {
+	return &ServiceRate{gap: EWMA{Weight: weight}}
+}
+
+// Observe records a service completion at virtual time now (ns).
+func (s *ServiceRate) Observe(now int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.havePrev {
+		gap := float64(now - s.prev)
+		if gap > 0 {
+			s.gap.Update(gap)
+		}
+	}
+	s.prev = now
+	s.havePrev = true
+}
+
+// Estimate returns the smoothed service rate in frames per second.
+func (s *ServiceRate) Estimate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.gap.Valid() || s.gap.Value() <= 0 {
+		return 0
+	}
+	return 1e9 / s.gap.Value()
+}
+
+// Valid reports whether at least two completions have been observed.
+func (s *ServiceRate) Valid() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gap.Valid()
+}
+
+// Reset forgets all history.
+func (s *ServiceRate) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gap.Reset()
+	s.havePrev = false
+}
+
+// Break marks a service discontinuity: the next Observe will not form a gap
+// with the previous one. The LVRM adapter calls it when the incoming queue
+// drains, so the estimate reflects back-to-back service capacity rather than
+// echoing the arrival rate under light load.
+func (s *ServiceRate) Break() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.havePrev = false
+}
+
+var (
+	_ Estimator = (*ArrivalRate)(nil)
+	_ Estimator = (*QueueLength)(nil)
+	_ Estimator = (*ServiceRate)(nil)
+)

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lvrm/internal/metrics"
+)
+
+func init() {
+	register("4", "Fig. 4.19", "Scalability: aggregate forward rate vs number of FTP flow pairs", exp4Rate)
+	register("4-mm", "Fig. 4.20", "Scalability: max-min fairness vs number of FTP flow pairs", exp4MaxMin)
+	register("4-jain", "Fig. 4.21", "Scalability: Jain's index vs number of FTP flow pairs", exp4Jain)
+	register("4-time", "Fig. 4.22", "Scalability: aggregate forward rate vs elapsed time", exp4Time)
+}
+
+// exp4Gateways compares native forwarding with LVRM's frame- and flow-based
+// JSQ (the representative schemes of Figure 4.19-4.22).
+func exp4Gateways() []ftpGateway {
+	gws := ftpGateways([]string{"jsq"}, false, true)
+	gws = append(gws, ftpGateways([]string{"jsq"}, true, false)...)
+	return gws
+}
+
+// flowCounts is the Figure 4.19 x-axis (scaled down in quick mode).
+func flowCounts(cfg Config) []int {
+	if cfg.Full {
+		return []int{1, 2, 5, 10, 20, 50, 100}
+	}
+	return []int{1, 2, 5, 10, 20}
+}
+
+// exp4ScanCache memoizes the scalability matrix per configuration; each
+// cell is an independent deterministic run.
+var exp4ScanCache = map[Config]map[string]map[int][]float64{}
+
+// exp4Scan runs the full (#flows × gateway) matrix once per configuration.
+func exp4Scan(cfg Config) (map[string]map[int][]float64, error) {
+	if cached, ok := exp4ScanCache[cfg]; ok {
+		return cached, nil
+	}
+	out := map[string]map[int][]float64{}
+	for _, gw := range exp4Gateways() {
+		byFlows := map[int][]float64{}
+		for _, n := range flowCounts(cfg) {
+			r, err := gw.build(cfg)
+			if err != nil {
+				return nil, err
+			}
+			sc, err := newFTPScenario(r, n)
+			if err != nil {
+				return nil, err
+			}
+			shares, _ := sc.run(cfg.FTPDuration())
+			byFlows[n] = shares
+		}
+		out[gw.label] = byFlows
+	}
+	exp4ScanCache[cfg] = out
+	return out, nil
+}
+
+func exp4Rate(cfg Config) (*Result, error) {
+	scan, err := exp4Scan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gws := exp4Gateways()
+	res := &Result{Columns: []string{"flow pairs"}}
+	for _, gw := range gws {
+		res.Columns = append(res.Columns, gw.label+" (Mbps)")
+	}
+	for _, n := range flowCounts(cfg) {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, gw := range gws {
+			agg := 0.0
+			for _, s := range scan[gw.label][n] {
+				agg += s
+			}
+			row = append(row, fmt.Sprintf("%.0f", agg/1e6))
+		}
+		res.AddRow(row...)
+	}
+	res.Notes = append(res.Notes,
+		"The aggregate stays just below the 1 Gbps ideal at every flow count — TCP's congestion avoidance keeps crests under the line rate (Fig. 4.19).")
+	return res, nil
+}
+
+func exp4MaxMin(cfg Config) (*Result, error) {
+	scan, err := exp4Scan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gws := exp4Gateways()
+	res := &Result{Columns: []string{"flow pairs"}}
+	for _, gw := range gws {
+		res.Columns = append(res.Columns, gw.label)
+	}
+	for _, n := range flowCounts(cfg) {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, gw := range gws {
+			row = append(row, fmt.Sprintf("%.3f", metrics.MaxMinFairness(scan[gw.label][n])))
+		}
+		res.AddRow(row...)
+	}
+	res.Notes = append(res.Notes,
+		"Max-min fairness stays high at every scale; LVRM matches native forwarding (Fig. 4.20).")
+	return res, nil
+}
+
+func exp4Jain(cfg Config) (*Result, error) {
+	scan, err := exp4Scan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gws := exp4Gateways()
+	res := &Result{Columns: []string{"flow pairs"}}
+	for _, gw := range gws {
+		res.Columns = append(res.Columns, gw.label)
+	}
+	for _, n := range flowCounts(cfg) {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, gw := range gws {
+			row = append(row, fmt.Sprintf("%.4f", metrics.JainIndex(scan[gw.label][n])))
+		}
+		res.AddRow(row...)
+	}
+	res.Notes = append(res.Notes,
+		"Jain's index approaches 1 at every flow count: the majority of flows share fairly (Fig. 4.21).")
+	return res, nil
+}
+
+// exp4Time samples the aggregate forward rate over time for the largest
+// flow-pair count: a plateau near the link rate with small dips at the tail
+// of transfers.
+func exp4Time(cfg Config) (*Result, error) {
+	gws := exp4Gateways()
+	bucket := cfg.FTPDuration() / 20
+	series := map[string][]float64{}
+	for _, gw := range gws {
+		r, err := gw.build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := newFTPScenario(r, cfg.FTPPairs())
+		if err != nil {
+			return nil, err
+		}
+		_, _, ts := sc.runSeries(cfg.FTPDuration(), bucket)
+		series[gw.label] = ts
+	}
+	res := &Result{Columns: []string{"t (s)"}}
+	for _, gw := range gws {
+		res.Columns = append(res.Columns, gw.label+" (Mbps)")
+	}
+	n := len(series[gws[0].label])
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("%.2f", (bucket * time.Duration(i+1)).Seconds())}
+		for _, gw := range gws {
+			v := 0.0
+			if i < len(series[gw.label]) {
+				v = series[gw.label][i]
+			}
+			row = append(row, fmt.Sprintf("%.0f", v/1e6))
+		}
+		res.AddRow(row...)
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d flow pairs; after slow-start the aggregate plateaus near the link rate and LVRM tracks native forwarding (Fig. 4.22).", cfg.FTPPairs()))
+	return res, nil
+}

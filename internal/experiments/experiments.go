@@ -1,0 +1,223 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Chapter 4). Each experiment is a registered function keyed by
+// the paper's experiment id ("1a", "2c", "3c-jain", ...); running it builds
+// a fresh testbed, drives the workload, and returns a Result whose rows are
+// the series the corresponding figure plots.
+//
+// Experiments run at two scales. Quick (the default, used by `go test` and
+// the benchmarks) shrinks durations — and, for the dynamic-allocation
+// timelines, rates and thresholds together, which leaves the allocation
+// staircase identical — so the full suite finishes in seconds. Full uses
+// paper-scale parameters for `lvrmbench -full`.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Full selects paper-scale durations and rates.
+	Full bool
+	// Seed makes every stochastic component reproducible.
+	Seed uint64
+}
+
+// TrialDuration returns the measurement window for throughput trials.
+func (c Config) TrialDuration() time.Duration {
+	if c.Full {
+		return 2 * time.Second
+	}
+	return 150 * time.Millisecond
+}
+
+// FrameSizes returns the Figure 4.2 x-axis (frame wire bytes).
+func (c Config) FrameSizes() []int {
+	if c.Full {
+		return []int{84, 128, 256, 512, 1024, 1538}
+	}
+	return []int{84, 256, 1024, 1538}
+}
+
+// SearchIters returns the bisection depth for achievable-throughput
+// searches.
+func (c Config) SearchIters() int {
+	if c.Full {
+		return 9
+	}
+	return 5
+}
+
+// Dwell returns the per-step dwell time for the rate staircases of
+// Experiments 2c-2e (paper: 5 s).
+func (c Config) Dwell() time.Duration {
+	if c.Full {
+		return 5 * time.Second
+	}
+	return 1 * time.Second
+}
+
+// RateScale shrinks frame rates (and, with them, thresholds and per-frame
+// dummy loads) in quick mode; the allocation dynamics are scale-free.
+func (c Config) RateScale() float64 {
+	if c.Full {
+		return 1
+	}
+	return 0.1
+}
+
+// FTPDuration returns the run length for the TCP experiments (paper: 600 s).
+func (c Config) FTPDuration() time.Duration {
+	if c.Full {
+		return 30 * time.Second
+	}
+	return 4 * time.Second
+}
+
+// FTPPairs returns the maximum number of FTP flow pairs (paper: 100).
+func (c Config) FTPPairs() int {
+	if c.Full {
+		return 100
+	}
+	return 20
+}
+
+// PingCount returns the number of ICMP echos (paper: 400 K).
+func (c Config) PingCount() int {
+	if c.Full {
+		return 20000
+	}
+	return 1500
+}
+
+// Result is one reproduced table/figure.
+type Result struct {
+	// ID is the experiment id ("1a").
+	ID string
+	// Figure names the paper figure it regenerates ("Fig. 4.2").
+	Figure string
+	// Title describes the experiment.
+	Title string
+	// Columns and Rows hold the series the figure plots.
+	Columns []string
+	Rows    [][]string
+	// Notes carry observations to record in EXPERIMENTS.md.
+	Notes []string
+	// Elapsed is the wall-clock cost of the run.
+	Elapsed time.Duration
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Table renders the result as a GitHub-flavoured markdown table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s (%s)\n\n", r.ID, r.Title, r.Figure)
+	b.WriteString("| " + strings.Join(r.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(r.Columns)) + "\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range r.Notes {
+		b.WriteString("\n> " + n + "\n")
+	}
+	return b.String()
+}
+
+// Func runs one experiment.
+type Func func(cfg Config) (*Result, error)
+
+// Spec describes a registered experiment.
+type Spec struct {
+	ID     string
+	Figure string
+	Title  string
+	Run    Func
+}
+
+var registry []Spec
+
+// register adds an experiment at package init.
+func register(id, figure, title string, fn Func) {
+	registry = append(registry, Spec{ID: id, Figure: figure, Title: title, Run: fn})
+}
+
+// All returns every registered experiment in paper order.
+func All() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return experimentLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// experimentLess orders "1a" < "1a-cpu" < "1b" < ... < "2c" < "2c-lat" < "10a".
+func experimentLess(a, b string) bool {
+	pa, sa := splitID(a)
+	pb, sb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	return sa < sb
+}
+
+func splitID(id string) (string, string) {
+	if i := strings.IndexByte(id, '-'); i >= 0 {
+		return id[:i], id[i+1:]
+	}
+	return id, ""
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (*Result, error) {
+	for _, s := range registry {
+		if s.ID == id {
+			start := time.Now()
+			res, err := s.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", id, err)
+			}
+			res.ID, res.Figure, res.Title = s.ID, s.Figure, s.Title
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, knownIDs())
+}
+
+func knownIDs() string {
+	ids := make([]string, 0, len(registry))
+	for _, s := range All() {
+		ids = append(ids, s.ID)
+	}
+	return strings.Join(ids, ", ")
+}
+
+// WriteCSV renders the result as CSV (one header row, then data rows), for
+// plotting the figures with external tools.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FileStem returns a filesystem-friendly name for the experiment ("exp1a",
+// "exp3c-jain").
+func (r *Result) FileStem() string {
+	return "exp" + strings.ReplaceAll(r.ID, "/", "-")
+}

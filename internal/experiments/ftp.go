@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/tcpsim"
+)
+
+// ftpPair is one of the paper's FTP flow pairs: a bulk data connection (the
+// file transfer) plus a small control connection, both TCP (Section 4.1's
+// "realistic FTP/TCP servers and clients").
+type ftpPair struct {
+	data    *tcpsim.Conn
+	dataRx  *tcpsim.Sink
+	ctl     *tcpsim.Conn
+	ctlRx   *tcpsim.Sink
+	dataDst packet.FiveTuple
+}
+
+// ftpScenario wires n FTP pairs across the testbed through any gateway rig.
+type ftpScenario struct {
+	rig   *rig
+	pairs []*ftpPair
+}
+
+// newFTPScenario builds n pairs. Each pair i uses source host 10.1.(1+i/250).x
+// and its own ports, so flow-based balancing sees n distinct data flows.
+func newFTPScenario(r *rig, n int) (*ftpScenario, error) {
+	sc := &ftpScenario{rig: r}
+	senderDemux := tcpsim.NewDemux()   // ACKs arriving back at sender hosts
+	receiverDemux := tcpsim.NewDemux() // data arriving at receiver hosts
+	r.topo.OnSenderSide = senderDemux.Deliver
+	r.topo.OnReceiverSide = receiverDemux.Deliver
+
+	for i := 0; i < n; i++ {
+		src := packet.IPv4(10, 1, byte(1+i/250), byte(1+i%250))
+		dst := packet.IPv4(10, 2, byte(1+i/250), byte(1+i%250))
+		dataPort := uint16(50000 + i)
+		ctlPort := uint16(40000 + i)
+
+		pair := &ftpPair{}
+		// Bulk data connection: unbounded transfer ("large files").
+		dataSink, err := tcpsim.NewSink(r.topo.SendFromReceiver)
+		if err != nil {
+			return nil, err
+		}
+		dataSink.Src, dataSink.Dst = dst, src
+		dataSink.SrcPort, dataSink.DstPort = 21, dataPort
+		dataConn, err := tcpsim.NewConn(tcpsim.ConnConfig{
+			Src: src, Dst: dst, SrcPort: dataPort, DstPort: 21,
+			Emit: r.topo.SendFromSender,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pair.data, pair.dataRx = dataConn, dataSink
+		pair.dataDst = packet.FiveTuple{Src: src, Dst: dst, SrcPort: dataPort, DstPort: 21, Proto: packet.ProtoTCP}
+		receiverDemux.Register(pair.dataDst, dataSink)
+		senderDemux.Register(packet.FiveTuple{Src: dst, Dst: src, SrcPort: 21, DstPort: dataPort, Proto: packet.ProtoTCP}, dataConn)
+
+		// Control connection: a trickle of small segments (commands and
+		// acknowledgements), 512 B every 20 ms.
+		ctlSink, err := tcpsim.NewSink(r.topo.SendFromReceiver)
+		if err != nil {
+			return nil, err
+		}
+		ctlSink.Src, ctlSink.Dst = dst, src
+		ctlSink.SrcPort, ctlSink.DstPort = 2121, ctlPort
+		ctlConn, err := tcpsim.NewConn(tcpsim.ConnConfig{
+			Src: src, Dst: dst, SrcPort: ctlPort, DstPort: 2121,
+			MSS:  512,
+			Emit: r.topo.SendFromSender,
+			// The control channel is flow-controlled to a trickle by a
+			// tiny receive window.
+			RcvWnd: 512,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pair.ctl, pair.ctlRx = ctlConn, ctlSink
+		receiverDemux.Register(packet.FiveTuple{Src: src, Dst: dst, SrcPort: ctlPort, DstPort: 2121, Proto: packet.ProtoTCP}, ctlSink)
+		senderDemux.Register(packet.FiveTuple{Src: dst, Dst: src, SrcPort: 2121, DstPort: ctlPort, Proto: packet.ProtoTCP}, ctlConn)
+
+		sc.pairs = append(sc.pairs, pair)
+	}
+	return sc, nil
+}
+
+// start launches the connections, staggered over the first few milliseconds
+// (real FTP clients never start in perfect lockstep, and staggering
+// de-synchronizes Reno's slow-start bursts).
+func (sc *ftpScenario) start() {
+	for i, p := range sc.pairs {
+		p := p
+		sc.rig.eng.Schedule(time.Duration(i)*777*time.Microsecond, func() {
+			p.data.Start(sc.rig.eng)
+			p.ctl.Start(sc.rig.eng)
+		})
+	}
+}
+
+// run executes the scenario for dur and returns per-data-flow goodputs in
+// bits/second plus the aggregate.
+func (sc *ftpScenario) run(dur time.Duration) (shares []float64, aggregate float64) {
+	sc.start()
+	sc.rig.eng.Run(dur)
+	secs := dur.Seconds()
+	for _, p := range sc.pairs {
+		bps := float64(p.dataRx.Delivered()) * 8 / secs
+		shares = append(shares, bps)
+		aggregate += bps
+	}
+	return shares, aggregate
+}
+
+// runSeries is run plus a sampled aggregate-rate time series (for the
+// rate-vs-time figure). bucket is the sampling interval.
+func (sc *ftpScenario) runSeries(dur, bucket time.Duration) (shares []float64, aggregate float64, ts []float64) {
+	sc.start()
+	last := int64(0)
+	sc.rig.eng.Every(bucket, bucket, func() {
+		var total int64
+		for _, p := range sc.pairs {
+			total += p.dataRx.Delivered()
+		}
+		ts = append(ts, float64(total-last)*8/bucket.Seconds())
+		last = total
+	})
+	sc.rig.eng.Run(dur)
+	secs := dur.Seconds()
+	for _, p := range sc.pairs {
+		bps := float64(p.dataRx.Delivered()) * 8 / secs
+		shares = append(shares, bps)
+		aggregate += bps
+	}
+	return shares, aggregate, ts
+}
+
+// ftpQueueLimit sizes the links' droptail buffers for the TCP experiments:
+// deep enough (roughly one delay-bandwidth product per few flows) that Reno
+// flows do not synchronize into lockout, as on the paper's real switches.
+const ftpQueueLimit = 256
+
+// ftpGateways lists the Experiment 3c/4 configurations: native Linux plus
+// LVRM with frame- and flow-based variants of each balancing scheme.
+type ftpGateway struct {
+	label string
+	build func(cfg Config) (*rig, error)
+}
+
+func ftpGateways(schemes []string, flowBased bool, includeNative bool) []ftpGateway {
+	var out []ftpGateway
+	if includeNative {
+		out = append(out, ftpGateway{
+			label: "native-linux",
+			build: func(Config) (*rig, error) { return buildSimpleRigQ(simpleNativeKind, ftpQueueLimit) },
+		})
+	}
+	for _, scheme := range schemes {
+		scheme := scheme
+		prefix := "frame"
+		if flowBased {
+			prefix = "flow"
+		}
+		out = append(out, ftpGateway{
+			label: fmt.Sprintf("lvrm-%s-%s", prefix, scheme),
+			build: func(cfg Config) (*rig, error) {
+				return buildBalancedLVRM(cfg, scheme, flowBased)
+			},
+		})
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"time"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/traffic"
+)
+
+// trafficSender wraps a traffic.UDPSender wired into a rig.
+type trafficSender struct {
+	s   *traffic.UDPSender
+	rig *rig
+}
+
+// newSender builds a constant-rate sender from src to dst.
+func newSender(name string, src, dst packet.IP, wireSize int, fps float64, r *rig) *trafficSender {
+	return &trafficSender{
+		rig: r,
+		s: &traffic.UDPSender{
+			Name: name, Src: src, Dst: dst,
+			SrcPort: 5000, DstPort: 9,
+			WireSize: wireSize,
+			Profile:  traffic.ConstantProfile(fps),
+			MaxFPS:   0, // the caller caps per-sender rates
+			Emit:     r.topo.SendFromSender,
+		},
+	}
+}
+
+// newProfileSender builds a sender following an arbitrary rate profile.
+func newProfileSender(name string, src, dst packet.IP, profile traffic.Profile, startAt time.Duration, r *rig) *trafficSender {
+	ts := &trafficSender{
+		rig: r,
+		s: &traffic.UDPSender{
+			Name: name, Src: src, Dst: dst,
+			SrcPort: 5000, DstPort: 9,
+			Profile: profile,
+			Emit:    r.topo.SendFromSender,
+		},
+	}
+	// Profile senders always self-start (the Section 4.1 coordinator sends
+	// the START request at startAt).
+	r.eng.Schedule(startAt, func() {
+		if err := ts.s.Start(r.eng); err != nil {
+			panic(err)
+		}
+	})
+	return ts
+}
+
+func (t *trafficSender) start() {
+	if err := t.s.Start(t.rig.eng); err != nil {
+		panic(err)
+	}
+}
+
+func (t *trafficSender) sent() int64 { return t.s.Sent() }

@@ -1,0 +1,43 @@
+package ipc_test
+
+import (
+	"fmt"
+
+	"lvrm/internal/ipc"
+)
+
+// The lock-free ring is the paper's default IPC queue: one producer, one
+// consumer, no locks.
+func ExampleSPSC() {
+	q := ipc.NewSPSC[string](8)
+	q.Enqueue("frame-1")
+	q.Enqueue("frame-2")
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// frame-1
+	// frame-2
+}
+
+// An Endpoint bundles a VRI's data and control queue pairs; control events
+// always pop before data frames.
+func ExampleEndpoint_PollIn() {
+	ep := ipc.NewEndpoint[string](ipc.LockFree, 8, 8)
+	ep.Data.In.Enqueue("data frame")
+	ep.Control.In.Enqueue("route-sync event")
+	for {
+		v, isControl, ok := ep.PollIn()
+		if !ok {
+			break
+		}
+		fmt.Printf("%v %s\n", isControl, v)
+	}
+	// Output:
+	// true route-sync event
+	// false data frame
+}

@@ -1,0 +1,180 @@
+package ipc
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+func TestFastForwardFIFO(t *testing.T) {
+	q := NewFastForward[int](8)
+	vals := make([]int, 10)
+	for i := range vals {
+		vals[i] = i
+	}
+	for i := 0; i < 8; i++ {
+		if !q.Enqueue(&vals[i]) {
+			t.Fatalf("Enqueue %d failed", i)
+		}
+	}
+	if q.Enqueue(&vals[8]) {
+		t.Error("Enqueue succeeded on full ring")
+	}
+	if q.Len() != 8 || q.Cap() != 8 {
+		t.Errorf("Len/Cap = %d/%d", q.Len(), q.Cap())
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.Dequeue()
+		if !ok || *v != i {
+			t.Fatalf("Dequeue %d = (%v,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Error("Dequeue on empty ring succeeded")
+	}
+}
+
+func TestFastForwardRejectsNil(t *testing.T) {
+	q := NewFastForward[int](4)
+	if q.Enqueue(nil) {
+		t.Error("nil element accepted (nil is the empty marker)")
+	}
+}
+
+func TestFastForwardPeek(t *testing.T) {
+	q := NewFastForward[string](4)
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty ring")
+	}
+	s := "x"
+	q.Enqueue(&s)
+	if v, ok := q.Peek(); !ok || *v != "x" {
+		t.Errorf("Peek = (%v,%v)", v, ok)
+	}
+	if q.Len() != 1 {
+		t.Error("Peek consumed the element")
+	}
+}
+
+func TestFastForwardWraparound(t *testing.T) {
+	q := NewFastForward[int](4)
+	for i := 0; i < 1000; i++ {
+		v := i
+		if !q.Enqueue(&v) {
+			t.Fatalf("Enqueue %d failed", i)
+		}
+		got, ok := q.Dequeue()
+		if !ok || *got != i {
+			t.Fatalf("round %d: (%v,%v)", i, got, ok)
+		}
+	}
+}
+
+// TestFastForwardConcurrent checks the SPSC contract under concurrency:
+// exactly-once, in-order delivery.
+func TestFastForwardConcurrent(t *testing.T) {
+	const n = 200000
+	q := NewFastForward[int](1024)
+	done := make(chan error, 1)
+	go func() {
+		expect := 0
+		for expect < n {
+			v, ok := q.Dequeue()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if *v != expect {
+				done <- errValue{*v, expect}
+				return
+			}
+			expect++
+		}
+		done <- nil
+	}()
+	vals := make([]int, n)
+	for i := 0; i < n; {
+		vals[i] = i
+		if q.Enqueue(&vals[i]) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastForwardQueueInterfaceParity: the adapter behaves like the other
+// Queue implementations against the model.
+func TestFastForwardQueueInterfaceParity(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := NewFastForwardQueue[uint8](16)
+		var model []*uint8
+		for _, op := range ops {
+			if op%2 == 0 {
+				v := op
+				okQ := q.Enqueue(&v)
+				okM := len(model) < q.Cap()
+				if okQ != okM {
+					return false
+				}
+				if okM {
+					model = append(model, &v)
+				}
+			} else {
+				v, ok := q.Dequeue()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFastForwardEnqueueDequeue(b *testing.B) {
+	q := NewFastForward[int](1024)
+	v := 7
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(&v)
+		q.Dequeue()
+	}
+}
+
+// BenchmarkFastForwardPipelined mirrors BenchmarkSPSCPipelined for a direct
+// comparison of the two lock-free designs under real concurrency.
+func BenchmarkFastForwardPipelined(b *testing.B) {
+	q := NewFastForward[int](4096)
+	done := make(chan struct{})
+	go func() {
+		for n := 0; n < b.N; {
+			if _, ok := q.Dequeue(); ok {
+				n++
+			} else {
+				runtime.Gosched()
+			}
+		}
+		close(done)
+	}()
+	v := 1
+	for i := 0; i < b.N; {
+		if q.Enqueue(&v) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	<-done
+}

@@ -1,0 +1,27 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"lvrm/internal/metrics"
+)
+
+// Jain's index reads the fairness of per-flow throughput shares: 1 is
+// perfectly fair, 1/n is one flow taking everything.
+func ExampleJainIndex() {
+	fair := []float64{100, 100, 100, 100}
+	skewed := []float64{400, 0, 0, 0}
+	fmt.Printf("fair:   %.2f\n", metrics.JainIndex(fair))
+	fmt.Printf("skewed: %.2f\n", metrics.JainIndex(skewed))
+	// Output:
+	// fair:   1.00
+	// skewed: 0.25
+}
+
+// Max-min fairness focuses on the outlier: the worst-off flow's share of an
+// equal split.
+func ExampleMaxMinFairness() {
+	fmt.Printf("%.2f\n", metrics.MaxMinFairness([]float64{50, 150}))
+	// Output:
+	// 0.50
+}

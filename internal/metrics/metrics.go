@@ -1,0 +1,288 @@
+// Package metrics provides the measurement machinery of Section 4.1: rate
+// meters for achievable throughput, latency statistics for round-trip time,
+// time series for the dynamic-allocation timelines, and the two fairness
+// indexes (Jain's index and normalized max-min) used in Experiments 3c and 4.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// JainIndex computes Jain's fairness index over per-flow throughputs:
+// (Σx)² / (n·Σx²). It is 1 when all shares are equal and 1/n when one flow
+// takes everything. An empty or all-zero input yields 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// MaxMinFairness computes the paper's normalized max-min metric, which
+// focuses on the outlier: the minimum share divided by the equal share
+// (aggregate/n). A value of 1 means even the worst-off flow got a full fair
+// share; values near 0 mean starvation. An empty or all-zero input yields 0.
+func MaxMinFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	minV := math.Inf(1)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < minV {
+			minV = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	fair := sum / float64(len(xs))
+	return minV / fair
+}
+
+// RateMeter counts discrete arrivals (frames, bytes) against virtual time
+// and reports rates over the observed window.
+type RateMeter struct {
+	start   int64
+	last    int64
+	count   int64
+	bytes   int64
+	started bool
+}
+
+// Observe records one arrival of size bytes at virtual time now (ns).
+func (m *RateMeter) Observe(now int64, bytes int) {
+	if !m.started {
+		m.start = now
+		m.started = true
+	}
+	m.last = now
+	m.count++
+	m.bytes += int64(bytes)
+}
+
+// Count returns the number of observed arrivals.
+func (m *RateMeter) Count() int64 { return m.count }
+
+// Bytes returns the total observed bytes.
+func (m *RateMeter) Bytes() int64 { return m.bytes }
+
+// RatePerSec returns arrivals per second over [start, horizon]. If horizon
+// is not after the first arrival the rate is 0.
+func (m *RateMeter) RatePerSec(horizon int64) float64 {
+	dt := horizon - m.start
+	if !m.started || dt <= 0 {
+		return 0
+	}
+	return float64(m.count) / (float64(dt) / 1e9)
+}
+
+// BitsPerSec returns the observed throughput in bit/s over [start, horizon].
+func (m *RateMeter) BitsPerSec(horizon int64) float64 {
+	dt := horizon - m.start
+	if !m.started || dt <= 0 {
+		return 0
+	}
+	return float64(m.bytes) * 8 / (float64(dt) / 1e9)
+}
+
+// Reset clears the meter.
+func (m *RateMeter) Reset() { *m = RateMeter{} }
+
+// LatencyStats accumulates latency samples and reports summary statistics.
+// It keeps a bounded reservoir for percentiles (uniform thinning) plus exact
+// count/mean/min/max via streaming accumulators.
+type LatencyStats struct {
+	count      int64
+	sum        float64
+	sumSq      float64
+	min, max   time.Duration
+	reservoir  []time.Duration
+	everyNth   int64
+	maxSamples int
+}
+
+// NewLatencyStats creates a collector that retains at most maxSamples
+// samples for percentile estimation (default 4096 if maxSamples <= 0).
+func NewLatencyStats(maxSamples int) *LatencyStats {
+	if maxSamples <= 0 {
+		maxSamples = 4096
+	}
+	return &LatencyStats{min: math.MaxInt64, everyNth: 1, maxSamples: maxSamples}
+}
+
+// Observe records one latency sample.
+func (s *LatencyStats) Observe(d time.Duration) {
+	s.count++
+	f := float64(d)
+	s.sum += f
+	s.sumSq += f * f
+	if d < s.min {
+		s.min = d
+	}
+	if d > s.max {
+		s.max = d
+	}
+	if s.count%s.everyNth == 0 {
+		s.reservoir = append(s.reservoir, d)
+		if len(s.reservoir) >= s.maxSamples {
+			// Thin by dropping every other retained sample and halving
+			// the sampling rate: keeps memory bounded with uniform-ish
+			// coverage of the stream.
+			kept := s.reservoir[:0]
+			for i, v := range s.reservoir {
+				if i%2 == 0 {
+					kept = append(kept, v)
+				}
+			}
+			s.reservoir = kept
+			s.everyNth *= 2
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (s *LatencyStats) Count() int64 { return s.count }
+
+// Mean returns the mean latency, or 0 with no samples.
+func (s *LatencyStats) Mean() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return time.Duration(s.sum / float64(s.count))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *LatencyStats) Min() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample.
+func (s *LatencyStats) Max() time.Duration { return s.max }
+
+// Stddev returns the population standard deviation.
+func (s *LatencyStats) Stddev() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	mean := s.sum / float64(s.count)
+	v := s.sumSq/float64(s.count) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return time.Duration(math.Sqrt(v))
+}
+
+// Percentile returns the p-th percentile (0-100) from the reservoir.
+func (s *LatencyStats) Percentile(p float64) time.Duration {
+	if len(s.reservoir) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.reservoir))
+	copy(sorted, s.reservoir)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series used for the allocation timelines and
+// the rate-vs-time figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// At returns the value in effect at time t (the last point with T <= t), or
+// 0 before the first point.
+func (s *Series) At(t time.Duration) float64 {
+	v := 0.0
+	for _, p := range s.Points {
+		if p.T > t {
+			break
+		}
+		v = p.V
+	}
+	return v
+}
+
+// Max returns the largest value in the series (0 if empty).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of the sample values (0 if empty).
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// FormatRate renders a frames-per-second value the way the paper labels its
+// axes (e.g. "224 Kfps", "3.7 Mfps").
+func FormatRate(fps float64) string {
+	switch {
+	case fps >= 1e6:
+		return fmt.Sprintf("%.2f Mfps", fps/1e6)
+	case fps >= 1e3:
+		return fmt.Sprintf("%.1f Kfps", fps/1e3)
+	default:
+		return fmt.Sprintf("%.0f fps", fps)
+	}
+}
+
+// FormatBits renders a bit/s value ("941 Mbps", "11.0 Gbps").
+func FormatBits(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.2f Gbps", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.1f Mbps", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.1f Kbps", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0f bps", bps)
+	}
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestJainIndex(t *testing.T) {
+	if v := JainIndex(nil); v != 0 {
+		t.Errorf("empty = %v", v)
+	}
+	if v := JainIndex([]float64{0, 0}); v != 0 {
+		t.Errorf("all zero = %v", v)
+	}
+	if v := JainIndex([]float64{5, 5, 5, 5}); math.Abs(v-1) > 1e-12 {
+		t.Errorf("equal shares = %v, want 1", v)
+	}
+	// One flow takes everything: index = 1/n.
+	if v := JainIndex([]float64{10, 0, 0, 0}); math.Abs(v-0.25) > 1e-12 {
+		t.Errorf("starved = %v, want 0.25", v)
+	}
+	// Known value: {1,2,3} -> 36/(3*14) = 6/7.
+	if v := JainIndex([]float64{1, 2, 3}); math.Abs(v-6.0/7.0) > 1e-12 {
+		t.Errorf("{1,2,3} = %v, want %v", v, 6.0/7.0)
+	}
+}
+
+func TestJainIndexBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		anyPos := false
+		for i, r := range raw {
+			xs[i] = float64(r)
+			if r > 0 {
+				anyPos = true
+			}
+		}
+		v := JainIndex(xs)
+		if !anyPos {
+			return v == 0
+		}
+		lo := 1/float64(len(xs)) - 1e-9
+		return v >= lo && v <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxMinFairness(t *testing.T) {
+	if v := MaxMinFairness(nil); v != 0 {
+		t.Errorf("empty = %v", v)
+	}
+	if v := MaxMinFairness([]float64{0, 0}); v != 0 {
+		t.Errorf("all zero = %v", v)
+	}
+	if v := MaxMinFairness([]float64{3, 3, 3}); math.Abs(v-1) > 1e-12 {
+		t.Errorf("equal = %v", v)
+	}
+	// min=1, fair share=2 -> 0.5.
+	if v := MaxMinFairness([]float64{1, 3}); math.Abs(v-0.5) > 1e-12 {
+		t.Errorf("{1,3} = %v, want 0.5", v)
+	}
+	if v := MaxMinFairness([]float64{0, 10}); v != 0 {
+		t.Errorf("starved flow = %v, want 0", v)
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	var m RateMeter
+	if m.RatePerSec(1e9) != 0 {
+		t.Error("rate before any observation")
+	}
+	// 1000 frames of 84 bytes over one second.
+	for i := 0; i < 1000; i++ {
+		m.Observe(int64(i)*1e6, 84)
+	}
+	horizon := int64(1e9)
+	if got := m.RatePerSec(horizon); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("RatePerSec = %v", got)
+	}
+	wantBits := 1000.0 * 84 * 8
+	if got := m.BitsPerSec(horizon); math.Abs(got-wantBits) > 1e-6 {
+		t.Errorf("BitsPerSec = %v, want %v", got, wantBits)
+	}
+	if m.Count() != 1000 || m.Bytes() != 84000 {
+		t.Errorf("Count/Bytes = %d/%d", m.Count(), m.Bytes())
+	}
+	m.Reset()
+	if m.Count() != 0 || m.RatePerSec(horizon) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	s := NewLatencyStats(0)
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 || s.Percentile(50) != 0 {
+		t.Error("zero-sample stats not all zero")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if s.Count() != 100 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if got := s.Mean(); got < 50*time.Microsecond || got > 51*time.Microsecond {
+		t.Errorf("Mean = %v", got)
+	}
+	if s.Min() != time.Microsecond || s.Max() != 100*time.Microsecond {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	p50 := s.Percentile(50)
+	if p50 < 40*time.Microsecond || p50 > 60*time.Microsecond {
+		t.Errorf("P50 = %v", p50)
+	}
+	if p100 := s.Percentile(100); p100 != 100*time.Microsecond {
+		t.Errorf("P100 = %v", p100)
+	}
+	if p0 := s.Percentile(0); p0 != time.Microsecond {
+		t.Errorf("P0 = %v", p0)
+	}
+}
+
+func TestLatencyStatsReservoirBounded(t *testing.T) {
+	s := NewLatencyStats(64)
+	for i := 0; i < 100000; i++ {
+		s.Observe(time.Duration(i))
+	}
+	if len(s.reservoir) > 64 {
+		t.Errorf("reservoir grew to %d", len(s.reservoir))
+	}
+	if s.Count() != 100000 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	// Percentiles should still roughly track the uniform stream.
+	p50 := float64(s.Percentile(50))
+	if p50 < 20000 || p50 > 80000 {
+		t.Errorf("thinned P50 = %v", p50)
+	}
+}
+
+func TestLatencyStatsStddev(t *testing.T) {
+	s := NewLatencyStats(0)
+	for _, v := range []time.Duration{10, 10, 10, 10} {
+		s.Observe(v)
+	}
+	if s.Stddev() != 0 {
+		t.Errorf("constant stream stddev = %v", s.Stddev())
+	}
+	s2 := NewLatencyStats(0)
+	s2.Observe(0)
+	s2.Observe(20)
+	if got := s2.Stddev(); got != 10 {
+		t.Errorf("stddev = %v, want 10", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.At(time.Second) != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Error("empty series accessors not zero")
+	}
+	s.Add(0, 1)
+	s.Add(5*time.Second, 2)
+	s.Add(10*time.Second, 6)
+	if v := s.At(3 * time.Second); v != 1 {
+		t.Errorf("At(3s) = %v", v)
+	}
+	if v := s.At(5 * time.Second); v != 2 {
+		t.Errorf("At(5s) = %v", v)
+	}
+	if v := s.At(time.Hour); v != 6 {
+		t.Errorf("At(1h) = %v", v)
+	}
+	if s.Max() != 6 {
+		t.Errorf("Max = %v", s.Max())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[float64]string{224000: "224.0 Kfps", 3.7e6: "3.70 Mfps", 500: "500 fps"}
+	for v, want := range cases {
+		if got := FormatRate(v); got != want {
+			t.Errorf("FormatRate(%v) = %q, want %q", v, got, want)
+		}
+	}
+	bitCases := map[float64]string{11e9: "11.00 Gbps", 941e6: "941.0 Mbps", 56e3: "56.0 Kbps", 100: "100 bps"}
+	for v, want := range bitCases {
+		if got := FormatBits(v); got != want {
+			t.Errorf("FormatBits(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package netio
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"lvrm/internal/packet"
+)
+
+// UDPAdapter is a live socket adapter that moves raw Ethernet frames over
+// UDP datagrams (one frame per datagram) — the stdlib-reachable analog of
+// the paper's raw-socket backend, since Go cannot open AF_PACKET sockets
+// without syscall privileges. A remote traffic generator sends datagrams
+// whose payloads are Ethernet frames; forwarded frames are sent back to the
+// configured peer (or, when no peer is set, to the source of the most
+// recent datagram, which suits simple loopback tests).
+type UDPAdapter struct {
+	conn *net.UDPConn
+
+	mu   sync.Mutex
+	peer *net.UDPAddr
+
+	rx     chan *packet.Frame
+	closed chan struct{}
+	once   sync.Once
+
+	rxDrops int64
+}
+
+// NewUDPAdapter binds a UDP socket on listenAddr (e.g. "127.0.0.1:9000").
+// peerAddr, when non-empty, fixes the destination for outgoing frames.
+// depth sizes the receive buffer in frames.
+func NewUDPAdapter(listenAddr, peerAddr string, depth int) (*UDPAdapter, error) {
+	laddr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: listen address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	a := &UDPAdapter{
+		conn:   conn,
+		rx:     make(chan *packet.Frame, depth),
+		closed: make(chan struct{}),
+	}
+	if peerAddr != "" {
+		paddr, err := net.ResolveUDPAddr("udp", peerAddr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("netio: peer address: %w", err)
+		}
+		a.peer = paddr
+	}
+	go a.readLoop()
+	return a, nil
+}
+
+// LocalAddr returns the bound address (useful with ":0" listeners).
+func (a *UDPAdapter) LocalAddr() net.Addr { return a.conn.LocalAddr() }
+
+func (a *UDPAdapter) readLoop() {
+	buf := make([]byte, packet.EthMaxFrame+64)
+	for {
+		n, from, err := a.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-a.closed:
+				return
+			default:
+			}
+			continue
+		}
+		if n < packet.EthHeaderLen {
+			continue // runt datagram
+		}
+		if a.peerLocked() == nil {
+			a.setPeer(from)
+		}
+		frame := &packet.Frame{Buf: append([]byte(nil), buf[:n]...), Out: -1}
+		select {
+		case a.rx <- frame:
+		default:
+			a.rxDrops++ // capture ring overflow
+		}
+	}
+}
+
+func (a *UDPAdapter) peerLocked() *net.UDPAddr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peer
+}
+
+func (a *UDPAdapter) setPeer(p *net.UDPAddr) {
+	a.mu.Lock()
+	a.peer = p
+	a.mu.Unlock()
+}
+
+// Recv polls for one received frame.
+func (a *UDPAdapter) Recv() (*packet.Frame, bool) {
+	select {
+	case f := <-a.rx:
+		return f, true
+	default:
+		return nil, false
+	}
+}
+
+// Send transmits a frame to the peer as one datagram.
+func (a *UDPAdapter) Send(f *packet.Frame) error {
+	select {
+	case <-a.closed:
+		return ErrClosed
+	default:
+	}
+	peer := a.peerLocked()
+	if peer == nil {
+		return errors.New("netio: UDP adapter has no peer yet")
+	}
+	_, err := a.conn.WriteToUDP(f.Buf, peer)
+	return err
+}
+
+// RxDrops returns frames lost to a full receive buffer.
+func (a *UDPAdapter) RxDrops() int64 { return a.rxDrops }
+
+// Name returns "udp".
+func (a *UDPAdapter) Name() string { return "udp" }
+
+// Close shuts the socket down and stops the read loop.
+func (a *UDPAdapter) Close() error {
+	var err error
+	a.once.Do(func() {
+		close(a.closed)
+		err = a.conn.Close()
+	})
+	return err
+}
+
+var _ Adapter = (*UDPAdapter)(nil)

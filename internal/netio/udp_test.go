@@ -1,0 +1,135 @@
+package netio
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"lvrm/internal/packet"
+)
+
+func TestUDPAdapterRoundTrip(t *testing.T) {
+	adapter, err := NewUDPAdapter("127.0.0.1:0", "", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adapter.Close()
+	if adapter.Name() != "udp" {
+		t.Errorf("Name = %q", adapter.Name())
+	}
+
+	// A "traffic generator" host on another socket.
+	gen, err := net.DialUDP("udp", nil, adapter.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gen.Close()
+
+	frames := testFrames(t, 5)
+	for _, f := range frames {
+		if _, err := gen.Write(f.Buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Receive all five through the adapter (polling; the read loop is
+	// asynchronous).
+	got := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for got < 5 {
+		f, ok := adapter.Recv()
+		if !ok {
+			if time.Now().After(deadline) {
+				t.Fatalf("received %d/5 frames", got)
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if _, ok := packet.FlowOf(f); !ok {
+			t.Fatal("received frame not parseable")
+		}
+		got++
+	}
+
+	// Send one back: the adapter learned the generator as its peer.
+	if err := adapter.Send(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	gen.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 2048)
+	n, err := gen.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frames[0].Buf) {
+		t.Errorf("echoed %d bytes, want %d", n, len(frames[0].Buf))
+	}
+}
+
+func TestUDPAdapterNoPeer(t *testing.T) {
+	adapter, err := NewUDPAdapter("127.0.0.1:0", "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adapter.Close()
+	f := testFrames(t, 1)[0]
+	if err := adapter.Send(f); err == nil {
+		t.Error("Send with no peer succeeded")
+	}
+}
+
+func TestUDPAdapterExplicitPeer(t *testing.T) {
+	// Two adapters wired at each other: frames flow both ways.
+	a, err := NewUDPAdapter("127.0.0.1:0", "", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDPAdapter("127.0.0.1:0", a.LocalAddr().String(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	f := testFrames(t, 1)[0]
+	if err := b.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got, ok := a.Recv(); ok {
+			if len(got.Buf) != len(f.Buf) {
+				t.Errorf("frame size %d, want %d", len(got.Buf), len(f.Buf))
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("frame never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestUDPAdapterCloseIdempotent(t *testing.T) {
+	a, err := NewUDPAdapter("127.0.0.1:0", "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := a.Send(testFrames(t, 1)[0]); err != ErrClosed {
+		t.Errorf("Send after Close: %v", err)
+	}
+}
+
+func TestUDPAdapterBadAddrs(t *testing.T) {
+	if _, err := NewUDPAdapter("not-an-addr", "", 4); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	if _, err := NewUDPAdapter("127.0.0.1:0", "also-bad", 4); err == nil {
+		t.Error("bad peer address accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The parsers face attacker-controlled bytes (LVRM forwards whatever the
+// wire delivers), so none of them may panic on arbitrary input — they must
+// return errors. These property tests drive them with random buffers.
+
+func TestParseIPv4NeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _, _ = ParseIPv4(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseTCPNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _, _ = ParseTCP(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseICMPNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = ParseICMPEcho(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameAccessorsNeverPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		fr := &Frame{Buf: b}
+		_ = fr.EtherType()
+		_ = fr.SrcMAC()
+		_ = fr.DstMAC()
+		_ = fr.WireLen()
+		fr.SetSrcMAC(MAC{1, 2, 3, 4, 5, 6})
+		fr.SetDstMAC(MAC{6, 5, 4, 3, 2, 1})
+		_, _ = FlowOf(fr)
+		_ = fr.Clone()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecTTLNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		// DecTTL mutates; give it a private copy.
+		buf := make([]byte, len(b))
+		copy(buf, b)
+		_, _ = DecTTL(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIPNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = ParseIP(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseIPv4RejectsMutations: flipping any single byte of a valid header
+// either keeps a valid parse (payload/TTL fields...) or returns an error —
+// but a checksum-covered corruption is always caught.
+func TestParseIPv4RejectsHeaderCorruption(t *testing.T) {
+	base, _ := BuildUDP(UDPBuildOpts{
+		Src: IPv4(10, 1, 0, 1), Dst: IPv4(10, 2, 0, 1), WireSize: MinWireSize,
+	})
+	ip := base.Buf[EthHeaderLen:]
+	for i := 0; i < IPv4HeaderLen; i++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := make([]byte, len(ip))
+			copy(mut, ip)
+			mut[i] ^= bit
+			_, _, err := ParseIPv4(mut)
+			// Any header flip breaks the checksum (or the version/IHL
+			// invariants) — it must never parse cleanly.
+			if err == nil {
+				t.Errorf("byte %d bit %#x: corrupted header parsed cleanly", i, bit)
+			}
+		}
+	}
+}

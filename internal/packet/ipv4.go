@@ -1,0 +1,183 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the parsers.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrNotIPv4     = errors.New("packet: not an IPv4 packet")
+	ErrBadChecksum = errors.New("packet: bad IPv4 header checksum")
+	ErrBadVersion  = errors.New("packet: bad IP version")
+)
+
+// IPv4Header is the parsed form of an option-less IPv4 header.
+type IPv4Header struct {
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Proto    uint8
+	Src, Dst IP
+}
+
+// Checksum computes the RFC 1071 internet checksum over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// putIPv4Header serializes h into b (which must have room for 20 bytes) and
+// writes a correct header checksum.
+func putIPv4Header(b []byte, h IPv4Header) {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = 0    // DSCP/ECN
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], 0x4000) // DF, no fragments
+	b[8] = h.TTL
+	b[9] = h.Proto
+	b[10], b[11] = 0, 0 // checksum placeholder
+	binary.BigEndian.PutUint32(b[12:16], uint32(h.Src))
+	binary.BigEndian.PutUint32(b[16:20], uint32(h.Dst))
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:IPv4HeaderLen]))
+}
+
+// ParseIPv4 parses and validates the IPv4 header at the start of b, returning
+// the header and the payload slice.
+func ParseIPv4(b []byte) (IPv4Header, []byte, error) {
+	var h IPv4Header
+	if len(b) < IPv4HeaderLen {
+		return h, nil, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return h, nil, ErrBadVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return h, nil, ErrTruncated
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return h, nil, ErrBadChecksum
+	}
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	h.TTL = b[8]
+	h.Proto = b[9]
+	h.Src = IP(binary.BigEndian.Uint32(b[12:16]))
+	h.Dst = IP(binary.BigEndian.Uint32(b[16:20]))
+	if int(h.TotalLen) < ihl || int(h.TotalLen) > len(b) {
+		return h, nil, ErrTruncated
+	}
+	return h, b[ihl:h.TotalLen], nil
+}
+
+// DecTTL decrements the TTL of the IPv4 packet at the start of b in place and
+// incrementally updates the header checksum (RFC 1141). It reports whether
+// the packet is still forwardable (TTL > 0 after the decrement).
+func DecTTL(b []byte) (bool, error) {
+	if len(b) < IPv4HeaderLen {
+		return false, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return false, ErrBadVersion
+	}
+	if b[8] == 0 {
+		return false, nil
+	}
+	b[8]--
+	// Incremental checksum update: adding 0x0100 to the checksum
+	// compensates for subtracting 1 from the TTL byte (high byte of the
+	// TTL/protocol 16-bit word).
+	sum := uint32(binary.BigEndian.Uint16(b[10:12])) + 0x0100
+	sum = (sum & 0xffff) + (sum >> 16)
+	binary.BigEndian.PutUint16(b[10:12], uint16(sum))
+	return b[8] > 0, nil
+}
+
+// UDPBuildOpts describe a UDP-in-IPv4-in-Ethernet frame to build.
+type UDPBuildOpts struct {
+	SrcMAC, DstMAC   MAC
+	Src, Dst         IP
+	SrcPort, DstPort uint16
+	TTL              uint8
+	ID               uint16
+	// WireSize is the desired total wire occupancy (84..1538). The payload
+	// is padded with zeroes to reach it. If zero, PayloadLen is used.
+	WireSize int
+	// Payload is copied into the datagram; may be nil.
+	Payload []byte
+}
+
+// BuildUDP constructs a complete Ethernet+IPv4+UDP frame. When WireSize is
+// set, the frame is padded so that WireLen() == WireSize.
+func BuildUDP(o UDPBuildOpts) (*Frame, error) {
+	headers := EthHeaderLen + IPv4HeaderLen + UDPHeaderLen
+	payloadLen := len(o.Payload)
+	if o.WireSize > 0 {
+		if o.WireSize < MinWireSize || o.WireSize > MaxWireSize {
+			return nil, fmt.Errorf("packet: wire size %d outside [%d,%d]", o.WireSize, MinWireSize, MaxWireSize)
+		}
+		avail := o.WireSize - EthPreambleLen - EthFCSLen - headers
+		if avail < payloadLen {
+			return nil, fmt.Errorf("packet: payload %dB does not fit wire size %d", payloadLen, o.WireSize)
+		}
+		payloadLen = avail
+	}
+	if o.TTL == 0 {
+		o.TTL = 64
+	}
+	buf := make([]byte, headers+payloadLen)
+	copy(buf[0:6], o.DstMAC[:])
+	copy(buf[6:12], o.SrcMAC[:])
+	binary.BigEndian.PutUint16(buf[12:14], EtherTypeIPv4)
+	putIPv4Header(buf[EthHeaderLen:], IPv4Header{
+		TotalLen: uint16(IPv4HeaderLen + UDPHeaderLen + payloadLen),
+		ID:       o.ID,
+		TTL:      o.TTL,
+		Proto:    ProtoUDP,
+		Src:      o.Src,
+		Dst:      o.Dst,
+	})
+	udp := buf[EthHeaderLen+IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(udp[0:2], o.SrcPort)
+	binary.BigEndian.PutUint16(udp[2:4], o.DstPort)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(UDPHeaderLen+payloadLen))
+	binary.BigEndian.PutUint16(udp[6:8], 0) // checksum optional for IPv4
+	copy(udp[UDPHeaderLen:], o.Payload)
+	return &Frame{Buf: buf, Out: -1}, nil
+}
+
+// FlowOf extracts the transport 5-tuple of the frame, if it carries IPv4
+// TCP or UDP. ICMP and other protocols yield a port-less tuple so that a
+// flow-based balancer can still pin them consistently.
+func FlowOf(f *Frame) (FiveTuple, bool) {
+	var ft FiveTuple
+	if f.EtherType() != EtherTypeIPv4 {
+		return ft, false
+	}
+	h, payload, err := ParseIPv4(f.Buf[EthHeaderLen:])
+	if err != nil {
+		return ft, false
+	}
+	ft.Src, ft.Dst, ft.Proto = h.Src, h.Dst, h.Proto
+	switch h.Proto {
+	case ProtoTCP, ProtoUDP:
+		if len(payload) >= 4 {
+			ft.SrcPort = binary.BigEndian.Uint16(payload[0:2])
+			ft.DstPort = binary.BigEndian.Uint16(payload[2:4])
+		}
+	}
+	return ft, true
+}

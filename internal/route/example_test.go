@@ -1,0 +1,31 @@
+package route_test
+
+import (
+	"fmt"
+	"strings"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/route"
+)
+
+// A VR's routing state loads from a map file of static routes and answers
+// longest-prefix-match lookups.
+func ExampleLoadMapFile() {
+	tbl, err := route.LoadMapFile(strings.NewReader(`
+# department VR routes
+10.2.0.0/16  if1            # receiver subnet
+10.2.3.0/24  if2            # a more specific lab subnet
+0.0.0.0/0    if0 10.1.0.254 # default via the backbone
+`))
+	if err != nil {
+		panic(err)
+	}
+	for _, dst := range []string{"10.2.9.1", "10.2.3.4", "192.0.2.7"} {
+		e, _ := tbl.Lookup(packet.MustParseIP(dst))
+		fmt.Printf("%s -> if%d\n", dst, e.OutIf)
+	}
+	// Output:
+	// 10.2.9.1 -> if1
+	// 10.2.3.4 -> if2
+	// 192.0.2.7 -> if0
+}

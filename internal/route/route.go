@@ -1,0 +1,227 @@
+// Package route implements the static routing tables that VRIs interpret
+// (Section 3.7): a longest-prefix-match table mapping destination prefixes to
+// output interfaces and next hops, initialized from "map files" that carry a
+// VR's static routes.
+package route
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"lvrm/internal/packet"
+)
+
+// Entry is one route: destination prefix -> output interface (+ next hop).
+type Entry struct {
+	Prefix  packet.IP
+	Bits    int
+	OutIf   int
+	NextHop packet.IP // 0 means directly connected
+}
+
+// ErrNoRoute is returned by Lookup when no prefix covers the destination.
+var ErrNoRoute = errors.New("route: no route to host")
+
+// Table is a longest-prefix-match IPv4 routing table backed by a binary
+// trie. The zero value is an empty table ready for use.
+type Table struct {
+	root *node
+	n    int
+}
+
+type node struct {
+	child [2]*node
+	entry *Entry // non-nil if a route terminates here
+}
+
+// Len returns the number of routes in the table.
+func (t *Table) Len() int { return t.n }
+
+// Insert adds or replaces the route for prefix/bits.
+func (t *Table) Insert(prefix packet.IP, bits int, outIf int, nextHop packet.IP) error {
+	if bits < 0 || bits > 32 {
+		return fmt.Errorf("route: invalid prefix length %d", bits)
+	}
+	mask := prefixMask(bits)
+	e := &Entry{Prefix: prefix & packet.IP(mask), Bits: bits, OutIf: outIf, NextHop: nextHop}
+	if t.root == nil {
+		t.root = &node{}
+	}
+	cur := t.root
+	for i := 0; i < bits; i++ {
+		b := (uint32(e.Prefix) >> (31 - uint(i))) & 1
+		if cur.child[b] == nil {
+			cur.child[b] = &node{}
+		}
+		cur = cur.child[b]
+	}
+	if cur.entry == nil {
+		t.n++
+	}
+	cur.entry = e
+	return nil
+}
+
+// Delete removes the route for exactly prefix/bits, reporting whether it
+// existed. Dangling trie nodes are left in place (they are cheap and the
+// route churn of a virtual router is low); only the entry is cleared.
+func (t *Table) Delete(prefix packet.IP, bits int) bool {
+	if bits < 0 || bits > 32 || t.root == nil {
+		return false
+	}
+	mask := prefixMask(bits)
+	p := prefix & packet.IP(mask)
+	cur := t.root
+	for i := 0; i < bits; i++ {
+		b := (uint32(p) >> (31 - uint(i))) & 1
+		if cur.child[b] == nil {
+			return false
+		}
+		cur = cur.child[b]
+	}
+	if cur.entry == nil || cur.entry.Bits != bits {
+		return false
+	}
+	cur.entry = nil
+	t.n--
+	return true
+}
+
+// Lookup returns the longest-prefix-match route for dst.
+func (t *Table) Lookup(dst packet.IP) (Entry, error) {
+	var best *Entry
+	cur := t.root
+	for i := 0; cur != nil; i++ {
+		if cur.entry != nil {
+			best = cur.entry
+		}
+		if i == 32 {
+			break
+		}
+		b := (uint32(dst) >> (31 - uint(i))) & 1
+		cur = cur.child[b]
+	}
+	if best == nil {
+		return Entry{}, ErrNoRoute
+	}
+	return *best, nil
+}
+
+// Clone returns an independent deep copy of the table. Each VRI owns a
+// private copy of its VR's routing state (the paper's VRIs are separate
+// processes), so dynamic updates applied by one instance never race with
+// another instance's lookups.
+func (t *Table) Clone() *Table {
+	out := &Table{}
+	for _, e := range t.Entries() {
+		_ = out.Insert(e.Prefix, e.Bits, e.OutIf, e.NextHop)
+	}
+	return out
+}
+
+// Entries returns all routes in the table in trie order.
+func (t *Table) Entries() []Entry {
+	var out []Entry
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.entry != nil {
+			out = append(out, *n.entry)
+		}
+		walk(n.child[0])
+		walk(n.child[1])
+	}
+	walk(t.root)
+	return out
+}
+
+func prefixMask(bits int) uint32 {
+	if bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - uint(bits))
+}
+
+// ParseCIDR parses "a.b.c.d/len" into a prefix and length.
+func ParseCIDR(s string) (packet.IP, int, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return 0, 0, fmt.Errorf("route: missing '/' in CIDR %q", s)
+	}
+	ip, err := packet.ParseIP(s[:slash])
+	if err != nil {
+		return 0, 0, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return 0, 0, fmt.Errorf("route: invalid prefix length in %q", s)
+	}
+	return ip, bits, nil
+}
+
+// LoadMapFile reads a route map file into a fresh table. The format is the
+// paper's "map file" of static routes, one route per line:
+//
+//	# comment
+//	10.2.0.0/16  if1            # directly connected
+//	0.0.0.0/0    if0 10.1.0.254 # default via next hop
+//
+// Interface names must be "ifN"; the numeric suffix is the interface index.
+func LoadMapFile(r io.Reader) (*Table, error) {
+	t := &Table{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("route: line %d: want 'prefix ifN [nexthop]', got %q", lineNo, line)
+		}
+		prefix, bits, err := ParseCIDR(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("route: line %d: %v", lineNo, err)
+		}
+		outIf, err := parseIfName(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("route: line %d: %v", lineNo, err)
+		}
+		var nextHop packet.IP
+		if len(fields) == 3 {
+			nextHop, err = packet.ParseIP(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("route: line %d: %v", lineNo, err)
+			}
+		}
+		if err := t.Insert(prefix, bits, outIf, nextHop); err != nil {
+			return nil, fmt.Errorf("route: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseIfName(s string) (int, error) {
+	if !strings.HasPrefix(s, "if") {
+		return 0, fmt.Errorf("interface name %q must be of the form ifN", s)
+	}
+	n, err := strconv.Atoi(s[2:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("interface name %q must be of the form ifN", s)
+	}
+	return n, nil
+}

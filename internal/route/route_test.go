@@ -1,0 +1,212 @@
+package route
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lvrm/internal/packet"
+)
+
+func ip(s string) packet.IP { return packet.MustParseIP(s) }
+
+func TestInsertLookupLPM(t *testing.T) {
+	var tbl Table
+	if err := tbl.Insert(ip("0.0.0.0"), 0, 0, ip("10.1.0.254")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(ip("10.2.0.0"), 16, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(ip("10.2.3.0"), 24, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dst    string
+		wantIf int
+	}{
+		{"10.2.3.4", 2},  // most specific /24
+		{"10.2.9.1", 1},  // /16
+		{"192.0.2.1", 0}, // default
+	}
+	for _, c := range cases {
+		e, err := tbl.Lookup(ip(c.dst))
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", c.dst, err)
+		}
+		if e.OutIf != c.wantIf {
+			t.Errorf("Lookup(%s) -> if%d, want if%d", c.dst, e.OutIf, c.wantIf)
+		}
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestLookupNoRoute(t *testing.T) {
+	var tbl Table
+	if _, err := tbl.Lookup(ip("10.0.0.1")); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("empty table: %v", err)
+	}
+	tbl.Insert(ip("10.2.0.0"), 16, 1, 0)
+	if _, err := tbl.Lookup(ip("10.3.0.1")); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("uncovered dst: %v", err)
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	var tbl Table
+	tbl.Insert(ip("10.0.0.0"), 8, 1, 0)
+	tbl.Insert(ip("10.0.0.0"), 8, 5, 0)
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d after replace", tbl.Len())
+	}
+	e, _ := tbl.Lookup(ip("10.1.1.1"))
+	if e.OutIf != 5 {
+		t.Errorf("replaced route -> if%d", e.OutIf)
+	}
+}
+
+func TestInsertMasksHostBits(t *testing.T) {
+	var tbl Table
+	// Host bits beyond the prefix length must be ignored.
+	tbl.Insert(ip("10.2.3.4"), 16, 1, 0)
+	e, err := tbl.Lookup(ip("10.2.200.1"))
+	if err != nil || e.OutIf != 1 {
+		t.Errorf("Lookup after sloppy insert = (%+v, %v)", e, err)
+	}
+	if e.Prefix != ip("10.2.0.0") {
+		t.Errorf("stored prefix = %v", e.Prefix)
+	}
+}
+
+func TestInsertBadBits(t *testing.T) {
+	var tbl Table
+	if err := tbl.Insert(0, -1, 0, 0); err == nil {
+		t.Error("bits -1 accepted")
+	}
+	if err := tbl.Insert(0, 33, 0, 0); err == nil {
+		t.Error("bits 33 accepted")
+	}
+}
+
+func TestHostRoute(t *testing.T) {
+	var tbl Table
+	tbl.Insert(ip("10.2.3.4"), 32, 7, 0)
+	if e, err := tbl.Lookup(ip("10.2.3.4")); err != nil || e.OutIf != 7 {
+		t.Errorf("host route = (%+v, %v)", e, err)
+	}
+	if _, err := tbl.Lookup(ip("10.2.3.5")); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("adjacent host matched /32: %v", err)
+	}
+}
+
+// TestLPMProperty: for random destinations, the returned route is always the
+// one with the longest matching prefix among a brute-force scan.
+func TestLPMProperty(t *testing.T) {
+	var tbl Table
+	entries := []Entry{
+		{Prefix: ip("0.0.0.0"), Bits: 0, OutIf: 0},
+		{Prefix: ip("10.0.0.0"), Bits: 8, OutIf: 1},
+		{Prefix: ip("10.2.0.0"), Bits: 16, OutIf: 2},
+		{Prefix: ip("10.2.3.0"), Bits: 24, OutIf: 3},
+		{Prefix: ip("172.16.0.0"), Bits: 12, OutIf: 4},
+		{Prefix: ip("192.168.1.0"), Bits: 24, OutIf: 5},
+	}
+	for _, e := range entries {
+		tbl.Insert(e.Prefix, e.Bits, e.OutIf, 0)
+	}
+	match := func(dst packet.IP, e Entry) bool {
+		if e.Bits == 0 {
+			return true
+		}
+		mask := ^uint32(0) << (32 - uint(e.Bits))
+		return uint32(dst)&mask == uint32(e.Prefix)&mask
+	}
+	f := func(a, b, c, d byte) bool {
+		dst := packet.IPv4(a, b, c, d)
+		got, err := tbl.Lookup(dst)
+		if err != nil {
+			return false // default route always matches
+		}
+		bestBits, bestIf := -1, -1
+		for _, e := range entries {
+			if match(dst, e) && e.Bits > bestBits {
+				bestBits, bestIf = e.Bits, e.OutIf
+			}
+		}
+		return got.OutIf == bestIf && got.Bits == bestBits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseCIDR(t *testing.T) {
+	p, bits, err := ParseCIDR("10.2.0.0/16")
+	if err != nil || p != ip("10.2.0.0") || bits != 16 {
+		t.Errorf("ParseCIDR = (%v,%d,%v)", p, bits, err)
+	}
+	for _, bad := range []string{"10.2.0.0", "10.2.0.0/33", "10.2.0.0/x", "zz/8"} {
+		if _, _, err := ParseCIDR(bad); err == nil {
+			t.Errorf("ParseCIDR(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadMapFile(t *testing.T) {
+	src := `
+# VR1 static routes
+10.2.0.0/16  if1            # receiver subnet, directly connected
+10.1.0.0/16  if0
+0.0.0.0/0    if0 10.1.0.254 # default via gateway
+`
+	tbl, err := LoadMapFile(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	e, err := tbl.Lookup(ip("10.2.44.5"))
+	if err != nil || e.OutIf != 1 || e.NextHop != 0 {
+		t.Errorf("receiver route = (%+v,%v)", e, err)
+	}
+	e, _ = tbl.Lookup(ip("8.8.8.8"))
+	if e.OutIf != 0 || e.NextHop != ip("10.1.0.254") {
+		t.Errorf("default route = %+v", e)
+	}
+	if len(tbl.Entries()) != 3 {
+		t.Errorf("Entries len = %d", len(tbl.Entries()))
+	}
+}
+
+func TestLoadMapFileErrors(t *testing.T) {
+	bad := []string{
+		"10.2.0.0/16",               // missing interface
+		"10.2.0.0/16 eth1",          // bad interface name
+		"10.2.0.0/99 if1",           // bad prefix
+		"10.2.0.0/16 if1 badhop",    // bad next hop
+		"10.2.0.0/16 if1 1.2.3.4 x", // trailing junk
+		"10.2.0.0/16 if-1",          // negative interface
+	}
+	for _, line := range bad {
+		if _, err := LoadMapFile(strings.NewReader(line)); err == nil {
+			t.Errorf("LoadMapFile accepted %q", line)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	var tbl Table
+	tbl.Insert(ip("0.0.0.0"), 0, 0, 0)
+	for i := 0; i < 256; i++ {
+		tbl.Insert(packet.IPv4(10, byte(i), 0, 0), 16, i%4, 0)
+	}
+	dst := ip("10.128.3.4")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = tbl.Lookup(dst)
+	}
+}

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(30*time.Microsecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Microsecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Microsecond, func() { got = append(got, 2) })
+	n := e.Run(time.Second)
+	if n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run(time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New()
+	var at int64
+	e.Schedule(42*time.Microsecond, func() { at = e.Now() })
+	e.Run(time.Second)
+	if at != int64(42*time.Microsecond) {
+		t.Errorf("event saw clock %d", at)
+	}
+	if e.Now() != int64(time.Second) {
+		t.Errorf("clock = %d after Run, want horizon %d", e.Now(), int64(time.Second))
+	}
+	if e.NowDur() != time.Second {
+		t.Errorf("NowDur = %v", e.NowDur())
+	}
+}
+
+func TestRunHorizonStopsEarly(t *testing.T) {
+	e := New()
+	ran := false
+	e.Schedule(2*time.Second, func() { ran = true })
+	e.Run(time.Second)
+	if ran {
+		t.Error("event past the horizon executed")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	// A later Run picks it up.
+	e.Run(3 * time.Second)
+	if !ran {
+		t.Error("event not executed by later Run")
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := New()
+	e.Schedule(time.Millisecond, func() {
+		// Inside an event, scheduling with a negative delay must fire
+		// at the current instant, not in the past.
+		e.Schedule(-time.Hour, func() {
+			if e.Now() != int64(time.Millisecond) {
+				t.Errorf("negative delay fired at %d", e.Now())
+			}
+		})
+	})
+	e.Run(time.Second)
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New()
+	ran := false
+	tm := e.Schedule(time.Millisecond, func() { ran = true })
+	if !tm.Stop() {
+		t.Error("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Error("second Stop returned true")
+	}
+	e.Run(time.Second)
+	if ran {
+		t.Error("cancelled event executed")
+	}
+	var nilTimer *Timer
+	if nilTimer.Stop() {
+		t.Error("nil timer Stop returned true")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := New()
+	count := 0
+	tm := e.Every(0, 100*time.Millisecond, func() {
+		count++
+		if count == 5 {
+			// Stopping from inside the callback must halt the series.
+			_ = count
+		}
+	})
+	e.Schedule(450*time.Millisecond, func() { tm.Stop() })
+	e.Run(time.Second)
+	if count != 5 { // t = 0, 100, 200, 300, 400 ms
+		t.Errorf("Every fired %d times, want 5", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := New()
+	count := 0
+	e.Every(0, time.Millisecond, func() {
+		count++
+		if count == 3 {
+			e.Stop()
+		}
+	})
+	e.Run(time.Second)
+	if count != 3 {
+		t.Errorf("Stop did not halt the run: %d events", count)
+	}
+}
+
+func TestEventCascade(t *testing.T) {
+	// Events scheduling events: a chain of N hops lands at N*step.
+	e := New()
+	const hops = 1000
+	step := time.Microsecond
+	n := 0
+	var hop func()
+	hop = func() {
+		n++
+		if n < hops {
+			e.Schedule(step, hop)
+		}
+	}
+	e.Schedule(0, hop)
+	e.Run(time.Second)
+	if n != hops {
+		t.Fatalf("executed %d hops", n)
+	}
+	// Note Run advances to the horizon afterwards; the last hop fired at
+	// (hops-1)*step, which we can't observe anymore here — the cascade
+	// counting above is the real assertion.
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(8)
+	same := 0
+	a2 := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(42)
+	for i := 0; i < 10000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		if v := r.Exp(5); v < 0 {
+			t.Fatalf("Exp(5) = %v", v)
+		}
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestEveryPanicsOnNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) did not panic")
+		}
+	}()
+	New().Every(0, 0, func() {})
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(3)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(10)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.2 {
+		t.Errorf("Exp mean = %v, want ~10", mean)
+	}
+}
+
+func TestRandJitterBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		v := r.Jitter(100, 0.1)
+		return v >= 90 && v <= 110
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Nanosecond, func() {})
+	}
+	e.Run(time.Hour)
+}

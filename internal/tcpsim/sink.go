@@ -1,0 +1,146 @@
+package tcpsim
+
+import (
+	"fmt"
+
+	"lvrm/internal/packet"
+)
+
+// Sink is the receiver side of a connection: it consumes data segments,
+// reassembles in-order delivery (buffering out-of-order arrivals), and emits
+// cumulative ACKs with a live receive window — the flow control the paper
+// notes affects source rates in Experiment 4.
+type Sink struct {
+	SrcMAC, DstMAC packet.MAC // addresses for generated ACKs (receiver-side)
+	Src, Dst       packet.IP  // receiver IP, sender IP
+	SrcPort        uint16     // receiver port
+	DstPort        uint16     // sender port
+	// RcvBuf is the receive buffer in bytes; the advertised window is
+	// RcvBuf minus buffered out-of-order data (default DefaultRcvWnd).
+	RcvBuf int
+	// Emit transmits ACK frames back toward the sender (required).
+	Emit func(*packet.Frame)
+
+	rcvNxt    uint32
+	ooo       map[uint32]int // seq -> length of buffered out-of-order data
+	oooBytes  int
+	delivered int64
+	acksSent  int64
+	dups      int64
+}
+
+// NewSink builds a receiver for one connection.
+func NewSink(emit func(*packet.Frame)) (*Sink, error) {
+	if emit == nil {
+		return nil, fmt.Errorf("tcpsim: Sink requires Emit")
+	}
+	return &Sink{RcvBuf: DefaultRcvWnd, Emit: emit, ooo: make(map[uint32]int)}, nil
+}
+
+// Delivered returns the number of in-order bytes delivered to the "app".
+func (s *Sink) Delivered() int64 { return s.delivered }
+
+// AcksSent returns the number of ACK frames emitted.
+func (s *Sink) AcksSent() int64 { return s.acksSent }
+
+// DupSegments returns the count of already-delivered segments received.
+func (s *Sink) DupSegments() int64 { return s.dups }
+
+// Deliver consumes a data frame arriving at the receiver host.
+func (s *Sink) Deliver(f *packet.Frame) {
+	h, payload, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:])
+	if err != nil || h.Proto != packet.ProtoTCP {
+		return
+	}
+	th, seg, err := packet.ParseTCP(payload)
+	if err != nil || len(seg) == 0 {
+		return
+	}
+	seq, n := th.Seq, len(seg)
+	switch {
+	case seq == s.rcvNxt:
+		s.rcvNxt += uint32(n)
+		s.delivered += int64(n)
+		// Drain any buffered segments that are now in order.
+		for {
+			ln, ok := s.ooo[s.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(s.ooo, s.rcvNxt)
+			s.oooBytes -= ln
+			s.rcvNxt += uint32(ln)
+			s.delivered += int64(ln)
+		}
+	case seq > s.rcvNxt:
+		// Out of order: buffer if it fits the receive buffer.
+		if _, dup := s.ooo[seq]; !dup && s.oooBytes+n <= s.RcvBuf {
+			s.ooo[seq] = n
+			s.oooBytes += n
+		}
+	default:
+		s.dups++ // retransmission of already-delivered data
+	}
+	s.sendAck()
+}
+
+// sendAck emits a cumulative ACK advertising the remaining buffer.
+func (s *Sink) sendAck() {
+	wnd := s.RcvBuf - s.oooBytes
+	if wnd < 0 {
+		wnd = 0
+	}
+	f, err := packet.BuildTCP(packet.TCPBuildOpts{
+		SrcMAC: s.SrcMAC, DstMAC: s.DstMAC,
+		Src: s.Src, Dst: s.Dst,
+		Hdr: packet.TCPHeader{
+			SrcPort: s.SrcPort, DstPort: s.DstPort,
+			Ack: s.rcvNxt, Flags: packet.TCPAck, Window: scaleWindow(wnd),
+		},
+	})
+	if err != nil {
+		return
+	}
+	s.acksSent++
+	s.Emit(f)
+}
+
+// Demux routes frames arriving at a host to per-connection endpoints by the
+// frame's transport 5-tuple.
+type Demux struct {
+	endpoints map[packet.FiveTuple]Endpoint
+	misses    int64
+}
+
+// NewDemux returns an empty demultiplexer.
+func NewDemux() *Demux {
+	return &Demux{endpoints: make(map[packet.FiveTuple]Endpoint)}
+}
+
+// Register binds an endpoint to an exact arriving 5-tuple.
+func (d *Demux) Register(ft packet.FiveTuple, ep Endpoint) {
+	d.endpoints[ft] = ep
+}
+
+// Deliver routes a frame; unmatched frames are counted and dropped.
+func (d *Demux) Deliver(f *packet.Frame) {
+	ft, ok := packet.FlowOf(f)
+	if !ok {
+		d.misses++
+		return
+	}
+	if ep, ok := d.endpoints[ft]; ok {
+		ep.Deliver(f)
+		return
+	}
+	d.misses++
+}
+
+// Misses returns the number of frames with no registered endpoint.
+func (d *Demux) Misses() int64 { return d.misses }
+
+var (
+	_ Endpoint = (*Conn)(nil)
+	_ Endpoint = (*Sink)(nil)
+	_ Endpoint = (*Demux)(nil)
+)

@@ -1,0 +1,378 @@
+// Package tcpsim is a packet-level TCP Reno simulator: slow start,
+// congestion avoidance, fast retransmit/recovery, retransmission timeout
+// with exponential backoff, and receiver flow control. It generates and
+// consumes real TCP-in-IPv4-in-Ethernet frames (internal/packet), so the
+// frames traverse LVRM's data path like any other traffic.
+//
+// It stands in for the paper's "realistic FTP/TCP servers and clients"
+// (Section 4.1): Experiments 3c and 4 need TCP's closed-loop dynamics —
+// congestion crests just below the link rate, fairness across competing
+// flows, sensitivity of flow-based balancing to flow-size variance — and
+// Reno over the simulated testbed links produces exactly those.
+package tcpsim
+
+import (
+	"fmt"
+	"time"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/sim"
+)
+
+// Endpoint consumes frames delivered to a host; the testbed demultiplexes
+// arriving frames to endpoints by 5-tuple.
+type Endpoint interface {
+	Deliver(f *packet.Frame)
+}
+
+// DefaultMSS is the maximum segment payload: 1460 bytes yields standard
+// 1538-byte wire frames (Ethernet MTU 1500).
+const DefaultMSS = 1460
+
+// WindowShift is the RFC 1323 window-scale factor both ends are assumed to
+// have negotiated: the 16-bit window field carries window >> WindowShift,
+// letting a single flow keep more than 64 KB in flight and fill a 1 Gbps
+// path, as the paper's Linux stacks did.
+const WindowShift = 3
+
+// DefaultRcvWnd is the default receive window/buffer (256 KB, within what
+// 2011 Linux autotuning granted bulk transfers).
+const DefaultRcvWnd = 1 << 18
+
+// ConnConfig describes one TCP sender (the half-connection that transfers
+// data; the reverse direction carries only ACKs).
+type ConnConfig struct {
+	SrcMAC, DstMAC   packet.MAC
+	Src, Dst         packet.IP
+	SrcPort, DstPort uint16
+	// MSS is the segment payload size (default DefaultMSS).
+	MSS int
+	// FileBytes is the transfer size; 0 means unbounded (send forever),
+	// modeling the paper's "getting some large files".
+	FileBytes int64
+	// RcvWnd is the peer's initial advertised receive window in bytes
+	// (default DefaultRcvWnd). The live window from incoming ACKs
+	// overrides it.
+	RcvWnd int
+	// InitialCwnd is the initial congestion window in segments (default 2).
+	InitialCwnd float64
+	// MinRTO bounds the retransmission timer (default 10 ms — scaled for
+	// the testbed's sub-millisecond RTTs; real stacks use 200 ms+).
+	MinRTO time.Duration
+	// MaxRTO caps the exponential backoff (default 16×MinRTO), so an
+	// unlucky flow re-probes within a bounded time instead of idling out
+	// the rest of a trial.
+	MaxRTO time.Duration
+	// Emit transmits a frame into the network (required).
+	Emit func(*packet.Frame)
+	// OnComplete, if set, fires when FileBytes are acknowledged.
+	OnComplete func()
+}
+
+// Conn is the sender side of a Reno connection.
+type Conn struct {
+	cfg ConnConfig
+	eng *sim.Engine
+
+	// Reno state. cwnd/ssthresh are in segments; sequence space in bytes.
+	cwnd     float64
+	ssthresh float64
+	sndUna   uint32
+	sndNxt   uint32
+	dupAcks  int
+	// recover marks the highest sequence outstanding when fast recovery
+	// began; recovery ends when it is cumulatively acknowledged.
+	recover    uint32
+	inRecovery bool
+
+	peerWnd int // latest advertised window from ACKs
+
+	// RTT estimation (RFC 6298) and the Karn rule.
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	rtoTimer     *sim.Timer
+	sampleSeq    uint32 // sequence whose ACK yields the next RTT sample
+	sampleAt     int64
+	sampleValid  bool
+
+	maxSent     uint32 // highest sequence ever transmitted (retransmit detection)
+	started     bool
+	done        bool
+	retransmits int64
+	sent        int64 // data segments transmitted (incl. retransmits)
+	acked       int64 // bytes cumulatively acknowledged
+}
+
+// NewConn builds a sender. Start must be called to begin transmitting.
+func NewConn(cfg ConnConfig) (*Conn, error) {
+	if cfg.Emit == nil {
+		return nil, fmt.Errorf("tcpsim: ConnConfig.Emit is required")
+	}
+	if cfg.MSS <= 0 {
+		cfg.MSS = DefaultMSS
+	}
+	if cfg.RcvWnd <= 0 {
+		cfg.RcvWnd = DefaultRcvWnd
+	}
+	if cfg.InitialCwnd <= 0 {
+		cfg.InitialCwnd = 2
+	}
+	if cfg.MinRTO <= 0 {
+		cfg.MinRTO = 10 * time.Millisecond
+	}
+	if cfg.MaxRTO <= 0 {
+		cfg.MaxRTO = 16 * cfg.MinRTO
+	}
+	return &Conn{
+		cfg:      cfg,
+		cwnd:     cfg.InitialCwnd,
+		ssthresh: 64, // effectively "slow start until first loss"
+		peerWnd:  cfg.RcvWnd,
+		rto:      cfg.MinRTO,
+	}, nil
+}
+
+// Start begins the transfer on the engine.
+func (c *Conn) Start(eng *sim.Engine) {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.eng = eng
+	c.trySend()
+}
+
+// Done reports whether the whole file has been acknowledged.
+func (c *Conn) Done() bool { return c.done }
+
+// Stats returns segment counters.
+func (c *Conn) Stats() (sent, retransmits, ackedBytes int64) {
+	return c.sent, c.retransmits, c.acked
+}
+
+// Cwnd returns the congestion window in segments (for tests/inspection).
+func (c *Conn) Cwnd() float64 { return c.cwnd }
+
+// flight returns the outstanding bytes.
+func (c *Conn) flight() int { return int(c.sndNxt - c.sndUna) }
+
+// window returns the current usable window in bytes.
+func (c *Conn) window() int {
+	w := int(c.cwnd * float64(c.cfg.MSS))
+	if c.peerWnd < w {
+		w = c.peerWnd
+	}
+	return w
+}
+
+// remaining returns the bytes not yet transmitted (vs. the file size).
+func (c *Conn) remaining() int64 {
+	if c.cfg.FileBytes <= 0 {
+		return 1 << 60
+	}
+	return c.cfg.FileBytes - int64(c.sndNxt)
+}
+
+// trySend transmits as many new segments as the window allows.
+func (c *Conn) trySend() {
+	if c.done {
+		return
+	}
+	for c.flight() < c.window() && c.remaining() > 0 {
+		n := c.cfg.MSS
+		if int64(n) > c.remaining() {
+			n = int(c.remaining())
+		}
+		if c.flight()+n > c.window() && c.flight() > 0 {
+			break // window has no room for a full segment
+		}
+		c.transmit(c.sndNxt, n, c.sndNxt < c.maxSent)
+		c.sndNxt += uint32(n)
+		if c.sndNxt > c.maxSent {
+			c.maxSent = c.sndNxt
+		}
+	}
+	c.armRTO()
+}
+
+// transmit emits one segment with the given sequence.
+func (c *Conn) transmit(seq uint32, n int, isRetransmit bool) {
+	f, err := packet.BuildTCP(packet.TCPBuildOpts{
+		SrcMAC: c.cfg.SrcMAC, DstMAC: c.cfg.DstMAC,
+		Src: c.cfg.Src, Dst: c.cfg.Dst,
+		Hdr: packet.TCPHeader{
+			SrcPort: c.cfg.SrcPort, DstPort: c.cfg.DstPort,
+			Seq: seq, Flags: packet.TCPAck, Window: scaleWindow(c.cfg.RcvWnd),
+		},
+		PayloadLen: n,
+	})
+	if err != nil {
+		return
+	}
+	c.sent++
+	if isRetransmit {
+		c.retransmits++
+		c.sampleValid = false // Karn: never sample a retransmitted segment
+	} else if !c.sampleValid {
+		c.sampleSeq = seq + uint32(n)
+		c.sampleAt = c.eng.Now()
+		c.sampleValid = true
+	}
+	c.cfg.Emit(f)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// scaleWindow encodes a byte window into the scaled 16-bit field.
+func scaleWindow(w int) uint16 {
+	w >>= WindowShift
+	if w > 65535 {
+		w = 65535
+	}
+	return uint16(w)
+}
+
+// Deliver consumes a frame arriving back at the sender host (ACKs).
+func (c *Conn) Deliver(f *packet.Frame) {
+	if c.done {
+		return
+	}
+	h, payload, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:])
+	if err != nil || h.Proto != packet.ProtoTCP {
+		return
+	}
+	th, _, err := packet.ParseTCP(payload)
+	if err != nil || th.Flags&packet.TCPAck == 0 {
+		return
+	}
+	c.peerWnd = int(th.Window) << WindowShift
+	ack := th.Ack
+	switch {
+	case ack > c.sndUna:
+		c.onNewAck(ack)
+	case ack == c.sndUna && c.flight() > 0:
+		c.onDupAck()
+	}
+	c.trySend()
+}
+
+func (c *Conn) onNewAck(ack uint32) {
+	ackedBytes := int(ack - c.sndUna)
+	c.sndUna = ack
+	c.acked += int64(ackedBytes)
+	c.dupAcks = 0
+
+	// RTT sample (Karn-filtered).
+	if c.sampleValid && ack >= c.sampleSeq {
+		c.updateRTT(time.Duration(c.eng.Now() - c.sampleAt))
+		c.sampleValid = false
+	}
+
+	if c.inRecovery {
+		if ack >= c.recover {
+			// Full ACK: leave fast recovery, deflate.
+			c.inRecovery = false
+			c.cwnd = c.ssthresh
+		} else {
+			// Partial ACK (NewReno-flavoured): retransmit the next hole.
+			c.transmit(c.sndUna, minInt(c.cfg.MSS, int(c.sndNxt-c.sndUna)), true)
+		}
+	} else {
+		segs := float64(ackedBytes) / float64(c.cfg.MSS)
+		if c.cwnd < c.ssthresh {
+			c.cwnd += segs // slow start
+		} else {
+			c.cwnd += segs / c.cwnd // congestion avoidance (≈ +1 per RTT)
+		}
+	}
+
+	if c.cfg.FileBytes > 0 && int64(c.sndUna) >= c.cfg.FileBytes {
+		c.done = true
+		c.stopRTO()
+		if c.cfg.OnComplete != nil {
+			c.cfg.OnComplete()
+		}
+		return
+	}
+	c.armRTO()
+}
+
+func (c *Conn) onDupAck() {
+	c.dupAcks++
+	switch {
+	case c.dupAcks == 3 && !c.inRecovery:
+		// Fast retransmit + fast recovery.
+		c.ssthresh = maxFloat(float64(c.flight())/float64(c.cfg.MSS)/2, 2)
+		c.cwnd = c.ssthresh + 3
+		c.inRecovery = true
+		c.recover = c.sndNxt
+		c.transmit(c.sndUna, minInt(c.cfg.MSS, int(c.sndNxt-c.sndUna)), true)
+	case c.inRecovery:
+		c.cwnd++ // window inflation per additional dup ACK
+	}
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (c *Conn) updateRTT(rtt time.Duration) {
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+	} else {
+		delta := c.srtt - rtt
+		if delta < 0 {
+			delta = -delta
+		}
+		c.rttvar = (3*c.rttvar + delta) / 4
+		c.srtt = (7*c.srtt + rtt) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < c.cfg.MinRTO {
+		c.rto = c.cfg.MinRTO
+	}
+}
+
+// SRTT returns the smoothed RTT estimate.
+func (c *Conn) SRTT() time.Duration { return c.srtt }
+
+func (c *Conn) armRTO() {
+	c.stopRTO()
+	if c.flight() == 0 || c.done {
+		return
+	}
+	c.rtoTimer = c.eng.Schedule(c.rto, c.onRTO)
+}
+
+func (c *Conn) stopRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+		c.rtoTimer = nil
+	}
+}
+
+func (c *Conn) onRTO() {
+	if c.done || c.flight() == 0 {
+		return
+	}
+	// Timeout: multiplicative backoff, collapse to one segment, go-back-N.
+	c.ssthresh = maxFloat(float64(c.flight())/float64(c.cfg.MSS)/2, 2)
+	c.cwnd = 1
+	c.dupAcks = 0
+	c.inRecovery = false
+	c.sndNxt = c.sndUna
+	c.rto *= 2
+	if c.rto > c.cfg.MaxRTO {
+		c.rto = c.cfg.MaxRTO
+	}
+	c.trySend()
+}

@@ -1,0 +1,319 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"lvrm/internal/metrics"
+	"lvrm/internal/packet"
+	"lvrm/internal/sim"
+)
+
+// testLink is a rate-limited droptail pipe used to connect Conn and Sink in
+// tests: serialization at rate bps, fixed propagation, bounded queue.
+type testLink struct {
+	eng       *sim.Engine
+	bps       float64
+	prop      time.Duration
+	queueMax  int
+	busyUntil int64
+	queued    int
+	drops     int64
+	deliver   func(*packet.Frame)
+}
+
+func (l *testLink) send(f *packet.Frame) {
+	if l.queueMax > 0 && l.queued >= l.queueMax {
+		l.drops++
+		return
+	}
+	wire := f.WireLen()
+	if wire < packet.MinWireSize {
+		wire = packet.MinWireSize
+	}
+	ser := time.Duration(float64(wire*8) / l.bps * 1e9)
+	start := l.eng.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	l.busyUntil = start + int64(ser)
+	l.queued++
+	depart := l.busyUntil
+	l.eng.ScheduleAt(depart, func() { l.queued-- })
+	l.eng.ScheduleAt(depart+int64(l.prop), func() { l.deliver(f) })
+}
+
+// pipe wires a sender and receiver through forward/reverse links.
+type pipe struct {
+	eng      *sim.Engine
+	fwd, rev *testLink
+	conn     *Conn
+	sink     *Sink
+}
+
+func newPipe(t *testing.T, fileBytes int64, queueMax int, bps float64) *pipe {
+	t.Helper()
+	eng := sim.New()
+	p := &pipe{eng: eng}
+	p.fwd = &testLink{eng: eng, bps: bps, prop: 20 * time.Microsecond, queueMax: queueMax}
+	p.rev = &testLink{eng: eng, bps: bps, prop: 20 * time.Microsecond, queueMax: 0}
+	sink, err := NewSink(func(f *packet.Frame) { p.rev.send(f) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Src = packet.IPv4(10, 2, 0, 1)
+	sink.Dst = packet.IPv4(10, 1, 0, 1)
+	sink.SrcPort, sink.DstPort = 21, 5000
+	p.sink = sink
+	conn, err := NewConn(ConnConfig{
+		Src: packet.IPv4(10, 1, 0, 1), Dst: packet.IPv4(10, 2, 0, 1),
+		SrcPort: 5000, DstPort: 21,
+		FileBytes: fileBytes,
+		Emit:      func(f *packet.Frame) { p.fwd.send(f) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.conn = conn
+	p.fwd.deliver = sink.Deliver
+	p.rev.deliver = conn.Deliver
+	return p
+}
+
+func TestLosslessTransferCompletes(t *testing.T) {
+	const file = 500 * 1024
+	p := newPipe(t, file, 0, 1e9) // unbounded queue: no loss
+	p.conn.Start(p.eng)
+	p.eng.Run(5 * time.Second)
+	if !p.conn.Done() {
+		t.Fatal("transfer did not complete")
+	}
+	if p.sink.Delivered() != file {
+		t.Errorf("delivered %d bytes, want %d", p.sink.Delivered(), file)
+	}
+	_, retr, acked := p.conn.Stats()
+	if retr != 0 {
+		t.Errorf("retransmits = %d on a lossless path", retr)
+	}
+	if acked != file {
+		t.Errorf("acked = %d", acked)
+	}
+	if p.conn.SRTT() <= 0 {
+		t.Error("no RTT samples taken")
+	}
+}
+
+func TestSlowStartGrowsWindow(t *testing.T) {
+	p := newPipe(t, 0, 0, 1e9)
+	start := p.conn.Cwnd()
+	p.conn.Start(p.eng)
+	p.eng.Run(20 * time.Millisecond)
+	if p.conn.Cwnd() < start*4 {
+		t.Errorf("cwnd %v barely grew from %v during slow start", p.conn.Cwnd(), start)
+	}
+}
+
+func TestCongestionRecoversViaFastRetransmit(t *testing.T) {
+	const file = 2 * 1024 * 1024
+	p := newPipe(t, file, 32, 1e9) // droptail queue forces Reno losses
+	p.conn.Start(p.eng)
+	p.eng.Run(10 * time.Second)
+	if !p.conn.Done() {
+		t.Fatalf("transfer stuck: acked %d of %d", func() int64 { _, _, a := p.conn.Stats(); return a }(), int64(file))
+	}
+	if p.sink.Delivered() != file {
+		t.Errorf("delivered %d", p.sink.Delivered())
+	}
+	_, retr, _ := p.conn.Stats()
+	if retr == 0 {
+		t.Error("droptail path produced no retransmits")
+	}
+	if p.fwd.drops == 0 {
+		t.Error("droptail queue never dropped")
+	}
+}
+
+func TestThroughputTracksBottleneck(t *testing.T) {
+	// 100 Mbps bottleneck: a 1 MB transfer should take ≈ 84 ms (1 MB
+	// becomes ~719 full segments of 1538 wire bytes).
+	const file = 1 << 20
+	p := newPipe(t, file, 64, 100e6)
+	doneAt := time.Duration(0)
+	p.conn.cfg.OnComplete = func() { doneAt = p.eng.NowDur() }
+	p.conn.Start(p.eng)
+	p.eng.Run(10 * time.Second)
+	if !p.conn.Done() {
+		t.Fatal("transfer did not complete")
+	}
+	goodput := float64(file*8) / doneAt.Seconds()
+	if goodput > 100e6 {
+		t.Errorf("goodput %v exceeds the bottleneck", metrics.FormatBits(goodput))
+	}
+	if goodput < 50e6 {
+		t.Errorf("goodput %v is far below the 100 Mbps bottleneck", metrics.FormatBits(goodput))
+	}
+}
+
+func TestRTORecoversFromTotalLossEpisode(t *testing.T) {
+	const file = 1 << 20
+	p := newPipe(t, file, 0, 1e9)
+	// Black-hole the forward link almost immediately, for long enough that
+	// only the retransmission timer (not dup ACKs) can recover.
+	orig := p.fwd.deliver
+	p.fwd.deliver = func(f *packet.Frame) {
+		now := p.eng.NowDur()
+		if now > 100*time.Microsecond && now < 15*time.Millisecond {
+			return // lost
+		}
+		orig(f)
+	}
+	p.conn.Start(p.eng)
+	p.eng.Run(10 * time.Second)
+	if !p.conn.Done() {
+		t.Fatal("transfer did not recover from the loss episode")
+	}
+	_, retr, _ := p.conn.Stats()
+	if retr == 0 {
+		t.Error("no retransmissions despite a black-hole episode")
+	}
+	if p.sink.Delivered() != file {
+		t.Errorf("delivered %d", p.sink.Delivered())
+	}
+}
+
+func TestFlowControlLimitsFlight(t *testing.T) {
+	p := newPipe(t, 0, 0, 1e9)
+	p.sink.RcvBuf = 4 * DefaultMSS
+	// Force the first ACK to advertise the small buffer: deliver one
+	// segment by hand before starting.
+	p.conn.Start(p.eng)
+	p.eng.Run(50 * time.Millisecond)
+	// With a 4-segment advertised window, flight can never exceed it.
+	if got := p.conn.flight(); got > 4*DefaultMSS {
+		t.Errorf("flight = %d bytes exceeds the 4-MSS advertised window", got)
+	}
+	if p.conn.Cwnd() < 8 {
+		t.Errorf("cwnd %v should have grown past the flow-control limit", p.conn.Cwnd())
+	}
+}
+
+func TestOutOfOrderReassembly(t *testing.T) {
+	eng := sim.New()
+	var acks []*packet.Frame
+	sink, _ := NewSink(func(f *packet.Frame) { acks = append(acks, f) })
+	seg := func(seq uint32, n int) *packet.Frame {
+		f, _ := packet.BuildTCP(packet.TCPBuildOpts{
+			Src: packet.IPv4(1, 1, 1, 1), Dst: packet.IPv4(2, 2, 2, 2),
+			Hdr:        packet.TCPHeader{SrcPort: 1, DstPort: 2, Seq: seq, Flags: packet.TCPAck},
+			PayloadLen: n,
+		})
+		return f
+	}
+	_ = eng
+	// Deliver 1000..1999 before 0..999: buffered, dup-ack, then drained.
+	sink.Deliver(seg(1000, 1000))
+	if sink.Delivered() != 0 {
+		t.Fatalf("out-of-order data delivered early: %d", sink.Delivered())
+	}
+	sink.Deliver(seg(0, 1000))
+	if sink.Delivered() != 2000 {
+		t.Fatalf("delivered = %d after gap fill, want 2000", sink.Delivered())
+	}
+	// Duplicate of old data counts as dup, still ACKs.
+	sink.Deliver(seg(0, 1000))
+	if sink.DupSegments() != 1 {
+		t.Errorf("DupSegments = %d", sink.DupSegments())
+	}
+	if sink.AcksSent() != 3 {
+		t.Errorf("AcksSent = %d", sink.AcksSent())
+	}
+	// The final cumulative ACK must acknowledge 2000.
+	last := acks[len(acks)-1]
+	_, payload, _ := packet.ParseIPv4(last.Buf[packet.EthHeaderLen:])
+	th, _, _ := packet.ParseTCP(payload)
+	if th.Ack != 2000 {
+		t.Errorf("last ACK = %d", th.Ack)
+	}
+}
+
+func TestTwoFlowsShareBottleneckFairly(t *testing.T) {
+	eng := sim.New()
+	bottleneck := &testLink{eng: eng, bps: 200e6, prop: 20 * time.Microsecond, queueMax: 64}
+	demuxRx := NewDemux()
+	bottleneck.deliver = demuxRx.Deliver
+
+	var conns []*Conn
+	var sinks []*Sink
+	for i := 0; i < 2; i++ {
+		i := i
+		rev := &testLink{eng: eng, bps: 1e9, prop: 20 * time.Microsecond}
+		sink, _ := NewSink(func(f *packet.Frame) { rev.send(f) })
+		sink.Src = packet.IPv4(10, 2, 0, byte(i+1))
+		sink.Dst = packet.IPv4(10, 1, 0, byte(i+1))
+		sink.SrcPort, sink.DstPort = 21, uint16(5000+i)
+		conn, _ := NewConn(ConnConfig{
+			Src: packet.IPv4(10, 1, 0, byte(i+1)), Dst: packet.IPv4(10, 2, 0, byte(i+1)),
+			SrcPort: uint16(5000 + i), DstPort: 21,
+			Emit: func(f *packet.Frame) { bottleneck.send(f) },
+		})
+		rev.deliver = conn.Deliver
+		// Register the data direction tuple at the shared bottleneck exit.
+		demuxRx.Register(packet.FiveTuple{
+			Src: conn.cfg.Src, Dst: conn.cfg.Dst,
+			SrcPort: conn.cfg.SrcPort, DstPort: conn.cfg.DstPort, Proto: packet.ProtoTCP,
+		}, sink)
+		conns = append(conns, conn)
+		sinks = append(sinks, sink)
+	}
+	for _, c := range conns {
+		c.Start(eng)
+	}
+	eng.Run(3 * time.Second)
+	shares := []float64{float64(sinks[0].Delivered()), float64(sinks[1].Delivered())}
+	if shares[0] == 0 || shares[1] == 0 {
+		t.Fatalf("a flow starved: %v", shares)
+	}
+	if j := metrics.JainIndex(shares); j < 0.9 {
+		t.Errorf("Jain index = %v, want > 0.9", j)
+	}
+	total := (shares[0] + shares[1]) * 8 / 3
+	if total < 100e6 || total > 200e6 {
+		t.Errorf("aggregate goodput %v implausible for a 200 Mbps bottleneck", metrics.FormatBits(total))
+	}
+	if demuxRx.Misses() != 0 {
+		t.Errorf("demux misses = %d", demuxRx.Misses())
+	}
+}
+
+func TestDemuxMisses(t *testing.T) {
+	d := NewDemux()
+	udp, _ := packet.BuildUDP(packet.UDPBuildOpts{WireSize: packet.MinWireSize})
+	d.Deliver(udp)
+	d.Deliver(&packet.Frame{Buf: make([]byte, 10)})
+	if d.Misses() != 2 {
+		t.Errorf("Misses = %d", d.Misses())
+	}
+}
+
+func TestConnValidation(t *testing.T) {
+	if _, err := NewConn(ConnConfig{}); err == nil {
+		t.Error("Conn without Emit accepted")
+	}
+	if _, err := NewSink(nil); err == nil {
+		t.Error("Sink without Emit accepted")
+	}
+}
+
+func TestConnDefaults(t *testing.T) {
+	c, err := NewConn(ConnConfig{Emit: func(*packet.Frame) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.MSS != DefaultMSS || c.cfg.RcvWnd != DefaultRcvWnd || c.cfg.InitialCwnd != 2 {
+		t.Errorf("defaults = %+v", c.cfg)
+	}
+	// Start is idempotent.
+	eng := sim.New()
+	c.Start(eng)
+	c.Start(eng)
+}

@@ -1,0 +1,121 @@
+// Package testbed reproduces the paper's experimental environment
+// (Figure 4.1) in discrete-event simulation: sender hosts S1/S2 and
+// receiver hosts R1/R2 on two sub-networks joined by 1-Gigabit links
+// through a gateway — the machine under test — which forwards frames
+// using one of the paper's mechanisms: native kernel IP forwarding, a
+// general-purpose hypervisor (VMware-Server-like or QEMU-KVM-like), or
+// LVRM itself. The package also provides the measurement harness: the
+// §4.1 achievable-throughput search, round-trip latency collection, and
+// per-core CPU accounting in the same us/sy/si split that `top` reports.
+package testbed
+
+import (
+	"time"
+
+	"lvrm/internal/sim"
+)
+
+// CPUAccount classifies where CPU time is charged, mirroring top's columns
+// in Figure 4.3.
+type CPUAccount int
+
+const (
+	// User is time in user-space code (LVRM's loops, VRI processing).
+	User CPUAccount = iota
+	// System is time in kernel system calls (raw socket send/recv).
+	System
+	// SoftIRQ is interrupt-servicing time (NIC rx/tx processing).
+	SoftIRQ
+	numAccounts
+)
+
+// String returns top's abbreviation for the account.
+func (a CPUAccount) String() string {
+	switch a {
+	case User:
+		return "us"
+	case System:
+		return "sy"
+	case SoftIRQ:
+		return "si"
+	default:
+		return "??"
+	}
+}
+
+// CoreServer serializes work on one CPU core: tasks submitted with Exec run
+// FIFO, each occupying the core for its cost. Busy time is charged to CPU
+// accounts for the usage figures.
+type CoreServer struct {
+	eng       *sim.Engine
+	ID        int
+	busyUntil int64
+	busy      [numAccounts]time.Duration
+	tasks     int64
+}
+
+// NewCoreServer returns an idle core bound to the engine.
+func NewCoreServer(eng *sim.Engine, id int) *CoreServer {
+	return &CoreServer{eng: eng, ID: id}
+}
+
+// Exec queues a task costing cost on the core and schedules fn at its
+// completion time. fn may be nil (pure occupancy, e.g. allocation work).
+func (c *CoreServer) Exec(cost time.Duration, acct CPUAccount, fn func()) {
+	var split [numAccounts]float64
+	split[acct] = 1
+	c.ExecSplit(cost, split, fn)
+}
+
+// ExecSplit is Exec with the cost divided across accounts by fractions
+// (used by mechanisms whose per-frame work spans user/system/softirq time).
+func (c *CoreServer) ExecSplit(cost time.Duration, split [3]float64, fn func()) {
+	start := c.eng.Now()
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	c.busyUntil = start + int64(cost)
+	for acct, frac := range split {
+		if frac > 0 {
+			c.busy[acct] += time.Duration(float64(cost) * frac)
+		}
+	}
+	c.tasks++
+	if fn == nil {
+		return
+	}
+	c.eng.ScheduleAt(c.busyUntil, fn)
+}
+
+// QueueDelay returns how long a task submitted now would wait before
+// starting.
+func (c *CoreServer) QueueDelay() time.Duration {
+	d := c.busyUntil - c.eng.Now()
+	if d < 0 {
+		return 0
+	}
+	return time.Duration(d)
+}
+
+// BusyTime returns the accumulated busy time for one account.
+func (c *CoreServer) BusyTime(acct CPUAccount) time.Duration { return c.busy[acct] }
+
+// TotalBusy returns the core's total busy time across accounts.
+func (c *CoreServer) TotalBusy() time.Duration {
+	var t time.Duration
+	for _, b := range c.busy {
+		t += b
+	}
+	return t
+}
+
+// Utilization returns the fraction of elapsed spent in the account.
+func (c *CoreServer) Utilization(acct CPUAccount, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.busy[acct]) / float64(elapsed)
+}
+
+// Tasks returns the number of tasks executed.
+func (c *CoreServer) Tasks() int64 { return c.tasks }

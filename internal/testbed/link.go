@@ -1,0 +1,70 @@
+package testbed
+
+import (
+	"time"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/sim"
+)
+
+// Link is one direction of a network link: frames serialize at Rate bits
+// per second, wait in a bounded droptail queue when the wire is busy, and
+// arrive Prop later at the far end. The droptail queue is what TCP's
+// congestion control probes in Experiments 3c and 4.
+type Link struct {
+	eng *sim.Engine
+	// Rate is the line rate in bits/second (1e9 for the testbed's links).
+	Rate float64
+	// Prop is the propagation (plus switch transit) delay.
+	Prop time.Duration
+	// QueueLimit bounds the frames queued behind the wire (0 = unbounded).
+	QueueLimit int
+	// Deliver receives each frame at the far end (required).
+	Deliver func(*packet.Frame)
+
+	busyUntil int64
+	queued    int
+	sent      int64
+	dropped   int64
+	bytesSent int64
+}
+
+// NewLink builds a 1 Gbps link with the given propagation delay and queue
+// limit, delivering into deliver.
+func NewLink(eng *sim.Engine, prop time.Duration, queueLimit int, deliver func(*packet.Frame)) *Link {
+	return &Link{eng: eng, Rate: 1e9, Prop: prop, QueueLimit: queueLimit, Deliver: deliver}
+}
+
+// Send transmits the frame, reporting false on a droptail loss.
+func (l *Link) Send(f *packet.Frame) bool {
+	if l.QueueLimit > 0 && l.queued >= l.QueueLimit {
+		l.dropped++
+		return false
+	}
+	wire := f.WireLen()
+	if wire < packet.MinWireSize {
+		wire = packet.MinWireSize // Ethernet pads runt frames
+	}
+	ser := int64(float64(wire*8) / l.Rate * 1e9)
+	start := l.eng.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	l.busyUntil = start + ser
+	l.queued++
+	l.sent++
+	l.bytesSent += int64(wire)
+	depart := l.busyUntil
+	l.eng.ScheduleAt(depart, func() { l.queued-- })
+	l.eng.ScheduleAt(depart+int64(l.Prop), func() { l.Deliver(f) })
+	return true
+}
+
+// Stats returns the link's frame counters.
+func (l *Link) Stats() (sent, dropped int64) { return l.sent, l.dropped }
+
+// BytesSent returns the wire bytes transmitted.
+func (l *Link) BytesSent() int64 { return l.bytesSent }
+
+// Queued returns the instantaneous queue depth.
+func (l *Link) Queued() int { return l.queued }

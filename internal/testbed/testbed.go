@@ -1,0 +1,158 @@
+package testbed
+
+import (
+	"time"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/sim"
+)
+
+// Topology wires the Figure 4.1 network: sender hosts behind a switch on
+// gateway interface 0, receiver hosts behind a switch on interface 1, all
+// 1-Gigabit full-duplex links. Frames injected by sender hosts traverse the
+// host stack, the ingress link, the gateway, the egress link and the far
+// host stack before reaching the receiver callback (and symmetrically for
+// reverse traffic such as TCP ACKs and ping replies).
+type Topology struct {
+	Eng *sim.Engine
+	GW  Gateway
+
+	// HostLatency models each end host's NIC + kernel stack traversal;
+	// it dominates the paper's 70-120 µs ping RTTs.
+	HostLatency time.Duration
+
+	senderIn  *Link // sender switch -> gateway if0
+	senderOut *Link // gateway if0 -> sender switch
+	recvIn    *Link // gateway if1 -> receiver switch
+	recvOut   *Link // receiver switch -> gateway if1
+
+	// OnReceiverSide consumes frames arriving at the receiver hosts.
+	OnReceiverSide func(*packet.Frame)
+	// OnSenderSide consumes frames arriving back at the sender hosts.
+	OnSenderSide func(*packet.Frame)
+
+	delivered int64 // frames handed to OnReceiverSide
+}
+
+// TopologyConfig tunes the network.
+type TopologyConfig struct {
+	// PropDelay is per-link propagation + switch transit (default 5 µs).
+	PropDelay time.Duration
+	// HostLatency is the end-host stack latency (default 20 µs).
+	HostLatency time.Duration
+	// QueueLimit bounds each link's droptail queue in frames (default 128).
+	QueueLimit int
+}
+
+// NewTopology builds the network around a gateway supplied by attach: the
+// callback receives the egress function the gateway must call for forwarded
+// frames and returns the gateway. This inversion lets the gateway capture
+// its output path at construction.
+func NewTopology(eng *sim.Engine, cfg TopologyConfig, attach func(out func(*packet.Frame, int)) (Gateway, error)) (*Topology, error) {
+	if cfg.PropDelay == 0 {
+		cfg.PropDelay = 5 * time.Microsecond
+	}
+	if cfg.HostLatency == 0 {
+		cfg.HostLatency = 20 * time.Microsecond
+	}
+	if cfg.QueueLimit == 0 {
+		cfg.QueueLimit = 128
+	}
+	t := &Topology{Eng: eng, HostLatency: cfg.HostLatency}
+	t.senderIn = NewLink(eng, cfg.PropDelay, cfg.QueueLimit, func(f *packet.Frame) { t.GW.Arrive(f, 0) })
+	t.recvOut = NewLink(eng, cfg.PropDelay, cfg.QueueLimit, func(f *packet.Frame) { t.GW.Arrive(f, 1) })
+	t.recvIn = NewLink(eng, cfg.PropDelay, cfg.QueueLimit, func(f *packet.Frame) {
+		t.delivered++
+		if t.OnReceiverSide != nil {
+			eng.Schedule(t.HostLatency, func() { t.OnReceiverSide(f) })
+		}
+	})
+	t.senderOut = NewLink(eng, cfg.PropDelay, cfg.QueueLimit, func(f *packet.Frame) {
+		if t.OnSenderSide != nil {
+			eng.Schedule(t.HostLatency, func() { t.OnSenderSide(f) })
+		}
+	})
+	gw, err := attach(t.fromGateway)
+	if err != nil {
+		return nil, err
+	}
+	t.GW = gw
+	return t, nil
+}
+
+// fromGateway routes forwarded frames onto the correct egress link.
+func (t *Topology) fromGateway(f *packet.Frame, outIf int) {
+	switch outIf {
+	case 1:
+		t.recvIn.Send(f)
+	case 0:
+		t.senderOut.Send(f)
+	}
+}
+
+// SendFromSender injects a frame at a sender host (S1/S2): host stack, then
+// the shared ingress link toward the gateway.
+func (t *Topology) SendFromSender(f *packet.Frame) {
+	t.Eng.Schedule(t.HostLatency, func() { t.senderIn.Send(f) })
+}
+
+// SendFromReceiver injects a frame at a receiver host (R1/R2): ACKs, ping
+// replies.
+func (t *Topology) SendFromReceiver(f *packet.Frame) {
+	t.Eng.Schedule(t.HostLatency, func() { t.recvOut.Send(f) })
+}
+
+// Delivered returns the frames that reached the receiver side.
+func (t *Topology) Delivered() int64 { return t.delivered }
+
+// IngressLink exposes the sender-side ingress link (drop statistics).
+func (t *Topology) IngressLink() *Link { return t.senderIn }
+
+// EgressLink exposes the receiver-side egress link.
+func (t *Topology) EgressLink() *Link { return t.recvIn }
+
+// MaxSenderFPS is each sender host's generation cap measured on the paper's
+// testbed: 224 Kfps per host, 448 Kfps aggregate.
+const MaxSenderFPS = 224000
+
+// TrialFunc runs one fresh experiment at the offered aggregate rate and
+// returns the frames offered and the frames delivered. Each invocation must
+// build its own engine and testbed so trials are independent.
+type TrialFunc func(offeredFPS float64) (sent, received int64)
+
+// LossTolerance is the §4.1 acceptance threshold: the sending and receiving
+// rates may differ by at most 2%.
+const LossTolerance = 0.02
+
+// AchievableThroughput finds the maximum offered rate whose loss stays
+// within LossTolerance, per the paper's measurement procedure: try the
+// ceiling first, then bisect. iters bounds the bisection steps (8 gives
+// <0.5% resolution).
+func AchievableThroughput(trial TrialFunc, maxFPS float64, iters int) float64 {
+	if iters <= 0 {
+		iters = 8
+	}
+	if ok, _ := accept(trial, maxFPS); ok {
+		return maxFPS
+	}
+	lo, hi := 0.0, maxFPS
+	best := 0.0
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		if ok, _ := accept(trial, mid); ok {
+			best, lo = mid, mid
+		} else {
+			hi = mid
+		}
+	}
+	return best
+}
+
+func accept(trial TrialFunc, fps float64) (bool, float64) {
+	sent, recv := trial(fps)
+	if sent == 0 {
+		return false, 0
+	}
+	loss := 1 - float64(recv)/float64(sent)
+	return loss <= LossTolerance, loss
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"lvrm/internal/packet"
+)
+
+// This file implements the classic libpcap capture format (the pre-pcapng
+// .pcap file: 24-byte global header + 16-byte per-record headers), so LVRM
+// traces interoperate with tcpdump/wireshark/tshark in both directions:
+// captured traffic can feed the memory backend, and generated traces can be
+// inspected with standard tools.
+
+const (
+	pcapMagicLE     = 0xa1b2c3d4 // timestamps in microseconds
+	pcapMagicNanoLE = 0xa1b23c4d // timestamps in nanoseconds
+	pcapVersionMaj  = 2
+	pcapVersionMin  = 4
+	// LinkTypeEthernet is DLT_EN10MB.
+	LinkTypeEthernet = 1
+)
+
+// ErrNotPcap is returned when a file lacks the libpcap magic.
+var ErrNotPcap = errors.New("trace: not a libpcap file")
+
+// WritePcap serializes frames as a nanosecond-precision libpcap file.
+// Frame.Timestamp supplies the record timestamps (zero timestamps produce a
+// monotonically increasing 1 µs spacing so tools render a sane timeline).
+func WritePcap(w io.Writer, frames []*packet.Frame) error {
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagicNanoLE)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionMin)
+	// thiszone, sigfigs: 0. snaplen:
+	binary.LittleEndian.PutUint32(hdr[16:20], 65535)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 16)
+	for i, f := range frames {
+		ts := f.Timestamp
+		if ts == 0 {
+			ts = int64(i) * int64(time.Microsecond)
+		}
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(ts/1e9))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(ts%1e9))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(f.Buf)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(f.Buf)))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+		if _, err := bw.Write(f.Buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPcap loads a libpcap file (microsecond or nanosecond flavour) into
+// frames, restoring record timestamps into Frame.Timestamp (nanoseconds).
+func ReadPcap(r io.Reader) ([]*packet.Frame, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	var subsecScale int64
+	switch magic {
+	case pcapMagicLE:
+		subsecScale = int64(time.Microsecond)
+	case pcapMagicNanoLE:
+		subsecScale = 1
+	default:
+		return nil, ErrNotPcap
+	}
+	link := binary.LittleEndian.Uint32(hdr[20:24])
+	if link != LinkTypeEthernet {
+		return nil, fmt.Errorf("trace: unsupported pcap link type %d (want Ethernet)", link)
+	}
+	var frames []*packet.Frame
+	rec := make([]byte, 16)
+	for {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return frames, nil
+			}
+			return nil, fmt.Errorf("trace: record %d header: %w", len(frames), err)
+		}
+		sec := int64(binary.LittleEndian.Uint32(rec[0:4]))
+		sub := int64(binary.LittleEndian.Uint32(rec[4:8]))
+		incl := binary.LittleEndian.Uint32(rec[8:12])
+		if incl > 256*1024 {
+			return nil, fmt.Errorf("trace: record %d: absurd capture length %d", len(frames), incl)
+		}
+		buf := make([]byte, incl)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("trace: record %d body: %w", len(frames), err)
+		}
+		frames = append(frames, &packet.Frame{
+			Buf:       buf,
+			Out:       -1,
+			Timestamp: sec*int64(time.Second) + sub*subsecScale,
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"lvrm/internal/packet"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	frames, err := Generate(GenerateOpts{Count: 20, WireSize: 256, Flows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames {
+		f.Timestamp = int64(i) * int64(37*time.Microsecond)
+	}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, frames); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(frames) {
+		t.Fatalf("read %d frames", len(back))
+	}
+	for i := range back {
+		if !bytes.Equal(back[i].Buf, frames[i].Buf) {
+			t.Fatalf("frame %d bytes differ", i)
+		}
+		if back[i].Timestamp != frames[i].Timestamp {
+			t.Fatalf("frame %d timestamp %d != %d", i, back[i].Timestamp, frames[i].Timestamp)
+		}
+	}
+}
+
+func TestPcapZeroTimestampsSpaced(t *testing.T) {
+	frames, _ := Generate(GenerateOpts{Count: 3})
+	var buf bytes.Buffer
+	WritePcap(&buf, frames)
+	back, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[1].Timestamp <= back[0].Timestamp || back[2].Timestamp <= back[1].Timestamp {
+		t.Errorf("synthesized timestamps not increasing: %d %d %d",
+			back[0].Timestamp, back[1].Timestamp, back[2].Timestamp)
+	}
+}
+
+func TestPcapMicrosecondFlavour(t *testing.T) {
+	// Hand-build a classic microsecond pcap with one 60-byte record.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], 0xa1b2c3d4)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)
+	binary.LittleEndian.PutUint16(hdr[6:8], 4)
+	binary.LittleEndian.PutUint32(hdr[16:20], 65535)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[0:4], 7)  // 7 s
+	binary.LittleEndian.PutUint32(rec[4:8], 42) // 42 µs
+	binary.LittleEndian.PutUint32(rec[8:12], 60)
+	binary.LittleEndian.PutUint32(rec[12:16], 60)
+	buf.Write(rec)
+	buf.Write(make([]byte, 60))
+	frames, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(7*time.Second + 42*time.Microsecond)
+	if len(frames) != 1 || frames[0].Timestamp != want {
+		t.Fatalf("frames = %d, ts = %d (want %d)", len(frames), frames[0].Timestamp, want)
+	}
+}
+
+func TestReadPcapErrors(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader([]byte("tiny"))); err == nil {
+		t.Error("truncated header accepted")
+	}
+	bad := make([]byte, 24)
+	binary.LittleEndian.PutUint32(bad[0:4], 0xdeadbeef)
+	if _, err := ReadPcap(bytes.NewReader(bad)); !errors.Is(err, ErrNotPcap) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Wrong link type.
+	wrongLink := make([]byte, 24)
+	binary.LittleEndian.PutUint32(wrongLink[0:4], 0xa1b2c3d4)
+	binary.LittleEndian.PutUint32(wrongLink[20:24], 101) // DLT_RAW
+	if _, err := ReadPcap(bytes.NewReader(wrongLink)); err == nil {
+		t.Error("non-Ethernet link type accepted")
+	}
+	// Truncated record body.
+	var buf bytes.Buffer
+	frames, _ := Generate(GenerateOpts{Count: 1})
+	WritePcap(&buf, frames)
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadPcap(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated record accepted")
+	}
+	// Absurd capture length.
+	var buf2 bytes.Buffer
+	WritePcap(&buf2, nil)
+	b := buf2.Bytes()
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[8:12], 1<<30)
+	b = append(b, rec...)
+	if _, err := ReadPcap(bytes.NewReader(b)); err == nil {
+		t.Error("absurd length accepted")
+	}
+}
+
+func TestPcapCarriesParseableFrames(t *testing.T) {
+	frames, _ := Generate(GenerateOpts{Count: 5, Flows: 5})
+	var buf bytes.Buffer
+	WritePcap(&buf, frames)
+	back, _ := ReadPcap(&buf)
+	for i, f := range back {
+		if _, ok := packet.FlowOf(f); !ok {
+			t.Errorf("frame %d not parseable after pcap round trip", i)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lvrm/internal/packet"
+)
+
+func TestGenerateAndRoundTrip(t *testing.T) {
+	frames, err := Generate(GenerateOpts{Count: 100, WireSize: 128, Flows: 7, InIf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 100 {
+		t.Fatalf("generated %d frames", len(frames))
+	}
+	tuples := map[packet.FiveTuple]bool{}
+	for i, f := range frames {
+		if f.WireLen() != 128 {
+			t.Fatalf("frame %d wire size %d", i, f.WireLen())
+		}
+		if f.In != 2 {
+			t.Fatalf("frame %d In = %d", i, f.In)
+		}
+		ft, ok := packet.FlowOf(f)
+		if !ok {
+			t.Fatalf("frame %d not parseable", i)
+		}
+		tuples[ft] = true
+	}
+	if len(tuples) != 7 {
+		t.Errorf("distinct flows = %d, want 7", len(tuples))
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, frames); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(frames) {
+		t.Fatalf("read %d frames", len(back))
+	}
+	for i := range back {
+		if !bytes.Equal(back[i].Buf, frames[i].Buf) {
+			t.Fatalf("frame %d bytes differ", i)
+		}
+		if back[i].In != frames[i].In {
+			t.Fatalf("frame %d In differs", i)
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	frames, err := Generate(GenerateOpts{Count: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames[0].WireLen() != packet.MinWireSize {
+		t.Errorf("default wire size = %d", frames[0].WireLen())
+	}
+	if _, err := Generate(GenerateOpts{}); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(GenerateOpts{Count: 10, Flows: 3})
+	b, _ := Generate(GenerateOpts{Count: 10, Flows: 3})
+	for i := range a {
+		if !bytes.Equal(a[i].Buf, b[i].Buf) {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace file")); err != ErrBadMagic {
+		t.Errorf("bad magic: %v", err)
+	}
+	if _, err := Read(strings.NewReader("LV")); err == nil {
+		t.Error("truncated magic accepted")
+	}
+	// Truncated body: valid magic + count but no frames.
+	var buf bytes.Buffer
+	buf.Write([]byte("LVRMTRC1"))
+	buf.Write([]byte{5, 0, 0, 0}) // count=5, then EOF
+	if _, err := Read(&buf); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Absurd frame length.
+	buf.Reset()
+	buf.Write([]byte("LVRMTRC1"))
+	buf.Write([]byte{1, 0, 0, 0})
+	buf.Write([]byte{0xff, 0xff, 0xff, 0x7f}) // length ~2^31
+	buf.Write([]byte{0, 0})
+	if _, err := Read(&buf); err == nil {
+		t.Error("absurd length accepted")
+	}
+}

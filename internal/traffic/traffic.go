@@ -1,0 +1,331 @@
+// Package traffic implements the traffic models of Section 4.1: smooth
+// constant-rate UDP/IP senders started simultaneously by a coordinator
+// (with optional stepped rate profiles for the dynamic-allocation
+// experiments), and an ICMP Ping utility for round-trip measurements. The
+// realistic FTP/TCP model lives in internal/tcpsim.
+package traffic
+
+import (
+	"fmt"
+	"time"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/sim"
+)
+
+// RateStep is one segment of a sender's rate profile.
+type RateStep struct {
+	// Start is when the segment begins, relative to the sender's start.
+	Start time.Duration
+	// FPS is the frame rate during the segment (0 = silence).
+	FPS float64
+}
+
+// Profile is a piecewise-constant rate profile.
+type Profile []RateStep
+
+// ConstantProfile sends at a fixed rate from t=0.
+func ConstantProfile(fps float64) Profile {
+	return Profile{{Start: 0, FPS: fps}}
+}
+
+// StepProfile builds the paper's Experiment 2c-2e ramp: the rate climbs
+// from step to max in increments of step, then back down, holding each
+// level for dwell. Example: StepProfile(60e3, 360e3, 60e3, 5s) produces
+// 60,120,...,360,300,...,60 Kfps at 5-second dwells.
+func StepProfile(start, max, step float64, dwell time.Duration) Profile {
+	var p Profile
+	t := time.Duration(0)
+	for r := start; r <= max+1e-9; r += step {
+		p = append(p, RateStep{Start: t, FPS: r})
+		t += dwell
+	}
+	for r := max - step; r >= start-1e-9; r -= step {
+		p = append(p, RateStep{Start: t, FPS: r})
+		t += dwell
+	}
+	return p
+}
+
+// Duration returns the total time covered by the profile's explicit steps,
+// i.e. the start of the last step plus one more dwell inferred from the
+// spacing (0 for single-step profiles).
+func (p Profile) Duration() time.Duration {
+	if len(p) < 2 {
+		return 0
+	}
+	last := p[len(p)-1].Start
+	dwell := p[1].Start - p[0].Start
+	return last + dwell
+}
+
+// RateAt returns the rate in effect at elapsed time t.
+func (p Profile) RateAt(t time.Duration) float64 {
+	rate := 0.0
+	for _, s := range p {
+		if s.Start > t {
+			break
+		}
+		rate = s.FPS
+	}
+	return rate
+}
+
+// UDPSender generates constant-departure UDP frames toward a receiver,
+// following a rate profile. It mirrors the paper's sender hosts: frames are
+// emitted with deterministic spacing ("the source models are constant
+// departure"), optionally capped at the host's maximum generation rate.
+type UDPSender struct {
+	// Name labels the sender (e.g. "S1").
+	Name string
+	// SrcMAC/DstMAC and Src/Dst address the generated frames.
+	SrcMAC, DstMAC packet.MAC
+	Src, Dst       packet.IP
+	SrcPort        uint16
+	DstPort        uint16
+	// WireSize is the frame wire size (default MinWireSize).
+	WireSize int
+	// Profile is the rate profile (required).
+	Profile Profile
+	// MaxFPS caps the host's generation rate; the paper's sender hosts
+	// top out at 224 Kfps each. Zero means uncapped.
+	MaxFPS float64
+	// Flows cycles the source port over this many values so flow-based
+	// balancing sees multiple flows (default 1).
+	Flows int
+	// Jitter perturbs inter-frame gaps by a uniform factor in [1-J, 1+J],
+	// modeling the microbursts of a real kernel-scheduled sender. Zero
+	// keeps the paper's smooth constant-departure model.
+	Jitter float64
+	// Poisson replaces constant departures with exponentially distributed
+	// gaps of the same mean rate (a fully bursty sender).
+	Poisson bool
+	// Seed feeds the jitter randomness (deterministic replay).
+	Seed uint64
+
+	// Emit delivers each generated frame (required): typically the
+	// testbed's ingress link.
+	Emit func(*packet.Frame)
+
+	sent  int64
+	seq   uint16
+	timer *sim.Timer
+	rng   *sim.Rand
+}
+
+// Start schedules the sender on the engine; the coordinator starts all
+// senders at the same instant by calling Start at the same virtual time
+// (the "START" request in Section 4.1).
+func (s *UDPSender) Start(eng *sim.Engine) error {
+	if s.Emit == nil {
+		return fmt.Errorf("traffic: sender %s has no Emit", s.Name)
+	}
+	if len(s.Profile) == 0 {
+		return fmt.Errorf("traffic: sender %s has no profile", s.Name)
+	}
+	if s.WireSize == 0 {
+		s.WireSize = packet.MinWireSize
+	}
+	if s.Flows < 1 {
+		s.Flows = 1
+	}
+	if s.Jitter > 0 || s.Poisson {
+		s.rng = sim.NewRand(s.Seed + 0x5eed)
+	}
+	start := eng.Now()
+	var tick func()
+	tick = func() {
+		elapsed := time.Duration(eng.Now() - start)
+		rate := s.Profile.RateAt(elapsed)
+		if s.MaxFPS > 0 && rate > s.MaxFPS {
+			rate = s.MaxFPS
+		}
+		if rate <= 0 {
+			// Idle: re-check at a coarse interval for the next segment.
+			s.timer = eng.Schedule(time.Millisecond, tick)
+			return
+		}
+		s.emitOne()
+		gapNS := float64(time.Second) / rate
+		if s.rng != nil {
+			if s.Poisson {
+				gapNS = s.rng.Exp(gapNS)
+			} else {
+				gapNS = s.rng.Jitter(gapNS, s.Jitter)
+			}
+		}
+		gap := time.Duration(gapNS)
+		if gap <= 0 {
+			gap = time.Nanosecond
+		}
+		s.timer = eng.Schedule(gap, tick)
+	}
+	tick()
+	return nil
+}
+
+// Stop halts generation.
+func (s *UDPSender) Stop() {
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+}
+
+// Sent returns the number of frames generated.
+func (s *UDPSender) Sent() int64 { return s.sent }
+
+func (s *UDPSender) emitOne() {
+	port := s.SrcPort
+	if s.Flows > 1 {
+		port += uint16(int(s.seq) % s.Flows)
+	}
+	f, err := packet.BuildUDP(packet.UDPBuildOpts{
+		SrcMAC: s.SrcMAC, DstMAC: s.DstMAC,
+		Src: s.Src, Dst: s.Dst,
+		SrcPort: port, DstPort: s.DstPort,
+		ID: s.seq, WireSize: s.WireSize,
+	})
+	if err != nil {
+		return // mis-sized configuration; surfaced by Sent staying 0
+	}
+	s.seq++
+	s.sent++
+	s.Emit(f)
+}
+
+// Pinger generates ICMP echo requests at a fixed rate and matches replies
+// to requests, accumulating round-trip times (the paper's Ping utility,
+// Experiment 1b: 400K echo requests).
+type Pinger struct {
+	SrcMAC, DstMAC packet.MAC
+	Src, Dst       packet.IP
+	// Interval between echo requests.
+	Interval time.Duration
+	// PayloadLen is the ICMP payload size (default 56, the ping default).
+	PayloadLen int
+	// Emit delivers each request (required).
+	Emit func(*packet.Frame)
+
+	eng      *sim.Engine
+	id       uint16
+	nextSeq  uint16
+	sentAt   map[uint16]int64
+	rtts     []time.Duration
+	sent     int64
+	received int64
+	timer    *sim.Timer
+}
+
+// Start schedules the pinger.
+func (p *Pinger) Start(eng *sim.Engine) error {
+	if p.Emit == nil {
+		return fmt.Errorf("traffic: pinger has no Emit")
+	}
+	if p.Interval <= 0 {
+		p.Interval = 100 * time.Microsecond
+	}
+	if p.PayloadLen == 0 {
+		p.PayloadLen = 56
+	}
+	p.eng = eng
+	p.id = 0x77
+	p.sentAt = make(map[uint16]int64)
+	var tick func()
+	tick = func() {
+		p.sendOne()
+		p.timer = eng.Schedule(p.Interval, tick)
+	}
+	tick()
+	return nil
+}
+
+// Stop halts the pinger.
+func (p *Pinger) Stop() {
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+}
+
+func (p *Pinger) sendOne() {
+	f, err := packet.BuildICMPEcho(packet.ICMPBuildOpts{
+		SrcMAC: p.SrcMAC, DstMAC: p.DstMAC,
+		Src: p.Src, Dst: p.Dst,
+		Echo:       packet.ICMPEcho{Type: packet.ICMPEchoRequest, ID: p.id, Seq: p.nextSeq},
+		PayloadLen: p.PayloadLen,
+	})
+	if err != nil {
+		return
+	}
+	p.sentAt[p.nextSeq] = p.eng.Now()
+	p.nextSeq++
+	p.sent++
+	p.Emit(f)
+}
+
+// HandleReply consumes a frame that arrived back at the pinger's host; if it
+// is an echo reply to an outstanding request, the RTT is recorded and true
+// is returned.
+func (p *Pinger) HandleReply(f *packet.Frame) bool {
+	if f.EtherType() != packet.EtherTypeIPv4 {
+		return false
+	}
+	h, payload, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:])
+	if err != nil || h.Proto != packet.ProtoICMP {
+		return false
+	}
+	e, err := packet.ParseICMPEcho(payload)
+	if err != nil || e.Type != packet.ICMPEchoReply || e.ID != p.id {
+		return false
+	}
+	t0, ok := p.sentAt[e.Seq]
+	if !ok {
+		return false
+	}
+	delete(p.sentAt, e.Seq)
+	p.received++
+	p.rtts = append(p.rtts, time.Duration(p.eng.Now()-t0))
+	return true
+}
+
+// Sent and Received report request/reply counts.
+func (p *Pinger) Sent() int64     { return p.sent }
+func (p *Pinger) Received() int64 { return p.received }
+
+// MeanRTT returns the average round-trip time over all matched replies.
+func (p *Pinger) MeanRTT() time.Duration {
+	if len(p.rtts) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, r := range p.rtts {
+		sum += r
+	}
+	return sum / time.Duration(len(p.rtts))
+}
+
+// EchoResponder turns echo requests into replies: given a request frame
+// addressed to ip, it returns the reply frame to send back (with source and
+// destination swapped), or nil if the frame is not an echo request for ip.
+func EchoResponder(ip packet.IP, f *packet.Frame) *packet.Frame {
+	if f.EtherType() != packet.EtherTypeIPv4 {
+		return nil
+	}
+	h, payload, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:])
+	if err != nil || h.Proto != packet.ProtoICMP || h.Dst != ip {
+		return nil
+	}
+	e, err := packet.ParseICMPEcho(payload)
+	if err != nil || e.Type != packet.ICMPEchoRequest {
+		return nil
+	}
+	reply, err := packet.BuildICMPEcho(packet.ICMPBuildOpts{
+		SrcMAC: f.DstMAC(), DstMAC: f.SrcMAC(),
+		Src: h.Dst, Dst: h.Src,
+		Echo:       packet.ICMPEcho{Type: packet.ICMPEchoReply, ID: e.ID, Seq: e.Seq},
+		PayloadLen: int(h.TotalLen) - packet.IPv4HeaderLen - packet.ICMPEchoHeaderLen,
+	})
+	if err != nil {
+		return nil
+	}
+	return reply
+}

@@ -1,0 +1,302 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/sim"
+)
+
+func TestConstantProfileRate(t *testing.T) {
+	eng := sim.New()
+	var got []int64
+	s := &UDPSender{
+		Name: "S1", Src: packet.IPv4(10, 1, 0, 1), Dst: packet.IPv4(10, 2, 0, 1),
+		Profile: ConstantProfile(10000),
+		Emit:    func(f *packet.Frame) { got = append(got, eng.Now()) },
+	}
+	if err := s.Start(eng); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(time.Second)
+	// 10 Kfps over 1 s: one frame at t=0 plus one per 100 µs.
+	if n := len(got); n < 9990 || n > 10011 {
+		t.Fatalf("generated %d frames, want ~10000", n)
+	}
+	// Constant departure: uniform gaps.
+	for i := 1; i < 100; i++ {
+		if gap := got[i] - got[i-1]; gap != int64(100*time.Microsecond) {
+			t.Fatalf("gap %d = %d", i, gap)
+		}
+	}
+	if s.Sent() != int64(len(got)) {
+		t.Errorf("Sent = %d, emitted %d", s.Sent(), len(got))
+	}
+}
+
+func TestSenderCap(t *testing.T) {
+	eng := sim.New()
+	n := 0
+	s := &UDPSender{
+		Profile: ConstantProfile(1e6),
+		MaxFPS:  224000, // the paper's per-host limit
+		Emit:    func(*packet.Frame) { n++ },
+	}
+	s.Start(eng)
+	eng.Run(100 * time.Millisecond)
+	want := 22400
+	if math.Abs(float64(n-want)) > float64(want)/100 {
+		t.Errorf("capped sender generated %d in 100ms, want ~%d", n, want)
+	}
+}
+
+func TestStepProfile(t *testing.T) {
+	p := StepProfile(60000, 360000, 60000, 5*time.Second)
+	// Up: 60..360 (6 steps), down: 300..60 (5 steps).
+	if len(p) != 11 {
+		t.Fatalf("profile has %d steps", len(p))
+	}
+	cases := map[time.Duration]float64{
+		0:                60000,
+		4 * time.Second:  60000,
+		5 * time.Second:  120000,
+		26 * time.Second: 360000, // 25s..30s is the peak
+		30 * time.Second: 300000,
+		52 * time.Second: 60000,
+	}
+	for at, want := range cases {
+		if got := p.RateAt(at); got != want {
+			t.Errorf("rateAt(%v) = %v, want %v", at, got, want)
+		}
+	}
+	if p.Duration() != 55*time.Second {
+		t.Errorf("Duration = %v", p.Duration())
+	}
+}
+
+func TestStepProfileDrivesSender(t *testing.T) {
+	eng := sim.New()
+	counts := map[int]int{} // second -> frames
+	s := &UDPSender{
+		Profile: Profile{{0, 1000}, {time.Second, 3000}, {2 * time.Second, 500}},
+		Emit: func(*packet.Frame) {
+			counts[int(eng.Now()/1e9)]++
+		},
+	}
+	s.Start(eng)
+	eng.Run(3 * time.Second)
+	approx := func(got, want int) bool {
+		return math.Abs(float64(got-want)) <= float64(want)/20+2
+	}
+	if !approx(counts[0], 1000) || !approx(counts[1], 3000) || !approx(counts[2], 500) {
+		t.Errorf("per-second counts = %v", counts)
+	}
+}
+
+func TestSenderValidation(t *testing.T) {
+	eng := sim.New()
+	if err := (&UDPSender{Profile: ConstantProfile(1)}).Start(eng); err == nil {
+		t.Error("missing Emit accepted")
+	}
+	if err := (&UDPSender{Emit: func(*packet.Frame) {}}).Start(eng); err == nil {
+		t.Error("missing profile accepted")
+	}
+}
+
+func TestSenderStop(t *testing.T) {
+	eng := sim.New()
+	n := 0
+	s := &UDPSender{Profile: ConstantProfile(1000), Emit: func(*packet.Frame) { n++ }}
+	s.Start(eng)
+	eng.Schedule(100*time.Millisecond, s.Stop)
+	eng.Run(time.Second)
+	if n < 95 || n > 105 {
+		t.Errorf("stopped sender generated %d frames, want ~100", n)
+	}
+}
+
+func TestSenderFlows(t *testing.T) {
+	eng := sim.New()
+	ports := map[uint16]bool{}
+	s := &UDPSender{
+		Profile: ConstantProfile(10000), SrcPort: 5000, Flows: 8,
+		Src: packet.IPv4(10, 1, 0, 1), Dst: packet.IPv4(10, 2, 0, 1),
+		Emit: func(f *packet.Frame) {
+			ft, _ := packet.FlowOf(f)
+			ports[ft.SrcPort] = true
+		},
+	}
+	s.Start(eng)
+	eng.Run(10 * time.Millisecond)
+	if len(ports) != 8 {
+		t.Errorf("saw %d distinct flows, want 8", len(ports))
+	}
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	eng := sim.New()
+	receiver := packet.IPv4(10, 2, 0, 1)
+	var p *Pinger
+	p = &Pinger{
+		Src: packet.IPv4(10, 1, 0, 1), Dst: receiver,
+		Interval: time.Millisecond,
+		Emit: func(f *packet.Frame) {
+			// Simulate a 40 µs one-way network: the receiver echoes
+			// and the reply arrives 80 µs after the request left.
+			eng.Schedule(40*time.Microsecond, func() {
+				reply := EchoResponder(receiver, f)
+				if reply == nil {
+					t.Error("EchoResponder rejected a request")
+					return
+				}
+				eng.Schedule(40*time.Microsecond, func() { p.HandleReply(reply) })
+			})
+		},
+	}
+	if err := p.Start(eng); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(100 * time.Millisecond)
+	if p.Sent() < 99 || p.Received() < 99 {
+		t.Fatalf("sent/received = %d/%d", p.Sent(), p.Received())
+	}
+	if rtt := p.MeanRTT(); rtt != 80*time.Microsecond {
+		t.Errorf("MeanRTT = %v, want 80µs", rtt)
+	}
+}
+
+func TestPingerIgnoresForeignFrames(t *testing.T) {
+	eng := sim.New()
+	p := &Pinger{Src: packet.IPv4(1, 1, 1, 1), Dst: packet.IPv4(2, 2, 2, 2), Emit: func(*packet.Frame) {}}
+	p.Start(eng)
+	udp, _ := packet.BuildUDP(packet.UDPBuildOpts{WireSize: packet.MinWireSize})
+	if p.HandleReply(udp) {
+		t.Error("UDP frame accepted as echo reply")
+	}
+	// An echo reply with the wrong ID.
+	stray, _ := packet.BuildICMPEcho(packet.ICMPBuildOpts{
+		Src: packet.IPv4(2, 2, 2, 2), Dst: packet.IPv4(1, 1, 1, 1),
+		Echo: packet.ICMPEcho{Type: packet.ICMPEchoReply, ID: 0x99, Seq: 0},
+	})
+	if p.HandleReply(stray) {
+		t.Error("foreign echo reply accepted")
+	}
+	// A duplicate reply must not count twice.
+	var captured *packet.Frame
+	p2 := &Pinger{Src: packet.IPv4(1, 1, 1, 1), Dst: packet.IPv4(2, 2, 2, 2),
+		Emit: func(f *packet.Frame) { captured = f }}
+	p2.Start(eng)
+	eng.Run(time.Microsecond)
+	reply := EchoResponder(packet.IPv4(2, 2, 2, 2), captured)
+	if !p2.HandleReply(reply) {
+		t.Fatal("first reply rejected")
+	}
+	if p2.HandleReply(reply) {
+		t.Error("duplicate reply accepted")
+	}
+}
+
+func TestEchoResponderFilters(t *testing.T) {
+	ip := packet.IPv4(10, 2, 0, 1)
+	udp, _ := packet.BuildUDP(packet.UDPBuildOpts{WireSize: packet.MinWireSize, Dst: ip})
+	if EchoResponder(ip, udp) != nil {
+		t.Error("UDP frame echoed")
+	}
+	req, _ := packet.BuildICMPEcho(packet.ICMPBuildOpts{
+		Src: packet.IPv4(10, 1, 0, 1), Dst: packet.IPv4(10, 2, 0, 99),
+		Echo: packet.ICMPEcho{Type: packet.ICMPEchoRequest, ID: 1, Seq: 2},
+	})
+	if EchoResponder(ip, req) != nil {
+		t.Error("request for another host echoed")
+	}
+	req2, _ := packet.BuildICMPEcho(packet.ICMPBuildOpts{
+		Src: packet.IPv4(10, 1, 0, 1), Dst: ip,
+		Echo: packet.ICMPEcho{Type: packet.ICMPEchoRequest, ID: 1, Seq: 2}, PayloadLen: 56,
+	})
+	reply := EchoResponder(ip, req2)
+	if reply == nil {
+		t.Fatal("valid request not echoed")
+	}
+	h, payload, err := packet.ParseIPv4(reply.Buf[packet.EthHeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Src != ip || h.Dst != packet.IPv4(10, 1, 0, 1) {
+		t.Errorf("reply addresses = %v -> %v", h.Src, h.Dst)
+	}
+	e, err := packet.ParseICMPEcho(payload)
+	if err != nil || e.Type != packet.ICMPEchoReply || e.ID != 1 || e.Seq != 2 {
+		t.Errorf("reply echo = (%+v,%v)", e, err)
+	}
+}
+
+func TestPoissonSenderMeanRate(t *testing.T) {
+	eng := sim.New()
+	n := 0
+	s := &UDPSender{
+		Profile: ConstantProfile(10000), Poisson: true, Seed: 7,
+		Emit: func(*packet.Frame) { n++ },
+	}
+	if err := s.Start(eng); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(2 * time.Second)
+	// Mean rate preserved within a few percent over 20k arrivals.
+	if n < 19000 || n > 21000 {
+		t.Errorf("Poisson sender generated %d in 2s, want ~20000", n)
+	}
+}
+
+func TestPoissonSenderIsBursty(t *testing.T) {
+	eng := sim.New()
+	var gaps []int64
+	last := int64(-1)
+	s := &UDPSender{
+		Profile: ConstantProfile(10000), Poisson: true, Seed: 7,
+		Emit: func(*packet.Frame) {
+			if last >= 0 {
+				gaps = append(gaps, eng.Now()-last)
+			}
+			last = eng.Now()
+		},
+	}
+	s.Start(eng)
+	eng.Run(time.Second)
+	// Exponential gaps: coefficient of variation ≈ 1, far from CBR's 0.
+	var sum, sumSq float64
+	for _, g := range gaps {
+		sum += float64(g)
+		sumSq += float64(g) * float64(g)
+	}
+	mean := sum / float64(len(gaps))
+	variance := sumSq/float64(len(gaps)) - mean*mean
+	cv := math.Sqrt(variance) / mean
+	if cv < 0.8 || cv > 1.2 {
+		t.Errorf("gap CV = %.2f, want ~1 for Poisson", cv)
+	}
+}
+
+func TestJitterSenderBounded(t *testing.T) {
+	eng := sim.New()
+	var gaps []int64
+	last := int64(-1)
+	s := &UDPSender{
+		Profile: ConstantProfile(10000), Jitter: 0.2, Seed: 9,
+		Emit: func(*packet.Frame) {
+			if last >= 0 {
+				gaps = append(gaps, eng.Now()-last)
+			}
+			last = eng.Now()
+		},
+	}
+	s.Start(eng)
+	eng.Run(100 * time.Millisecond)
+	nominal := float64(100 * time.Microsecond)
+	for i, g := range gaps {
+		if float64(g) < nominal*0.79 || float64(g) > nominal*1.21 {
+			t.Fatalf("gap %d = %d outside ±20%% of %v", i, g, nominal)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package click
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/vr"
+)
+
+func stdEngine(t testing.TB) *Engine {
+	t.Helper()
+	e, err := NewEngine(EngineConfig{Config: StandardForwarder("10.2.0.0/16", "10.1.0.0/16")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func ipFrame(t testing.TB, dst string, ttl uint8) *packet.Frame {
+	t.Helper()
+	f, err := packet.BuildUDP(packet.UDPBuildOpts{
+		Src: packet.MustParseIP("10.1.0.5"), Dst: packet.MustParseIP(dst),
+		TTL: ttl, WireSize: packet.MinWireSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestStandardForwarderForwards(t *testing.T) {
+	e := stdEngine(t)
+	f := ipFrame(t, "10.2.3.4", 64)
+	cost, err := e.Process(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Out != 1 {
+		t.Errorf("Out = %d, want 1 (receiver interface)", f.Out)
+	}
+	if cost <= 0 {
+		t.Errorf("cost = %v", cost)
+	}
+	// Reverse direction goes to interface 0.
+	back := ipFrame(t, "10.1.0.9", 64)
+	e.Process(back)
+	if back.Out != 0 {
+		t.Errorf("reverse Out = %d, want 0", back.Out)
+	}
+	// TTL was decremented and checksum stays valid.
+	h, _, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:])
+	if err != nil || h.TTL != 63 {
+		t.Errorf("TTL after forward = (%v,%v)", h.TTL, err)
+	}
+	if e.Name() != "click" {
+		t.Errorf("Name = %q", e.Name())
+	}
+}
+
+func TestStandardForwarderDrops(t *testing.T) {
+	e := stdEngine(t)
+	// Non-IP -> Classifier port 1 -> Discard.
+	arp := &packet.Frame{Buf: make([]byte, 60)}
+	arp.Buf[12], arp.Buf[13] = 0x08, 0x06
+	e.Process(arp)
+	if arp.Out != vr.Drop {
+		t.Errorf("ARP Out = %d", arp.Out)
+	}
+	// TTL 1 expires in DecIPTTL (dangling error port -> drop).
+	dead := ipFrame(t, "10.2.3.4", 1)
+	e.Process(dead)
+	if dead.Out != vr.Drop {
+		t.Errorf("expired Out = %d", dead.Out)
+	}
+	// Off-subnet -> default route -> Discard.
+	stray := ipFrame(t, "192.0.2.1", 64)
+	e.Process(stray)
+	if stray.Out != vr.Drop {
+		t.Errorf("stray Out = %d", stray.Out)
+	}
+	// Corrupt header -> CheckIPHeader.
+	bad := ipFrame(t, "10.2.3.4", 64)
+	bad.Buf[packet.EthHeaderLen] = 0x46 // IHL lies
+	e.Process(bad)
+	if bad.Out != vr.Drop {
+		t.Errorf("corrupt Out = %d", bad.Out)
+	}
+	chk, _ := e.Router().Element("chk")
+	if chk.(*CheckIPHeader).Bad() != 1 {
+		t.Errorf("CheckIPHeader.Bad = %d", chk.(*CheckIPHeader).Bad())
+	}
+	ttl, _ := e.Router().Element("ttl")
+	if ttl.(*DecIPTTL).Expired() != 1 {
+		t.Errorf("DecIPTTL.Expired = %d", ttl.(*DecIPTTL).Expired())
+	}
+}
+
+func TestCounterCounts(t *testing.T) {
+	e := stdEngine(t)
+	for i := 0; i < 5; i++ {
+		e.Process(ipFrame(t, "10.2.3.4", 64))
+	}
+	cnt, ok := e.Router().Element("cnt")
+	if !ok {
+		t.Fatal("no cnt element")
+	}
+	frames, bytes := cnt.(*Counter).Stats()
+	if frames != 5 || bytes <= 0 {
+		t.Errorf("Counter = (%d,%d)", frames, bytes)
+	}
+}
+
+func TestClickCostExceedsBasic(t *testing.T) {
+	// The defining property: the Click VR charges more CPU per frame than
+	// the basic VR, so its throughput is lower in every experiment.
+	ce := stdEngine(t)
+	be := vr.NewBasic(vr.BasicConfig{})
+	cf := ipFrame(t, "10.2.3.4", 64)
+	bf := ipFrame(t, "10.2.3.4", 64)
+	clickCost, _ := ce.Process(cf)
+	basicCost, _ := be.Process(bf)
+	if clickCost <= 2*basicCost {
+		t.Errorf("click cost %v not substantially above basic %v", clickCost, basicCost)
+	}
+}
+
+func TestDummyLoadDominates(t *testing.T) {
+	e, err := NewEngine(EngineConfig{
+		Config:    StandardForwarder("10.2.0.0/16", "10.1.0.0/16"),
+		DummyLoad: time.Second / 60000, // 1/60 ms
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, _ := e.Process(ipFrame(t, "10.2.3.4", 64))
+	if cost < time.Second/60000 {
+		t.Errorf("cost %v below dummy load", cost)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no entry":              `d :: Discard;`,
+		"unknown class":         `x :: Wombat; FromLVRM -> x;`,
+		"dup name":              `a :: Discard; a :: Counter;`,
+		"double FromLVRM":       `a :: FromLVRM; b :: FromLVRM; a -> Discard; b -> Discard;`,
+		"unconnected port":      `in :: FromLVRM; c :: Classifier(ip, -); in -> c; c[0] -> Discard;`,
+		"bad port":              `in :: FromLVRM; in[7] -> Discard;`,
+		"double connect":        `in :: FromLVRM; in -> Discard; in -> Discard;`,
+		"args on Discard":       `in :: FromLVRM; in -> Discard(3);`,
+		"bad ToLVRM":            `in :: FromLVRM; in -> ToLVRM(x);`,
+		"bad route":             `in :: FromLVRM; in -> LookupIPRoute(zz 0) -> ToLVRM(0);`,
+		"garbage":               `in ::: FromLVRM !!`,
+		"conn to terminal port": `in :: FromLVRM; d :: Discard; in -> [1]d;`,
+		"classifier no args":    `in :: FromLVRM; in -> Classifier() -> Discard;`,
+	}
+	for label, cfg := range cases {
+		if _, err := Parse(cfg); err == nil {
+			t.Errorf("%s: config accepted:\n%s", label, cfg)
+		}
+	}
+}
+
+func TestParseInlineAndPorts(t *testing.T) {
+	// Anonymous inline elements and both port selector forms.
+	cfg := `
+in :: FromLVRM;
+ps :: PaintSwitch(2);
+in -> Paint(1) -> ps;
+ps[0] -> Discard;
+ps[1] -> Counter -> ToLVRM(3);
+`
+	r, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ipFrame(t, "10.2.3.4", 64)
+	r.Process(f)
+	if f.Out != 3 {
+		t.Errorf("painted frame Out = %d, want 3", f.Out)
+	}
+	if r.StrayDrops() != 0 {
+		t.Errorf("StrayDrops = %d", r.StrayDrops())
+	}
+}
+
+func TestIPClassifier(t *testing.T) {
+	cfg := `
+in :: FromLVRM;
+c :: IPClassifier(udp, tcp, -);
+in -> c;
+c[0] -> ToLVRM(0);
+c[1] -> ToLVRM(1);
+c[2] -> ToLVRM(2);
+`
+	r, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp := ipFrame(t, "10.2.3.4", 64)
+	r.Process(udp)
+	if udp.Out != 0 {
+		t.Errorf("UDP Out = %d", udp.Out)
+	}
+	tcp, _ := packet.BuildTCP(packet.TCPBuildOpts{
+		Src: packet.MustParseIP("10.1.0.1"), Dst: packet.MustParseIP("10.2.0.1"),
+		Hdr: packet.TCPHeader{SrcPort: 1, DstPort: 2},
+	})
+	r.Process(tcp)
+	if tcp.Out != 1 {
+		t.Errorf("TCP Out = %d", tcp.Out)
+	}
+	icmp, _ := packet.BuildICMPEcho(packet.ICMPBuildOpts{
+		Src: packet.MustParseIP("10.1.0.1"), Dst: packet.MustParseIP("10.2.0.1"),
+		Echo: packet.ICMPEcho{Type: packet.ICMPEchoRequest},
+	})
+	r.Process(icmp)
+	if icmp.Out != 2 {
+		t.Errorf("ICMP Out = %d (wildcard)", icmp.Out)
+	}
+}
+
+func TestTeeClones(t *testing.T) {
+	cfg := `
+in :: FromLVRM;
+t :: Tee(2);
+c1 :: Counter; c2 :: Counter;
+in -> t;
+t[0] -> c1 -> ToLVRM(0);
+t[1] -> c2 -> Discard;
+`
+	r, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ipFrame(t, "10.2.3.4", 64)
+	r.Process(f)
+	c1, _ := r.Element("c1")
+	c2, _ := r.Element("c2")
+	n1, _ := c1.(*Counter).Stats()
+	n2, _ := c2.(*Counter).Stats()
+	if n1 != 1 || n2 != 1 {
+		t.Errorf("Tee branch counts = (%d,%d)", n1, n2)
+	}
+	if f.Out != 0 {
+		t.Errorf("original frame Out = %d", f.Out)
+	}
+}
+
+func TestQueuePassThroughAndOverflow(t *testing.T) {
+	cfg := `
+in :: FromLVRM;
+q :: Queue(4);
+in -> q -> ToLVRM(0);
+`
+	r, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		f := ipFrame(t, "10.2.3.4", 64)
+		r.Process(f)
+		if f.Out != 0 {
+			t.Fatalf("frame %d Out = %d", i, f.Out)
+		}
+	}
+	q, _ := r.Element("q")
+	if q.(*Queue).Drops() != 0 || q.(*Queue).Len() != 0 {
+		t.Errorf("Queue = drops %d len %d", q.(*Queue).Drops(), q.(*Queue).Len())
+	}
+}
+
+func TestEtherRewrite(t *testing.T) {
+	cfg := `
+in :: FromLVRM;
+in -> EtherRewrite(02:00:00:00:01:01, 02:00:00:00:02:02) -> ToLVRM(0);
+`
+	r, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ipFrame(t, "10.2.3.4", 64)
+	r.Process(f)
+	if f.SrcMAC() != (packet.MAC{2, 0, 0, 0, 1, 1}) || f.DstMAC() != (packet.MAC{2, 0, 0, 0, 2, 2}) {
+		t.Errorf("MACs = %v -> %v", f.SrcMAC(), f.DstMAC())
+	}
+	if _, err := Parse(`in :: FromLVRM; in -> EtherRewrite(junk, 02:00:00:00:02:02) -> ToLVRM(0);`); err == nil {
+		t.Error("bad MAC accepted")
+	}
+}
+
+func TestFactoryIndependentEngines(t *testing.T) {
+	fac := Factory(EngineConfig{Config: StandardForwarder("10.2.0.0/16", "10.1.0.0/16")})
+	e1, err := fac()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := fac()
+	e1.Process(ipFrame(t, "10.2.3.4", 64))
+	c1, _ := e1.(*Engine).Router().Element("cnt")
+	c2, _ := e2.(*Engine).Router().Element("cnt")
+	n1, _ := c1.(*Counter).Stats()
+	n2, _ := c2.(*Counter).Stats()
+	if n1 != 1 || n2 != 0 {
+		t.Errorf("engines share element state: %d/%d", n1, n2)
+	}
+}
+
+func TestClasses(t *testing.T) {
+	cls := Classes()
+	if len(cls) < 12 {
+		t.Errorf("only %d element classes registered", len(cls))
+	}
+	for i := 1; i < len(cls); i++ {
+		if cls[i] < cls[i-1] {
+			t.Errorf("Classes not sorted: %v", cls)
+		}
+	}
+	for _, want := range []string{"Classifier", "DecIPTTL", "LookupIPRoute", "ToLVRM"} {
+		found := false
+		for _, c := range cls {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("class %s missing", want)
+		}
+	}
+}
+
+func TestRouterElementsOrder(t *testing.T) {
+	e := stdEngine(t)
+	names := e.Router().Elements()
+	if len(names) < 6 {
+		t.Fatalf("elements = %v", names)
+	}
+	if names[0] != "in" || names[1] != "cnt" {
+		t.Errorf("declaration order lost: %v", names)
+	}
+	if _, ok := e.Router().Element("nonexistent"); ok {
+		t.Error("Element found a ghost")
+	}
+}
+
+func TestSplitStatementsRespectsParens(t *testing.T) {
+	// Routes contain no semicolons, but args with parens and comments must
+	// not confuse the splitter.
+	cfg := `
+// comment with ; semicolon
+in :: FromLVRM;  # trailing comment ; too
+in -> LookupIPRoute(10.0.0.0/8 0, 0.0.0.0/0 0) -> ToLVRM(0);
+`
+	if _, err := Parse(cfg); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := len(splitStatements("a;b;(c;d);e")); got != 4 {
+		t.Errorf("splitStatements = %d parts", got)
+	}
+}
+
+func TestAbbreviate(t *testing.T) {
+	long := strings.Repeat("x", 100)
+	if got := abbreviate(long); len(got) != 40 {
+		t.Errorf("abbreviate length = %d", len(got))
+	}
+	if got := abbreviate("short  stmt"); got != "short stmt" {
+		t.Errorf("abbreviate = %q", got)
+	}
+}
+
+func BenchmarkClickProcess(b *testing.B) {
+	e := stdEngine(b)
+	f := ipFrame(b, "10.2.3.4", 255)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if f.Buf[packet.EthHeaderLen+8] < 2 {
+			// Rebuild the frame when TTL runs low.
+			f = ipFrame(b, "10.2.3.4", 255)
+		}
+		e.Process(f)
+	}
+}

@@ -1,0 +1,54 @@
+package click
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDot renders the element graph in Graphviz DOT format, so a router
+// configuration can be visualized with `dot -Tsvg`. Nodes are labeled
+// "name :: Class"; edges carry "out→in" port labels when either port is
+// nonzero.
+func (r *Router) WriteDot(w io.Writer, title string) error {
+	if title == "" {
+		title = "click"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	sort.Strings(names)
+	for _, name := range r.order {
+		e := r.elements[name]
+		label := name
+		if !strings.HasPrefix(name, "@") {
+			label = fmt.Sprintf("%s :: %s", name, e.Class())
+		} else {
+			label = e.Class()
+		}
+		fmt.Fprintf(&b, "  %q [label=%q];\n", name, label)
+	}
+	for _, name := range r.order {
+		e := r.elements[name]
+		base, ok := e.(interface{ base() *Base })
+		if !ok {
+			continue
+		}
+		for out, ref := range base.base().outputs {
+			if ref.elem == nil {
+				continue
+			}
+			if out == 0 && ref.port == 0 {
+				fmt.Fprintf(&b, "  %q -> %q;\n", name, ref.elem.InstanceName())
+			} else {
+				fmt.Fprintf(&b, "  %q -> %q [label=\"%d→%d\"];\n", name, ref.elem.InstanceName(), out, ref.port)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

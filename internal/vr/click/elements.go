@@ -1,0 +1,580 @@
+package click
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/route"
+)
+
+// builder constructs an element from its configuration arguments (the
+// comma-separated strings inside the parentheses).
+type builder func(name string, args []string) (Element, error)
+
+// registry maps class names to builders. Extending the element library is a
+// registry insert, mirroring Click's extensibility.
+var registry = map[string]builder{
+	"FromLVRM":      buildFromLVRM,
+	"ToLVRM":        buildToLVRM,
+	"Discard":       buildDiscard,
+	"Classifier":    buildClassifier,
+	"IPClassifier":  buildIPClassifier,
+	"CheckIPHeader": buildCheckIPHeader,
+	"DecIPTTL":      buildDecIPTTL,
+	"LookupIPRoute": buildLookupIPRoute,
+	"EtherRewrite":  buildEtherRewrite,
+	"Counter":       buildCounter,
+	"Tee":           buildTee,
+	"Queue":         buildQueue,
+	"Paint":         buildPaint,
+	"PaintSwitch":   buildPaintSwitch,
+}
+
+// Classes returns the sorted names of all registered element classes.
+func Classes() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// FromLVRM is the graph's entry point: the engine injects each frame here.
+// It has one output and no meaningful input.
+type FromLVRM struct{ Base }
+
+func buildFromLVRM(name string, args []string) (Element, error) {
+	if len(args) != 0 {
+		return nil, fmt.Errorf("click: FromLVRM takes no arguments")
+	}
+	e := &FromLVRM{}
+	e.setIdentity(name, "FromLVRM", 1)
+	return e, nil
+}
+
+// Push forwards the injected frame downstream.
+func (e *FromLVRM) Push(ctx *Context, f *packet.Frame, _ int) { e.Emit(ctx, f, 0) }
+
+// ToLVRM terminates the graph with a forward decision: it stamps the frame's
+// output interface and hands it back to the LVRM adapter.
+type ToLVRM struct {
+	Base
+	outIf int
+	count int64
+}
+
+func buildToLVRM(name string, args []string) (Element, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("click: ToLVRM requires exactly one argument (output interface)")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(args[0]))
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("click: ToLVRM: bad interface %q", args[0])
+	}
+	e := &ToLVRM{outIf: n}
+	e.setIdentity(name, "ToLVRM", 0)
+	return e, nil
+}
+
+// Push stamps the output interface and completes the traversal.
+func (e *ToLVRM) Push(ctx *Context, f *packet.Frame, _ int) {
+	f.Out = e.outIf
+	e.count++
+	ctx.Done = true
+}
+
+// Count returns the number of frames emitted to LVRM.
+func (e *ToLVRM) Count() int64 { return e.count }
+
+// Discard terminates the graph with a drop.
+type Discard struct {
+	Base
+	count int64
+}
+
+func buildDiscard(name string, args []string) (Element, error) {
+	if len(args) != 0 {
+		return nil, fmt.Errorf("click: Discard takes no arguments")
+	}
+	e := &Discard{}
+	e.setIdentity(name, "Discard", 0)
+	return e, nil
+}
+
+// Push drops the frame.
+func (e *Discard) Push(ctx *Context, f *packet.Frame, _ int) {
+	f.Out = -1
+	e.count++
+	ctx.Done = true
+}
+
+// Count returns the number of dropped frames.
+func (e *Discard) Count() int64 { return e.count }
+
+// Classifier dispatches by EtherType. Each argument is a pattern — "ip",
+// "arp", a hex EtherType like "0x0800", or "-" for anything — and selects
+// the output port with the same index as the first matching pattern.
+// Unmatched frames are dropped, as in Click.
+type Classifier struct {
+	Base
+	patterns []uint16 // 0 = wildcard
+	dropped  int64
+}
+
+func buildClassifier(name string, args []string) (Element, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("click: Classifier requires at least one pattern")
+	}
+	e := &Classifier{}
+	for _, a := range args {
+		switch a = strings.TrimSpace(a); a {
+		case "ip":
+			e.patterns = append(e.patterns, packet.EtherTypeIPv4)
+		case "arp":
+			e.patterns = append(e.patterns, packet.EtherTypeARP)
+		case "-":
+			e.patterns = append(e.patterns, 0)
+		default:
+			v, err := strconv.ParseUint(strings.TrimPrefix(a, "0x"), 16, 16)
+			if err != nil {
+				return nil, fmt.Errorf("click: Classifier: bad pattern %q", a)
+			}
+			e.patterns = append(e.patterns, uint16(v))
+		}
+	}
+	e.setIdentity(name, "Classifier", len(e.patterns))
+	return e, nil
+}
+
+// Push emits on the first output whose pattern matches the EtherType.
+func (e *Classifier) Push(ctx *Context, f *packet.Frame, _ int) {
+	et := f.EtherType()
+	for i, p := range e.patterns {
+		if p == 0 || p == et {
+			e.Emit(ctx, f, i)
+			return
+		}
+	}
+	e.dropped++
+	f.Out = -1
+	ctx.Done = true
+}
+
+// IPClassifier dispatches IPv4 frames by transport protocol: patterns are
+// "udp", "tcp", "icmp", a numeric protocol, or "-" for anything. Non-IPv4 or
+// unmatched frames drop.
+type IPClassifier struct {
+	Base
+	protos  []int // -1 = wildcard
+	dropped int64
+}
+
+func buildIPClassifier(name string, args []string) (Element, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("click: IPClassifier requires at least one pattern")
+	}
+	e := &IPClassifier{}
+	for _, a := range args {
+		switch a = strings.TrimSpace(a); a {
+		case "udp":
+			e.protos = append(e.protos, int(packet.ProtoUDP))
+		case "tcp":
+			e.protos = append(e.protos, int(packet.ProtoTCP))
+		case "icmp":
+			e.protos = append(e.protos, int(packet.ProtoICMP))
+		case "-":
+			e.protos = append(e.protos, -1)
+		default:
+			v, err := strconv.Atoi(a)
+			if err != nil || v < 0 || v > 255 {
+				return nil, fmt.Errorf("click: IPClassifier: bad pattern %q", a)
+			}
+			e.protos = append(e.protos, v)
+		}
+	}
+	e.setIdentity(name, "IPClassifier", len(e.protos))
+	return e, nil
+}
+
+// Push emits on the first output whose protocol pattern matches.
+func (e *IPClassifier) Push(ctx *Context, f *packet.Frame, _ int) {
+	drop := func() {
+		e.dropped++
+		f.Out = -1
+		ctx.Done = true
+	}
+	if f.EtherType() != packet.EtherTypeIPv4 || len(f.Buf) < packet.EthHeaderLen+packet.IPv4HeaderLen {
+		drop()
+		return
+	}
+	proto := int(f.Buf[packet.EthHeaderLen+9])
+	for i, p := range e.protos {
+		if p == -1 || p == proto {
+			e.Emit(ctx, f, i)
+			return
+		}
+	}
+	drop()
+}
+
+// CheckIPHeader validates the IPv4 header (version, length, checksum). Good
+// frames go to output 0; bad frames go to output 1 if connected, else drop.
+type CheckIPHeader struct {
+	Base
+	bad int64
+}
+
+func buildCheckIPHeader(name string, args []string) (Element, error) {
+	if len(args) != 0 {
+		return nil, fmt.Errorf("click: CheckIPHeader takes no arguments")
+	}
+	e := &CheckIPHeader{}
+	e.setIdentity(name, "CheckIPHeader", 2)
+	return e, nil
+}
+
+// Push validates and routes good/bad frames.
+func (e *CheckIPHeader) Push(ctx *Context, f *packet.Frame, _ int) {
+	ok := f.EtherType() == packet.EtherTypeIPv4 && len(f.Buf) >= packet.EthHeaderLen
+	if ok {
+		_, _, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:])
+		ok = err == nil
+	}
+	if ok {
+		e.Emit(ctx, f, 0)
+		return
+	}
+	e.bad++
+	if e.outputs[1].elem != nil {
+		e.Emit(ctx, f, 1)
+		return
+	}
+	f.Out = -1
+	ctx.Done = true
+}
+
+// Bad returns the number of frames that failed validation.
+func (e *CheckIPHeader) Bad() int64 { return e.bad }
+
+// DecIPTTL decrements the IPv4 TTL with an incremental checksum update.
+// Live frames exit output 0; expired frames exit output 1 if connected,
+// else drop.
+type DecIPTTL struct {
+	Base
+	expired int64
+}
+
+func buildDecIPTTL(name string, args []string) (Element, error) {
+	if len(args) != 0 {
+		return nil, fmt.Errorf("click: DecIPTTL takes no arguments")
+	}
+	e := &DecIPTTL{}
+	e.setIdentity(name, "DecIPTTL", 2)
+	return e, nil
+}
+
+// Push decrements the TTL and routes live/expired frames.
+func (e *DecIPTTL) Push(ctx *Context, f *packet.Frame, _ int) {
+	if len(f.Buf) >= packet.EthHeaderLen {
+		alive, err := packet.DecTTL(f.Buf[packet.EthHeaderLen:])
+		if err == nil && alive {
+			e.Emit(ctx, f, 0)
+			return
+		}
+	}
+	e.expired++
+	if e.outputs[1].elem != nil {
+		e.Emit(ctx, f, 1)
+		return
+	}
+	f.Out = -1
+	ctx.Done = true
+}
+
+// Expired returns the number of frames whose TTL ran out.
+func (e *DecIPTTL) Expired() int64 { return e.expired }
+
+// LookupIPRoute does longest-prefix-match routing. Each argument is
+// "prefix/len output" (e.g. "10.2.0.0/16 0"); the matched route's output
+// number selects the element's output port. No-route frames drop.
+type LookupIPRoute struct {
+	Base
+	table   route.Table
+	noRoute int64
+}
+
+func buildLookupIPRoute(name string, args []string) (Element, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("click: LookupIPRoute requires at least one route")
+	}
+	e := &LookupIPRoute{}
+	maxOut := 0
+	for _, a := range args {
+		fields := strings.Fields(a)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("click: LookupIPRoute: want 'prefix/len port', got %q", a)
+		}
+		prefix, bits, err := route.ParseCIDR(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("click: LookupIPRoute: %v", err)
+		}
+		out, err := strconv.Atoi(fields[1])
+		if err != nil || out < 0 {
+			return nil, fmt.Errorf("click: LookupIPRoute: bad port %q", fields[1])
+		}
+		if err := e.table.Insert(prefix, bits, out, 0); err != nil {
+			return nil, err
+		}
+		if out > maxOut {
+			maxOut = out
+		}
+	}
+	e.setIdentity(name, "LookupIPRoute", maxOut+1)
+	return e, nil
+}
+
+// Push routes the frame by destination IP.
+func (e *LookupIPRoute) Push(ctx *Context, f *packet.Frame, _ int) {
+	drop := func() {
+		e.noRoute++
+		f.Out = -1
+		ctx.Done = true
+	}
+	if f.EtherType() != packet.EtherTypeIPv4 || len(f.Buf) < packet.EthHeaderLen+packet.IPv4HeaderLen {
+		drop()
+		return
+	}
+	h, _, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:])
+	if err != nil {
+		drop()
+		return
+	}
+	entry, err := e.table.Lookup(h.Dst)
+	if err != nil {
+		drop()
+		return
+	}
+	e.Emit(ctx, f, entry.OutIf)
+}
+
+// NoRoute returns the number of frames with no matching route.
+func (e *LookupIPRoute) NoRoute() int64 { return e.noRoute }
+
+// EtherRewrite overwrites the Ethernet source and destination addresses,
+// like Click's EtherRewrite: EtherRewrite(srcmac, dstmac).
+type EtherRewrite struct {
+	Base
+	src, dst packet.MAC
+}
+
+func buildEtherRewrite(name string, args []string) (Element, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("click: EtherRewrite requires (src, dst)")
+	}
+	e := &EtherRewrite{}
+	var err error
+	if e.src, err = parseMAC(strings.TrimSpace(args[0])); err != nil {
+		return nil, err
+	}
+	if e.dst, err = parseMAC(strings.TrimSpace(args[1])); err != nil {
+		return nil, err
+	}
+	e.setIdentity(name, "EtherRewrite", 1)
+	return e, nil
+}
+
+func parseMAC(s string) (packet.MAC, error) {
+	var m packet.MAC
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return m, fmt.Errorf("click: bad MAC %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return m, fmt.Errorf("click: bad MAC %q", s)
+		}
+		m[i] = byte(v)
+	}
+	return m, nil
+}
+
+// Push rewrites the MACs and forwards.
+func (e *EtherRewrite) Push(ctx *Context, f *packet.Frame, _ int) {
+	f.SetSrcMAC(e.src)
+	f.SetDstMAC(e.dst)
+	e.Emit(ctx, f, 0)
+}
+
+// Counter counts frames and bytes, then passes them through unchanged.
+type Counter struct {
+	Base
+	frames int64
+	bytes  int64
+}
+
+func buildCounter(name string, args []string) (Element, error) {
+	if len(args) != 0 {
+		return nil, fmt.Errorf("click: Counter takes no arguments")
+	}
+	e := &Counter{}
+	e.setIdentity(name, "Counter", 1)
+	return e, nil
+}
+
+// Push counts and forwards.
+func (e *Counter) Push(ctx *Context, f *packet.Frame, _ int) {
+	e.frames++
+	e.bytes += int64(len(f.Buf))
+	e.Emit(ctx, f, 0)
+}
+
+// Stats returns the frame and byte counts.
+func (e *Counter) Stats() (frames, bytes int64) { return e.frames, e.bytes }
+
+// Tee clones the frame to each of its n outputs (the original goes to
+// output 0, clones to 1..n-1).
+type Tee struct {
+	Base
+	n int
+}
+
+func buildTee(name string, args []string) (Element, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("click: Tee requires the number of outputs")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(args[0]))
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("click: Tee: bad output count %q", args[0])
+	}
+	e := &Tee{n: n}
+	e.setIdentity(name, "Tee", n)
+	return e, nil
+}
+
+// Push clones to every output. Each clone gets its own traversal context so
+// one branch's termination does not silence the others.
+func (e *Tee) Push(ctx *Context, f *packet.Frame, _ int) {
+	for i := 1; i < e.n; i++ {
+		clone := f.Clone()
+		branch := &Context{Paint: ctx.Paint, Now: ctx.Now}
+		e.Emit(branch, clone, i)
+		ctx.Hops += branch.Hops
+	}
+	e.Emit(ctx, f, 0)
+}
+
+// Queue is a simplified push-mode standing queue: frames enter, and the head
+// of the queue leaves immediately downstream. Its capacity bounds transient
+// fan-in bursts (e.g. behind a Tee); overflow drops the newest frame, and
+// Drops exposes the count.
+type Queue struct {
+	Base
+	buf   []*packet.Frame
+	cap   int
+	drops int64
+}
+
+func buildQueue(name string, args []string) (Element, error) {
+	capacity := 1024
+	if len(args) == 1 {
+		var err error
+		capacity, err = strconv.Atoi(strings.TrimSpace(args[0]))
+		if err != nil || capacity < 1 {
+			return nil, fmt.Errorf("click: Queue: bad capacity %q", args[0])
+		}
+	} else if len(args) > 1 {
+		return nil, fmt.Errorf("click: Queue takes at most one argument")
+	}
+	e := &Queue{cap: capacity}
+	e.setIdentity(name, "Queue", 1)
+	return e, nil
+}
+
+// Push enqueues the frame and forwards the queue head.
+func (e *Queue) Push(ctx *Context, f *packet.Frame, _ int) {
+	if len(e.buf) >= e.cap {
+		e.drops++
+		f.Out = -1
+		ctx.Done = true
+		return
+	}
+	e.buf = append(e.buf, f)
+	head := e.buf[0]
+	e.buf = e.buf[1:]
+	e.Emit(ctx, head, 0)
+}
+
+// Drops returns the number of overflow drops.
+func (e *Queue) Drops() int64 { return e.drops }
+
+// Len returns the standing occupancy.
+func (e *Queue) Len() int { return len(e.buf) }
+
+// Paint stamps the frame's paint annotation.
+type Paint struct {
+	Base
+	color int
+}
+
+func buildPaint(name string, args []string) (Element, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("click: Paint requires a color")
+	}
+	c, err := strconv.Atoi(strings.TrimSpace(args[0]))
+	if err != nil || c < 0 {
+		return nil, fmt.Errorf("click: Paint: bad color %q", args[0])
+	}
+	e := &Paint{color: c}
+	e.setIdentity(name, "Paint", 1)
+	return e, nil
+}
+
+// Push paints and forwards.
+func (e *Paint) Push(ctx *Context, f *packet.Frame, _ int) {
+	ctx.Paint = e.color
+	e.Emit(ctx, f, 0)
+}
+
+// PaintSwitch dispatches by paint annotation: a frame painted c exits output
+// c; out-of-range paints drop.
+type PaintSwitch struct {
+	Base
+	n       int
+	dropped int64
+}
+
+func buildPaintSwitch(name string, args []string) (Element, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("click: PaintSwitch requires the number of outputs")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(args[0]))
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("click: PaintSwitch: bad output count %q", args[0])
+	}
+	e := &PaintSwitch{n: n}
+	e.setIdentity(name, "PaintSwitch", n)
+	return e, nil
+}
+
+// Push routes by paint annotation.
+func (e *PaintSwitch) Push(ctx *Context, f *packet.Frame, _ int) {
+	if ctx.Paint < 0 || ctx.Paint >= e.n {
+		e.dropped++
+		f.Out = -1
+		ctx.Done = true
+		return
+	}
+	e.Emit(ctx, f, ctx.Paint)
+}

@@ -1,0 +1,248 @@
+package click
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/route"
+)
+
+// This file holds the second batch of element classes: static and
+// round-robin switches, source/destination prefix filtering, and a
+// token-bucket meter — enough to express policy-routing and rate-tiering
+// configurations beyond the standard forwarder.
+
+func init() {
+	registry["Switch"] = buildSwitch
+	registry["RoundRobinSwitch"] = buildRoundRobinSwitch
+	registry["IPFilter"] = buildIPFilter
+	registry["Meter"] = buildMeter
+}
+
+// Switch emits every frame on one statically selected output port, like
+// Click's Switch element. The port can be changed at run time (e.g. by a
+// control handler) through SetPort, which makes it the standard hook for
+// draining traffic away from a path.
+type Switch struct {
+	Base
+	port int
+}
+
+func buildSwitch(name string, args []string) (Element, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("click: Switch requires (outputs, initial port)")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(args[0]))
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("click: Switch: bad output count %q", args[0])
+	}
+	p, err := strconv.Atoi(strings.TrimSpace(args[1]))
+	if err != nil || p < 0 || p >= n {
+		return nil, fmt.Errorf("click: Switch: bad initial port %q", args[1])
+	}
+	e := &Switch{port: p}
+	e.setIdentity(name, "Switch", n)
+	return e, nil
+}
+
+// Push forwards on the currently selected port.
+func (e *Switch) Push(ctx *Context, f *packet.Frame, _ int) { e.Emit(ctx, f, e.port) }
+
+// Port returns the currently selected output.
+func (e *Switch) Port() int { return e.port }
+
+// SetPort selects the output for subsequent frames.
+func (e *Switch) SetPort(p int) error {
+	if p < 0 || p >= e.NOutputs() {
+		return fmt.Errorf("click: Switch %s has no port %d", e.InstanceName(), p)
+	}
+	e.port = p
+	return nil
+}
+
+// RoundRobinSwitch spreads frames over its outputs in rotation — Click's
+// element of the same name, useful for in-graph load spreading.
+type RoundRobinSwitch struct {
+	Base
+	next int
+}
+
+func buildRoundRobinSwitch(name string, args []string) (Element, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("click: RoundRobinSwitch requires the number of outputs")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(args[0]))
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("click: RoundRobinSwitch: bad output count %q", args[0])
+	}
+	e := &RoundRobinSwitch{}
+	e.setIdentity(name, "RoundRobinSwitch", n)
+	return e, nil
+}
+
+// Push forwards on the next output in rotation.
+func (e *RoundRobinSwitch) Push(ctx *Context, f *packet.Frame, _ int) {
+	p := e.next
+	e.next = (e.next + 1) % e.NOutputs()
+	e.Emit(ctx, f, p)
+}
+
+// IPFilter matches IPv4 frames against source/destination prefix rules and
+// emits on the first matching rule's port. Rules take the form
+// "src 10.1.0.0/16 0", "dst 10.2.0.0/16 1", or "- 2" (match anything).
+// Non-IPv4 and unmatched frames drop.
+type IPFilter struct {
+	Base
+	srcTable route.Table
+	dstTable route.Table
+	wildcard int // port for "-" rules; -1 = none
+	dropped  int64
+}
+
+func buildIPFilter(name string, args []string) (Element, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("click: IPFilter requires at least one rule")
+	}
+	e := &IPFilter{wildcard: -1}
+	maxOut := 0
+	for _, a := range args {
+		fields := strings.Fields(a)
+		switch {
+		case len(fields) == 2 && fields[0] == "-":
+			p, err := strconv.Atoi(fields[1])
+			if err != nil || p < 0 {
+				return nil, fmt.Errorf("click: IPFilter: bad port in %q", a)
+			}
+			if e.wildcard >= 0 {
+				return nil, fmt.Errorf("click: IPFilter: duplicate wildcard rule")
+			}
+			e.wildcard = p
+			if p > maxOut {
+				maxOut = p
+			}
+		case len(fields) == 3 && (fields[0] == "src" || fields[0] == "dst"):
+			prefix, bits, err := route.ParseCIDR(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("click: IPFilter: %v", err)
+			}
+			p, err := strconv.Atoi(fields[2])
+			if err != nil || p < 0 {
+				return nil, fmt.Errorf("click: IPFilter: bad port in %q", a)
+			}
+			tbl := &e.srcTable
+			if fields[0] == "dst" {
+				tbl = &e.dstTable
+			}
+			if err := tbl.Insert(prefix, bits, p, 0); err != nil {
+				return nil, err
+			}
+			if p > maxOut {
+				maxOut = p
+			}
+		default:
+			return nil, fmt.Errorf("click: IPFilter: want 'src|dst prefix port' or '- port', got %q", a)
+		}
+	}
+	e.setIdentity(name, "IPFilter", maxOut+1)
+	return e, nil
+}
+
+// Push matches source rules first, then destination rules, then the
+// wildcard; unmatched frames drop.
+func (e *IPFilter) Push(ctx *Context, f *packet.Frame, _ int) {
+	drop := func() {
+		e.dropped++
+		f.Out = -1
+		ctx.Done = true
+	}
+	if f.EtherType() != packet.EtherTypeIPv4 || len(f.Buf) < packet.EthHeaderLen+packet.IPv4HeaderLen {
+		drop()
+		return
+	}
+	h, _, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:])
+	if err != nil {
+		drop()
+		return
+	}
+	if entry, err := e.srcTable.Lookup(h.Src); err == nil {
+		e.Emit(ctx, f, entry.OutIf)
+		return
+	}
+	if entry, err := e.dstTable.Lookup(h.Dst); err == nil {
+		e.Emit(ctx, f, entry.OutIf)
+		return
+	}
+	if e.wildcard >= 0 {
+		e.Emit(ctx, f, e.wildcard)
+		return
+	}
+	drop()
+}
+
+// Dropped returns the number of unmatched frames.
+func (e *IPFilter) Dropped() int64 { return e.dropped }
+
+// Meter is a two-color token-bucket: frames within the configured rate exit
+// output 0, excess frames exit output 1 (or drop if port 1 dangles). The
+// clock is the traversal context's Now, supplied by the engine.
+//
+//	m :: Meter(100000);   // 100 Kfps
+type Meter struct {
+	Base
+	ratePerSec float64
+	burst      float64
+	tokens     float64
+	lastNS     int64
+	excess     int64
+}
+
+func buildMeter(name string, args []string) (Element, error) {
+	if len(args) < 1 || len(args) > 2 {
+		return nil, fmt.Errorf("click: Meter requires (rate fps [, burst frames])")
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(args[0]), 64)
+	if err != nil || rate <= 0 {
+		return nil, fmt.Errorf("click: Meter: bad rate %q", args[0])
+	}
+	burst := rate / 100 // default burst: 10 ms worth
+	if burst < 8 {
+		burst = 8
+	}
+	if len(args) == 2 {
+		burst, err = strconv.ParseFloat(strings.TrimSpace(args[1]), 64)
+		if err != nil || burst < 1 {
+			return nil, fmt.Errorf("click: Meter: bad burst %q", args[1])
+		}
+	}
+	e := &Meter{ratePerSec: rate, burst: burst, tokens: burst}
+	e.setIdentity(name, "Meter", 2)
+	return e, nil
+}
+
+// Push refills the bucket from the context clock and classifies the frame.
+func (e *Meter) Push(ctx *Context, f *packet.Frame, _ int) {
+	if ctx.Now > e.lastNS {
+		e.tokens += float64(ctx.Now-e.lastNS) / 1e9 * e.ratePerSec
+		if e.tokens > e.burst {
+			e.tokens = e.burst
+		}
+		e.lastNS = ctx.Now
+	}
+	if e.tokens >= 1 {
+		e.tokens--
+		e.Emit(ctx, f, 0)
+		return
+	}
+	e.excess++
+	if e.outputs[1].elem != nil {
+		e.Emit(ctx, f, 1)
+		return
+	}
+	f.Out = -1
+	ctx.Done = true
+}
+
+// Excess returns the number of over-rate frames.
+func (e *Meter) Excess() int64 { return e.excess }

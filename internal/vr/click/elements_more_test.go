@@ -1,0 +1,283 @@
+package click
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/vr"
+)
+
+func TestSwitchStaticAndSetPort(t *testing.T) {
+	cfg := `
+in :: FromLVRM;
+sw :: Switch(2, 0);
+in -> sw;
+sw[0] -> ToLVRM(0);
+sw[1] -> ToLVRM(1);
+`
+	r, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ipFrame(t, "10.2.3.4", 64)
+	r.Process(f)
+	if f.Out != 0 {
+		t.Errorf("initial port Out = %d", f.Out)
+	}
+	sw, _ := r.Element("sw")
+	if sw.(*Switch).Port() != 0 {
+		t.Errorf("Port = %d", sw.(*Switch).Port())
+	}
+	if err := sw.(*Switch).SetPort(1); err != nil {
+		t.Fatal(err)
+	}
+	f2 := ipFrame(t, "10.2.3.4", 64)
+	r.Process(f2)
+	if f2.Out != 1 {
+		t.Errorf("after SetPort Out = %d", f2.Out)
+	}
+	if err := sw.(*Switch).SetPort(7); err == nil {
+		t.Error("SetPort(7) accepted on a 2-port switch")
+	}
+	for _, bad := range []string{
+		`in :: FromLVRM; in -> Switch(2) -> Discard;`,
+		`in :: FromLVRM; in -> Switch(x, 0) -> Discard;`,
+		`in :: FromLVRM; in -> Switch(2, 5) -> Discard;`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("bad Switch config accepted: %s", bad)
+		}
+	}
+}
+
+func TestRoundRobinSwitchRotates(t *testing.T) {
+	cfg := `
+in :: FromLVRM;
+rrs :: RoundRobinSwitch(3);
+c0 :: Counter; c1 :: Counter; c2 :: Counter;
+in -> rrs;
+rrs[0] -> c0 -> ToLVRM(0);
+rrs[1] -> c1 -> ToLVRM(0);
+rrs[2] -> c2 -> ToLVRM(0);
+`
+	r, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		r.Process(ipFrame(t, "10.2.3.4", 64))
+	}
+	for _, name := range []string{"c0", "c1", "c2"} {
+		e, _ := r.Element(name)
+		if n, _ := e.(*Counter).Stats(); n != 3 {
+			t.Errorf("%s = %d frames, want 3", name, n)
+		}
+	}
+}
+
+func TestIPFilterRules(t *testing.T) {
+	cfg := `
+in :: FromLVRM;
+flt :: IPFilter(src 10.1.0.0/16 0, dst 10.9.0.0/16 1, - 2);
+in -> flt;
+flt[0] -> ToLVRM(10);
+flt[1] -> ToLVRM(11);
+flt[2] -> ToLVRM(12);
+`
+	r, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(src, dst string) *packet.Frame {
+		f, _ := packet.BuildUDP(packet.UDPBuildOpts{
+			Src: packet.MustParseIP(src), Dst: packet.MustParseIP(dst),
+			TTL: 64, WireSize: packet.MinWireSize,
+		})
+		return f
+	}
+	bySrc := mk("10.1.2.3", "10.2.0.1")
+	r.Process(bySrc)
+	if bySrc.Out != 10 {
+		t.Errorf("src rule Out = %d", bySrc.Out)
+	}
+	byDst := mk("172.16.0.1", "10.9.5.5")
+	r.Process(byDst)
+	if byDst.Out != 11 {
+		t.Errorf("dst rule Out = %d", byDst.Out)
+	}
+	wild := mk("172.16.0.1", "192.0.2.1")
+	r.Process(wild)
+	if wild.Out != 12 {
+		t.Errorf("wildcard Out = %d", wild.Out)
+	}
+	// Non-IP drops and counts.
+	arp := &packet.Frame{Buf: make([]byte, 60)}
+	arp.Buf[12], arp.Buf[13] = 0x08, 0x06
+	r.Process(arp)
+	flt, _ := r.Element("flt")
+	if flt.(*IPFilter).Dropped() != 1 {
+		t.Errorf("Dropped = %d", flt.(*IPFilter).Dropped())
+	}
+	for _, bad := range []string{
+		`in :: FromLVRM; in -> IPFilter() -> Discard;`,
+		`in :: FromLVRM; in -> IPFilter(src zz 0) -> Discard;`,
+		`in :: FromLVRM; in -> IPFilter(both 10.0.0.0/8 0) -> Discard;`,
+		`in :: FromLVRM; in -> IPFilter(- 0, - 1) -> Discard;`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("bad IPFilter config accepted: %s", bad)
+		}
+	}
+}
+
+func TestIPFilterWithoutWildcardDrops(t *testing.T) {
+	cfg := `
+in :: FromLVRM;
+flt :: IPFilter(src 10.1.0.0/16 0);
+in -> flt;
+flt[0] -> ToLVRM(0);
+`
+	r, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ipFrame(t, "10.2.3.4", 64) // src 10.1.0.5 matches...
+	r.Process(f)
+	if f.Out != 0 {
+		t.Fatalf("matching frame Out = %d", f.Out)
+	}
+	stray, _ := packet.BuildUDP(packet.UDPBuildOpts{
+		Src: packet.MustParseIP("172.16.0.1"), Dst: packet.MustParseIP("10.2.0.1"),
+		TTL: 64, WireSize: packet.MinWireSize,
+	})
+	r.Process(stray)
+	if stray.Out != vr.Drop {
+		t.Errorf("unmatched frame Out = %d", stray.Out)
+	}
+}
+
+func TestMeterTokenBucket(t *testing.T) {
+	cfg := `
+in :: FromLVRM;
+m :: Meter(1000, 10);
+ok :: Counter;
+in -> m;
+m[0] -> ok -> ToLVRM(0);
+`
+	r, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst of 25 frames at t=0: 10 pass on the initial burst allowance,
+	// 15 drop on the dangling excess port.
+	for i := 0; i < 25; i++ {
+		f := ipFrame(t, "10.2.3.4", 64)
+		f.Timestamp = 0
+		r.Process(f)
+	}
+	m, _ := r.Element("m")
+	okC, _ := r.Element("ok")
+	passed, _ := okC.(*Counter).Stats()
+	if passed != 10 {
+		t.Errorf("burst passed %d, want 10 (bucket depth)", passed)
+	}
+	if m.(*Meter).Excess() != 15 {
+		t.Errorf("Excess = %d", m.(*Meter).Excess())
+	}
+	// After one second at 1000 fps the bucket refills (capped at 10).
+	f := ipFrame(t, "10.2.3.4", 64)
+	f.Timestamp = int64(time.Second)
+	r.Process(f)
+	if f.Out != 0 {
+		t.Errorf("refilled frame Out = %d", f.Out)
+	}
+	// Steady paced traffic at half the rate always passes.
+	for i := 0; i < 50; i++ {
+		f := ipFrame(t, "10.2.3.4", 64)
+		f.Timestamp = int64(time.Second) + int64(i+1)*int64(2*time.Millisecond)
+		r.Process(f)
+		if f.Out != 0 {
+			t.Fatalf("paced frame %d dropped", i)
+		}
+	}
+}
+
+func TestMeterExcessPort(t *testing.T) {
+	cfg := `
+in :: FromLVRM;
+m :: Meter(1000, 2);
+over :: Counter;
+in -> m;
+m[0] -> ToLVRM(0);
+m[1] -> over -> ToLVRM(1);
+`
+	r, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := map[int]int{}
+	for i := 0; i < 5; i++ {
+		f := ipFrame(t, "10.2.3.4", 64)
+		f.Timestamp = 0
+		r.Process(f)
+		outs[f.Out]++
+	}
+	if outs[0] != 2 || outs[1] != 3 {
+		t.Errorf("outs = %v, want 2 conforming / 3 excess", outs)
+	}
+	for _, bad := range []string{
+		`in :: FromLVRM; in -> Meter(0) -> Discard;`,
+		`in :: FromLVRM; in -> Meter(100, 0) -> Discard;`,
+		`in :: FromLVRM; in -> Meter(100, 5, 9) -> Discard;`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("bad Meter config accepted: %s", bad)
+		}
+	}
+}
+
+func TestClassesIncludesSecondBatch(t *testing.T) {
+	have := map[string]bool{}
+	for _, c := range Classes() {
+		have[c] = true
+	}
+	for _, want := range []string{"Switch", "RoundRobinSwitch", "IPFilter", "Meter"} {
+		if !have[want] {
+			t.Errorf("class %s not registered", want)
+		}
+	}
+	if len(Classes()) < 18 {
+		t.Errorf("only %d classes registered", len(Classes()))
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	r, err := Parse(StandardForwarder("10.2.0.0/16", "10.1.0.0/16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteDot(&sb, "forwarder"); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{
+		`digraph "forwarder"`,
+		`"rt" [label="rt :: LookupIPRoute"]`,
+		`"in" -> "cnt"`,
+		`"cls" -> "chk"`, // port 0→0, unlabeled
+		`label="2→0"`,    // rt[2] -> discard
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Default title.
+	var sb2 strings.Builder
+	r.WriteDot(&sb2, "")
+	if !strings.Contains(sb2.String(), `digraph "click"`) {
+		t.Error("default title missing")
+	}
+}

@@ -1,0 +1,36 @@
+package click_test
+
+import (
+	"fmt"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/vr/click"
+)
+
+// A Click VR compiles from a configuration script into an element graph;
+// frames pushed through it come out with a forwarding decision.
+func ExampleParse() {
+	router, err := click.Parse(`
+in  :: FromLVRM;
+cls :: Classifier(ip, -);
+rt  :: LookupIPRoute(10.2.0.0/16 0, 0.0.0.0/0 1);
+
+in -> cls;
+cls[0] -> CheckIPHeader -> DecIPTTL -> rt;
+cls[1] -> Discard;
+rt[0] -> ToLVRM(1);
+rt[1] -> Discard;
+`)
+	if err != nil {
+		panic(err)
+	}
+	f, _ := packet.BuildUDP(packet.UDPBuildOpts{
+		Src:      packet.MustParseIP("10.1.0.5"),
+		Dst:      packet.MustParseIP("10.2.3.4"),
+		WireSize: packet.MinWireSize,
+	})
+	hops := router.Process(f)
+	fmt.Printf("forwarded to interface %d after %d element hops\n", f.Out, hops)
+	// Output:
+	// forwarded to interface 1 after 6 element hops
+}

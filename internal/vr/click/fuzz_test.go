@@ -1,0 +1,60 @@
+package click
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lvrm/internal/packet"
+)
+
+// TestParseNeverPanics: the configuration parser faces operator-written
+// scripts; arbitrary text must produce an error, never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseFragmentsNeverPanic drives the parser with syntax-shaped noise
+// built from the language's own tokens, which exercises deeper paths than
+// uniformly random strings.
+func TestParseFragmentsNeverPanic(t *testing.T) {
+	tokens := []string{
+		"in", "::", "FromLVRM", "->", "Discard", ";", "(", ")", "[", "]",
+		"0", "1", "Classifier", "ip", ",", "-", "ToLVRM", "Queue", "\n",
+		"LookupIPRoute", "10.0.0.0/8 0", "//x", "@", " ",
+	}
+	f := func(picks []uint8) bool {
+		var sb []byte
+		for _, p := range picks {
+			sb = append(sb, tokens[int(p)%len(tokens)]...)
+		}
+		_, _ = Parse(string(sb))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStandardForwarderNeverPanicsOnRandomFrames: the wired graph must
+// survive arbitrary frame bytes (the classifier and checkers route garbage
+// to drops).
+func TestStandardForwarderNeverPanicsOnRandomFrames(t *testing.T) {
+	e, err := NewEngine(EngineConfig{Config: StandardForwarder("10.2.0.0/16", "10.1.0.0/16")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(b []byte) bool {
+		fr := &packet.Frame{Buf: b}
+		_, _ = e.Process(fr)
+		return fr.Out >= -1 // disposition always set
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,297 @@
+package click
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse compiles a configuration script into a wired Router. The grammar is
+// a subset of Click's:
+//
+//	config      := (statement ';')*
+//	statement   := declaration | connection | ε
+//	declaration := name "::" class [ '(' args ')' ]
+//	connection  := endpoint ( "->" endpoint )+
+//	endpoint    := [ '[' port ']' ] ref [ '[' port ']' ]
+//	ref         := name | class [ '(' args ')' ]     (inline anonymous decl)
+//
+// "//" and "#" start line comments. Arguments are comma-separated and may
+// contain spaces (e.g. route entries "10.0.0.0/8 1").
+func Parse(config string) (*Router, error) {
+	p := &parser{router: newRouter()}
+	if err := p.run(config); err != nil {
+		return nil, err
+	}
+	if err := p.router.finalize(); err != nil {
+		return nil, err
+	}
+	return p.router, nil
+}
+
+type parser struct {
+	router *Router
+	anon   int
+}
+
+func (p *parser) run(config string) error {
+	for lineNo, stmt := range splitStatements(config) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if err := p.statement(stmt); err != nil {
+			return fmt.Errorf("click: statement %d (%q): %w", lineNo+1, abbreviate(stmt), err)
+		}
+	}
+	return nil
+}
+
+// splitStatements strips comments and splits on ';' outside parentheses.
+func splitStatements(config string) []string {
+	var sb strings.Builder
+	lines := strings.Split(config, "\n")
+	for _, ln := range lines {
+		if i := strings.Index(ln, "//"); i >= 0 {
+			ln = ln[:i]
+		}
+		if i := strings.IndexByte(ln, '#'); i >= 0 {
+			ln = ln[:i]
+		}
+		sb.WriteString(ln)
+		sb.WriteByte('\n')
+	}
+	text := sb.String()
+	var stmts []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ';':
+			if depth == 0 {
+				stmts = append(stmts, text[start:i])
+				start = i + 1
+			}
+		}
+	}
+	stmts = append(stmts, text[start:])
+	return stmts
+}
+
+func abbreviate(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}
+
+func (p *parser) statement(stmt string) error {
+	if idx := indexTopLevel(stmt, "::"); idx >= 0 && !strings.Contains(stmt[:idx], "->") {
+		return p.declaration(stmt, idx)
+	}
+	if strings.Contains(stmt, "->") {
+		return p.connection(stmt)
+	}
+	return fmt.Errorf("neither a declaration nor a connection")
+}
+
+// indexTopLevel finds sep outside parentheses.
+func indexTopLevel(s, sep string) int {
+	depth := 0
+	for i := 0; i+len(sep) <= len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		if depth == 0 && s[i:i+len(sep)] == sep {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *parser) declaration(stmt string, sepIdx int) error {
+	name := strings.TrimSpace(stmt[:sepIdx])
+	if !isIdent(name) {
+		return fmt.Errorf("bad element name %q", name)
+	}
+	_, err := p.instantiate(name, strings.TrimSpace(stmt[sepIdx+2:]))
+	return err
+}
+
+// instantiate builds an element from "Class" or "Class(args)" under name.
+func (p *parser) instantiate(name, spec string) (Element, error) {
+	class := spec
+	var args []string
+	if i := strings.IndexByte(spec, '('); i >= 0 {
+		if !strings.HasSuffix(spec, ")") {
+			return nil, fmt.Errorf("unbalanced parentheses in %q", spec)
+		}
+		class = strings.TrimSpace(spec[:i])
+		args = splitArgs(spec[i+1 : len(spec)-1])
+	}
+	build, ok := registry[class]
+	if !ok {
+		return nil, fmt.Errorf("unknown element class %q", class)
+	}
+	elem, err := build(name, args)
+	if err != nil {
+		return nil, err
+	}
+	return elem, p.router.add(elem)
+}
+
+// splitArgs splits on top-level commas; empty input yields no args.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var args []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				args = append(args, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	args = append(args, strings.TrimSpace(s[start:]))
+	return args
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// endpoint is one side of a "->": an element with optional input/output
+// port selectors.
+type endpoint struct {
+	elem    Element
+	inPort  int
+	outPort int
+}
+
+func (p *parser) connection(stmt string) error {
+	parts := splitTopLevel(stmt, "->")
+	if len(parts) < 2 {
+		return fmt.Errorf("connection needs at least two endpoints")
+	}
+	eps := make([]endpoint, len(parts))
+	for i, part := range parts {
+		ep, err := p.endpoint(strings.TrimSpace(part))
+		if err != nil {
+			return err
+		}
+		eps[i] = ep
+	}
+	for i := 0; i+1 < len(eps); i++ {
+		from, to := eps[i], eps[i+1]
+		if err := p.router.connect(from.elem, from.outPort, to.elem, to.inPort); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func splitTopLevel(s, sep string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i+len(sep) <= len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		if depth == 0 && s[i:i+len(sep)] == sep {
+			parts = append(parts, s[start:i])
+			start = i + len(sep)
+			i += len(sep) - 1
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// endpoint parses "[in]ref[out]" where ref is a declared name or an inline
+// class instantiation.
+func (p *parser) endpoint(s string) (endpoint, error) {
+	ep := endpoint{}
+	// Leading input port selector.
+	if strings.HasPrefix(s, "[") {
+		end := strings.IndexByte(s, ']')
+		if end < 0 {
+			return ep, fmt.Errorf("unclosed input port selector in %q", s)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(s[1:end]))
+		if err != nil || n < 0 {
+			return ep, fmt.Errorf("bad input port in %q", s)
+		}
+		ep.inPort = n
+		s = strings.TrimSpace(s[end+1:])
+	}
+	// Trailing output port selector (only when it is not part of args).
+	if strings.HasSuffix(s, "]") {
+		start := strings.LastIndexByte(s, '[')
+		if start < 0 {
+			return ep, fmt.Errorf("unclosed output port selector in %q", s)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(s[start+1 : len(s)-1]))
+		if err != nil || n < 0 {
+			return ep, fmt.Errorf("bad output port in %q", s)
+		}
+		ep.outPort = n
+		s = strings.TrimSpace(s[:start])
+	}
+	if s == "" {
+		return ep, fmt.Errorf("missing element reference")
+	}
+	// Declared name?
+	if isIdent(s) {
+		if elem, ok := p.router.elements[s]; ok {
+			ep.elem = elem
+			return ep, nil
+		}
+		// A bare class name used inline (e.g. "-> CheckIPHeader ->").
+		if _, isClass := registry[s]; !isClass {
+			return ep, fmt.Errorf("unknown element %q", s)
+		}
+	}
+	// Inline anonymous instantiation.
+	p.anon++
+	name := fmt.Sprintf("@%d", p.anon)
+	elem, err := p.instantiate(name, s)
+	if err != nil {
+		return ep, err
+	}
+	ep.elem = elem
+	return ep, nil
+}

@@ -1,0 +1,18 @@
+package click
+
+import "testing"
+
+// FuzzParse drives the configuration parser under go test -fuzz; the seeds
+// cover every element class so mutations explore argument handling.
+func FuzzParse(f *testing.F) {
+	f.Add(StandardForwarder("10.2.0.0/16", "10.1.0.0/16"))
+	f.Add(`in :: FromLVRM; in -> Meter(100, 5) -> ToLVRM(0);`)
+	f.Add(`in :: FromLVRM; in -> IPFilter(src 10.0.0.0/8 0, - 1); `)
+	f.Add(`a :: Switch(2, 1); in :: FromLVRM; in -> a; a[0] -> Discard; a[1] -> Discard;`)
+	f.Fuzz(func(t *testing.T, cfg string) {
+		r, err := Parse(cfg)
+		if err == nil && r == nil {
+			t.Fatal("nil router without error")
+		}
+	})
+}

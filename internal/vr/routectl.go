@@ -1,0 +1,89 @@
+package vr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lvrm/internal/packet"
+)
+
+// RouteUpdate is a control-plane message instructing a VRI to install or
+// withdraw a static route. The paper's VRIs load their tables from map files
+// at start (Section 3.7) and "can be slightly changed to support both static
+// and dynamic routes without affecting the design of LVRM" — this is that
+// change: updates travel as control events through the control queues and
+// each VRI of the VR applies them to its own table, keeping the instances'
+// routing state synchronized.
+type RouteUpdate struct {
+	// Withdraw removes the route instead of installing it.
+	Withdraw bool
+	// Prefix/Bits is the destination prefix.
+	Prefix packet.IP
+	Bits   int
+	// OutIf and NextHop complete the route (ignored on withdraw).
+	OutIf   int
+	NextHop packet.IP
+}
+
+// routeUpdateMagic tags RouteUpdate control payloads.
+var routeUpdateMagic = [4]byte{'R', 'T', 'U', 'P'}
+
+// routeUpdateLen is the fixed wire length of a marshaled RouteUpdate.
+const routeUpdateLen = 4 + 1 + 4 + 1 + 2 + 4
+
+// ErrNotRouteUpdate is returned by ParseRouteUpdate for foreign payloads.
+var ErrNotRouteUpdate = errors.New("vr: not a route-update control payload")
+
+// Marshal encodes the update as a control-event payload.
+func (u RouteUpdate) Marshal() []byte {
+	b := make([]byte, routeUpdateLen)
+	copy(b[0:4], routeUpdateMagic[:])
+	if u.Withdraw {
+		b[4] = 1
+	}
+	binary.BigEndian.PutUint32(b[5:9], uint32(u.Prefix))
+	b[9] = byte(u.Bits)
+	binary.BigEndian.PutUint16(b[10:12], uint16(u.OutIf))
+	binary.BigEndian.PutUint32(b[12:16], uint32(u.NextHop))
+	return b
+}
+
+// ParseRouteUpdate decodes a control-event payload produced by Marshal.
+func ParseRouteUpdate(b []byte) (RouteUpdate, error) {
+	var u RouteUpdate
+	if len(b) != routeUpdateLen || [4]byte(b[0:4]) != routeUpdateMagic {
+		return u, ErrNotRouteUpdate
+	}
+	u.Withdraw = b[4] != 0
+	u.Prefix = packet.IP(binary.BigEndian.Uint32(b[5:9]))
+	u.Bits = int(b[9])
+	u.OutIf = int(binary.BigEndian.Uint16(b[10:12]))
+	u.NextHop = packet.IP(binary.BigEndian.Uint32(b[12:16]))
+	if u.Bits > 32 {
+		return RouteUpdate{}, fmt.Errorf("vr: route update with prefix length %d", u.Bits)
+	}
+	return u, nil
+}
+
+// ApplyRouteUpdate applies a dynamic route change to the engine's table.
+// It reports whether the table changed.
+func (b *Basic) ApplyRouteUpdate(u RouteUpdate) (bool, error) {
+	if b.cfg.Routes == nil {
+		return false, errors.New("vr: engine has no route table")
+	}
+	if u.Withdraw {
+		return b.cfg.Routes.Delete(u.Prefix, u.Bits), nil
+	}
+	if err := b.cfg.Routes.Insert(u.Prefix, u.Bits, u.OutIf, u.NextHop); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RouteUpdater is implemented by engines that accept dynamic route changes.
+type RouteUpdater interface {
+	ApplyRouteUpdate(RouteUpdate) (bool, error)
+}
+
+var _ RouteUpdater = (*Basic)(nil)

@@ -1,0 +1,107 @@
+package vr
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lvrm/internal/packet"
+	"lvrm/internal/route"
+)
+
+func TestRouteUpdateRoundTrip(t *testing.T) {
+	f := func(withdraw bool, prefix uint32, bits uint8, outIf uint16, hop uint32) bool {
+		u := RouteUpdate{
+			Withdraw: withdraw,
+			Prefix:   packet.IP(prefix),
+			Bits:     int(bits % 33),
+			OutIf:    int(outIf),
+			NextHop:  packet.IP(hop),
+		}
+		back, err := ParseRouteUpdate(u.Marshal())
+		return err == nil && back == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRouteUpdateRejectsForeign(t *testing.T) {
+	if _, err := ParseRouteUpdate([]byte("hello")); !errors.Is(err, ErrNotRouteUpdate) {
+		t.Errorf("short payload: %v", err)
+	}
+	if _, err := ParseRouteUpdate(make([]byte, 16)); !errors.Is(err, ErrNotRouteUpdate) {
+		t.Errorf("wrong magic: %v", err)
+	}
+	// Right length and magic, absurd prefix length.
+	b := RouteUpdate{Bits: 24}.Marshal()
+	b[9] = 77
+	if _, err := ParseRouteUpdate(b); err == nil {
+		t.Error("prefix length 77 accepted")
+	}
+}
+
+func TestApplyRouteUpdate(t *testing.T) {
+	tbl := &route.Table{}
+	b := NewBasic(BasicConfig{Routes: tbl})
+	dst := packet.MustParseIP("10.9.1.2")
+
+	// Frames drop before the route exists.
+	frame := frameTo(t, "10.9.1.2")
+	if _, err := b.Process(frame); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("pre-update: %v", err)
+	}
+
+	// Install 10.9.0.0/16 -> if3 dynamically.
+	changed, err := b.ApplyRouteUpdate(RouteUpdate{Prefix: packet.MustParseIP("10.9.0.0"), Bits: 16, OutIf: 3})
+	if err != nil || !changed {
+		t.Fatalf("install = (%v,%v)", changed, err)
+	}
+	frame = frameTo(t, "10.9.1.2")
+	if _, err := b.Process(frame); err != nil {
+		t.Fatal(err)
+	}
+	if frame.Out != 3 {
+		t.Errorf("Out = %d after install", frame.Out)
+	}
+	_ = dst
+
+	// Withdraw it again.
+	changed, err = b.ApplyRouteUpdate(RouteUpdate{Withdraw: true, Prefix: packet.MustParseIP("10.9.0.0"), Bits: 16})
+	if err != nil || !changed {
+		t.Fatalf("withdraw = (%v,%v)", changed, err)
+	}
+	frame = frameTo(t, "10.9.1.2")
+	if _, err := b.Process(frame); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("post-withdraw: %v", err)
+	}
+	// Withdrawing a missing route is a no-op, not an error.
+	changed, err = b.ApplyRouteUpdate(RouteUpdate{Withdraw: true, Prefix: packet.MustParseIP("10.9.0.0"), Bits: 16})
+	if err != nil || changed {
+		t.Errorf("double withdraw = (%v,%v)", changed, err)
+	}
+	// No table at all: error.
+	if _, err := NewBasic(BasicConfig{}).ApplyRouteUpdate(RouteUpdate{Bits: 8}); err == nil {
+		t.Error("ApplyRouteUpdate on nil table accepted")
+	}
+}
+
+func TestFactoryTablesIndependent(t *testing.T) {
+	shared := testRoutes(t)
+	fac := BasicFactory(BasicConfig{Routes: shared})
+	e1, _ := fac()
+	e2, _ := fac()
+	// A dynamic update on e1 must not leak into e2 or the shared table.
+	e1.(*Basic).ApplyRouteUpdate(RouteUpdate{Prefix: packet.MustParseIP("172.16.0.0"), Bits: 12, OutIf: 9})
+	f := frameTo(t, "172.16.5.5")
+	e2.(*Basic).Process(f)
+	if f.Out == 9 {
+		t.Error("route update leaked between engines")
+	}
+	if _, err := shared.Lookup(packet.MustParseIP("172.16.5.5")); err == nil {
+		e, _ := shared.Lookup(packet.MustParseIP("172.16.5.5"))
+		if e.OutIf == 9 && e.Bits == 12 {
+			t.Error("route update leaked into the shared table")
+		}
+	}
+}
