@@ -8,12 +8,22 @@
 //
 //	lvrmd [-vrs 2] [-rate 50000] [-duration 10s] [-balancer jsq]
 //	      [-policy dynamic-fixed:20000] [-queue lockfree] [-burn]
+//	      [-http :8080] [-tracecap 1024] [-udp :9000]
+//
+// With -http, lvrmd serves the operator endpoints (see OBSERVABILITY.md):
+//
+//	/status       monitor snapshot as JSON (core.Status)
+//	/metrics      Prometheus text exposition
+//	/trace        recent allocation/balancer/lifecycle events as JSON
+//	/debug/vars   expvar (the same registry under the "lvrm" key)
+//	/debug/pprof  the standard net/http/pprof profiles
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,6 +34,7 @@ import (
 	"lvrm/internal/core"
 	"lvrm/internal/ipc"
 	"lvrm/internal/netio"
+	"lvrm/internal/obs"
 	"lvrm/internal/packet"
 	"lvrm/internal/route"
 	"lvrm/internal/vr"
@@ -38,7 +49,8 @@ func main() {
 		polName  = flag.String("policy", "dynamic-fixed:20000", "core allocation policy: fixed:<n>, dynamic-fixed:<fps>, dynamic-service")
 		queue    = flag.String("queue", "lockfree", "IPC queue kind: lockfree, locked, channel")
 		burn     = flag.Bool("burn", false, "busy-spin each frame's simulated cost (real CPU load)")
-		httpAddr = flag.String("http", "", "serve a JSON status endpoint at this address (e.g. :8080)")
+		httpAddr = flag.String("http", "", "serve /status, /metrics, /trace, /debug/vars and /debug/pprof at this address (e.g. :8080)")
+		traceCap = flag.Int("tracecap", 1024, "event tracer ring capacity (allocation, lifecycle, sampled balancer events)")
 		udpAddr  = flag.String("udp", "", "receive frames as UDP datagrams on this address instead of the built-in generator")
 	)
 	flag.Parse()
@@ -73,11 +85,15 @@ func main() {
 		chanAdapter = netio.NewChanAdapter(8192)
 		sock = chanAdapter
 	}
+	registry := obs.NewRegistry()
+	tracer := obs.NewTracer(*traceCap)
 	lvrm, err := core.New(core.Config{
 		Adapter:     sock,
 		QueueKind:   kind,
 		Clock:       core.WallClock,
 		AllocPeriod: time.Second,
+		Obs:         registry,
+		Trace:       tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -130,12 +146,19 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			w.Write(js)
 		})
+		// GET /metrics is the Prometheus text exposition of the registry;
+		// GET /trace dumps the event ring. expvar's /debug/vars and pprof's
+		// /debug/pprof come with the DefaultServeMux imports; PublishExpvar
+		// mirrors the registry under the "lvrm" expvar key.
+		http.Handle("/metrics", obs.Handler(registry))
+		http.Handle("/trace", obs.TraceHandler(tracer))
+		obs.PublishExpvar("lvrm", registry)
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "http: %v\n", err)
 			}
 		}()
-		fmt.Printf("status endpoint: http://%s/status\n", *httpAddr)
+		fmt.Printf("endpoints: http://%s/status /metrics /trace /debug/vars /debug/pprof\n", *httpAddr)
 	}
 
 	// Traffic generator: round-robin over the VRs' subnets. OS timers

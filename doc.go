@@ -9,7 +9,9 @@
 //
 //   - cmd/lvrmbench — regenerates every table and figure of the paper's
 //     evaluation chapter on the discrete-event testbed.
-//   - cmd/lvrmd — runs LVRM live with goroutine VRIs over lock-free queues.
+//   - cmd/lvrmd — runs LVRM live with goroutine VRIs over lock-free queues,
+//     serving /status, /metrics (Prometheus), /trace, /debug/vars, and
+//     /debug/pprof when started with -http (see OBSERVABILITY.md).
 //   - cmd/trafficgen — builds frame traces for the main-memory backend.
 //   - examples/ — runnable programs exercising the public API.
 //

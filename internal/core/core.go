@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"lvrm/internal/estimate"
 	"lvrm/internal/ipc"
 	"lvrm/internal/netio"
+	"lvrm/internal/obs"
 	"lvrm/internal/packet"
 )
 
@@ -49,6 +51,14 @@ type Config struct {
 	// no free core remains, re-creating the contention the paper observes
 	// when more cores are requested than the machine has (Experiment 2b).
 	AllowSharedLVRMCore bool
+	// Obs, when non-nil, receives the monitor's live metrics: dispatch-wait
+	// histograms, per-VR/VRI queue gauges, allocation counters, and adapter
+	// frame/byte rates. Nil disables metric collection at zero hot-path
+	// cost (all instrument handles are nil-safe no-ops).
+	Obs *obs.Registry
+	// Trace, when non-nil, records allocation decisions, VRI lifecycle
+	// events, and sampled balancer picks into a bounded ring buffer.
+	Trace *obs.Tracer
 }
 
 // Default lifecycle cost constants (see DESIGN.md calibration).
@@ -93,10 +103,23 @@ type AllocEvent struct {
 type LVRM struct {
 	cfg       Config
 	allocator *cores.Allocator
-	vrs       []*VR
 
-	lastAlloc   int64
+	// vrs is copy-on-write: AddVR swaps in a fresh slice under vrsMu while
+	// the hot path (Classify, relays) and concurrent Status scrapers read
+	// the current snapshot with one atomic load.
+	vrs   atomic.Pointer[[]*VR]
+	vrsMu sync.Mutex
+
+	// lastAlloc is only touched by the monitor goroutine (or the
+	// single-threaded testbed), so it needs no synchronisation.
+	lastAlloc int64
+
+	// allocMu guards allocEvents: the monitor appends during allocation
+	// passes while Status/Stats scrapers read from other goroutines.
+	allocMu     sync.Mutex
 	allocEvents []AllocEvent
+
+	ins instruments
 
 	received    atomic.Int64
 	unclassifed atomic.Int64
@@ -143,7 +166,9 @@ func New(cfg Config) (*LVRM, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LVRM{cfg: cfg, allocator: allocator, lastAlloc: -int64(cfg.AllocPeriod)}, nil
+	l := &LVRM{cfg: cfg, allocator: allocator, lastAlloc: -int64(cfg.AllocPeriod)}
+	l.initObs(cfg.Obs, cfg.Trace)
+	return l, nil
 }
 
 // Config returns the effective configuration.
@@ -152,11 +177,23 @@ func (l *LVRM) Config() Config { return l.cfg }
 // Allocator exposes the core allocator for inspection.
 func (l *LVRM) Allocator() *cores.Allocator { return l.allocator }
 
-// VRs returns the hosted VRs.
-func (l *LVRM) VRs() []*VR { return l.vrs }
+// vrList returns the current VR snapshot with one atomic load.
+func (l *LVRM) vrList() []*VR {
+	if p := l.vrs.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// VRs returns the hosted VRs. The returned slice is an immutable snapshot,
+// safe to iterate while the monitor runs.
+func (l *LVRM) VRs() []*VR { return l.vrList() }
 
 // AddVR registers a VR and spawns its initial VRIs. It implements the
-// sibling-first placement heuristic through the allocator.
+// sibling-first placement heuristic through the allocator. It is safe to
+// call while the runtime is live: the VR list is swapped copy-on-write, so
+// concurrent dispatchers and Status scrapers always see a consistent
+// snapshot.
 func (l *LVRM) AddVR(cfg VRConfig) (*VR, error) {
 	if cfg.Engine == nil {
 		return nil, errors.New("core: VRConfig.Engine is required")
@@ -170,14 +207,21 @@ func (l *LVRM) AddVR(cfg VRConfig) (*VR, error) {
 	if cfg.InitialVRIs < 1 {
 		cfg.InitialVRIs = 1
 	}
-	v := &VR{ID: len(l.vrs), cfg: cfg, arrival: estimate.NewArrivalRate(0)}
+	l.vrsMu.Lock()
+	defer l.vrsMu.Unlock()
+	old := l.vrList()
+	v := &VR{ID: len(old), cfg: cfg, arrival: estimate.NewArrivalRate(0)}
+	l.initVRObs(v)
 	now := l.cfg.Clock()
 	for i := 0; i < cfg.InitialVRIs; i++ {
 		if _, err := l.growVR(v, now); err != nil {
 			return nil, fmt.Errorf("core: spawning initial VRI %d for %s: %w", i, cfg.Name, err)
 		}
 	}
-	l.vrs = append(l.vrs, v)
+	next := make([]*VR, len(old)+1)
+	copy(next, old)
+	next[len(old)] = v
+	l.vrs.Store(&next)
 	return v, nil
 }
 
@@ -213,6 +257,11 @@ func (l *LVRM) growVR(v *VR, now int64) (*VRIAdapter, error) {
 		}
 		return nil, err
 	}
+	l.ins.vriSpawns.Inc()
+	l.ins.tracer.Record(obs.Event{
+		At: now, Kind: obs.KindSpawn, VR: v.ID, VRI: a.ID, Core: a.Core,
+		Note: v.cfg.Name,
+	})
 	if l.OnSpawn != nil {
 		l.OnSpawn(v, a)
 	}
@@ -223,7 +272,7 @@ func (l *LVRM) growVR(v *VR, now int64) (*VRIAdapter, error) {
 func (l *LVRM) shrinkVR(v *VR) (*VRIAdapter, error) {
 	worst := -1
 	var worstRank = -1
-	for _, a := range v.vris {
+	for _, a := range v.vriList() {
 		rank := a.Core
 		if !l.cfg.Topology.SameSocket(a.Core, l.cfg.LVRMCore) {
 			rank += l.cfg.Topology.Total()
@@ -244,6 +293,11 @@ func (l *LVRM) shrinkVR(v *VR) (*VRIAdapter, error) {
 			return nil, err
 		}
 	}
+	l.ins.vriDestroys.Inc()
+	l.ins.tracer.Record(obs.Event{
+		At: l.cfg.Clock(), Kind: obs.KindDestroy, VR: v.ID, VRI: a.ID, Core: a.Core,
+		Note: v.cfg.Name,
+	})
 	if l.OnDestroy != nil {
 		l.OnDestroy(v, a)
 	}
@@ -253,7 +307,7 @@ func (l *LVRM) shrinkVR(v *VR) (*VRIAdapter, error) {
 // Classify returns the VR that should process the frame, per the source-IP
 // rule of Chapter 2 (first matching VR wins).
 func (l *LVRM) Classify(f *packet.Frame) (*VR, bool) {
-	for _, v := range l.vrs {
+	for _, v := range l.vrList() {
 		if v.match(f) {
 			return v, true
 		}
@@ -287,8 +341,8 @@ func (l *LVRM) RecvAndDispatch() (received bool) {
 // into the socket adapter and returns how many were sent.
 func (l *LVRM) RelayOut(budget int) int {
 	sent := 0
-	for _, v := range l.vrs {
-		for _, a := range v.vris {
+	for _, v := range l.vrList() {
+		for _, a := range v.vriList() {
 			for budget <= 0 || sent < budget {
 				f, ok := a.Data.Out.Dequeue()
 				if !ok {
@@ -325,8 +379,8 @@ func (l *LVRM) RelayOneFrom(a *VRIAdapter) bool {
 // unknown destinations are dropped and counted.
 func (l *LVRM) RelayControl() int {
 	moved := 0
-	for _, v := range l.vrs {
-		for _, a := range v.vris {
+	for _, v := range l.vrList() {
+		for _, a := range v.vriList() {
 			for {
 				ev, ok := a.Control.Out.Dequeue()
 				if !ok {
@@ -344,10 +398,11 @@ func (l *LVRM) RelayControl() int {
 }
 
 func (l *LVRM) deliverControl(ev *ControlEvent) bool {
-	if ev.DstVR < 0 || ev.DstVR >= len(l.vrs) {
+	vrs := l.vrList()
+	if ev.DstVR < 0 || ev.DstVR >= len(vrs) {
 		return false
 	}
-	dst, ok := l.vrs[ev.DstVR].vriByID(ev.DstVRI)
+	dst, ok := vrs[ev.DstVR].vriByID(ev.DstVRI)
 	if !ok {
 		return false
 	}
@@ -374,16 +429,17 @@ func (l *LVRM) MaybeAllocate(now int64) []AllocEvent {
 // shrink by at most one core (Figure 3.2's "allocate").
 func (l *LVRM) Allocate(now int64) []AllocEvent {
 	var events []AllocEvent
+	vrs := l.vrList()
 	totalVRIs := 0
-	for _, v := range l.vrs {
-		totalVRIs += len(v.vris)
+	for _, v := range vrs {
+		totalVRIs += v.Cores()
 	}
 	// Iterating VR monitors and retrieving load estimates costs more with
 	// more VRIs — the effect Experiment 2c measures on reaction latency.
 	iterCost := time.Duration(totalVRIs) * l.cfg.PerVRIMonitorCost
-	for _, v := range l.vrs {
+	for _, v := range vrs {
 		s := alloc.Snapshot{
-			Cores:             len(v.vris),
+			Cores:             v.Cores(),
 			ArrivalRate:       v.arrival.Estimate(),
 			ServiceRatePerVRI: v.ServiceRatePerVRI(),
 			FreeCores:         l.allocator.FreeCount(),
@@ -395,27 +451,51 @@ func (l *LVRM) Allocate(now int64) []AllocEvent {
 			if err != nil {
 				continue // no free core after all: hold
 			}
-			events = append(events, AllocEvent{
-				At: now, VR: v.ID, Grow: true, Core: a.Core, Cores: len(v.vris),
+			ev := AllocEvent{
+				At: now, VR: v.ID, Grow: true, Core: a.Core, Cores: v.Cores(),
 				Latency: iterCost + l.cfg.SpawnCost,
+			}
+			events = append(events, ev)
+			l.ins.allocGrow.Inc()
+			l.ins.allocReaction.Observe(int64(ev.Latency))
+			l.ins.tracer.Record(obs.Event{
+				At: now, Kind: obs.KindAlloc, VR: v.ID, VRI: a.ID, Core: a.Core,
+				Value: float64(ev.Latency), Note: v.cfg.Name,
 			})
 		case alloc.Shrink:
 			a, err := l.shrinkVR(v)
 			if err != nil {
 				continue
 			}
-			events = append(events, AllocEvent{
-				At: now, VR: v.ID, Grow: false, Core: a.Core, Cores: len(v.vris),
+			ev := AllocEvent{
+				At: now, VR: v.ID, Grow: false, Core: a.Core, Cores: v.Cores(),
 				Latency: iterCost + l.cfg.DestroyCost,
+			}
+			events = append(events, ev)
+			l.ins.allocShrink.Inc()
+			l.ins.allocReaction.Observe(int64(ev.Latency))
+			l.ins.tracer.Record(obs.Event{
+				At: now, Kind: obs.KindDealloc, VR: v.ID, VRI: a.ID, Core: a.Core,
+				Value: float64(ev.Latency), Note: v.cfg.Name,
 			})
 		}
 	}
-	l.allocEvents = append(l.allocEvents, events...)
+	if len(events) > 0 {
+		l.allocMu.Lock()
+		l.allocEvents = append(l.allocEvents, events...)
+		l.allocMu.Unlock()
+	}
 	return events
 }
 
-// AllocEvents returns every allocation event since start.
-func (l *LVRM) AllocEvents() []AllocEvent { return l.allocEvents }
+// AllocEvents returns a copy of every allocation event since start.
+func (l *LVRM) AllocEvents() []AllocEvent {
+	l.allocMu.Lock()
+	defer l.allocMu.Unlock()
+	out := make([]AllocEvent, len(l.allocEvents))
+	copy(out, l.allocEvents)
+	return out
+}
 
 // Stats summarizes LVRM-level counters.
 type Stats struct {
@@ -428,12 +508,16 @@ type Stats struct {
 	AllocationCount int
 }
 
-// Stats returns a snapshot of the monitor's counters.
+// Stats returns a snapshot of the monitor's counters. It is safe to call
+// from any goroutine while the runtime processes traffic.
 func (l *LVRM) Stats() Stats {
 	live := 0
-	for _, v := range l.vrs {
+	for _, v := range l.vrList() {
 		live += v.Cores()
 	}
+	l.allocMu.Lock()
+	allocs := len(l.allocEvents)
+	l.allocMu.Unlock()
 	return Stats{
 		Received:        l.received.Load(),
 		Sent:            l.sent.Load(),
@@ -441,7 +525,7 @@ func (l *LVRM) Stats() Stats {
 		ControlRelayed:  l.ctlRelayed.Load(),
 		ControlDropped:  l.ctlDropped.Load(),
 		VRIsLive:        live,
-		AllocationCount: len(l.allocEvents),
+		AllocationCount: allocs,
 	}
 }
 

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"strconv"
+
+	"lvrm/internal/ipc"
+	"lvrm/internal/netio"
+	"lvrm/internal/obs"
+	"lvrm/internal/packet"
+)
+
+// instruments bundles LVRM's observability handles. Every handle is nil-safe,
+// so with Config.Obs/Config.Trace unset the hot path pays only a nil check.
+//
+// The split follows the package obs contract: anything the dispatch loop or a
+// VRI goroutine touches per frame is a pre-registered atomic (counters,
+// histograms); everything whose value already lives in an existing atomic —
+// Stats counters, estimator outputs, queue lengths, adapter IOStats — is read
+// at scrape time by collectors and costs the hot path nothing at all.
+type instruments struct {
+	tracer *obs.Tracer
+
+	// Allocation pass (Figure 3.2 "allocate" / Experiment 2c reaction time).
+	allocGrow     *obs.Counter
+	allocShrink   *obs.Counter
+	allocReaction *obs.Histogram
+	vriSpawns     *obs.Counter
+	vriDestroys   *obs.Counter
+
+	// Live runtime loop health.
+	monitorPolls *obs.Counter
+	monitorIdle  *obs.Counter
+
+	reg *obs.Registry // retained for per-VR registration in initVRObs
+}
+
+// initObs wires the registry and tracer into the LVRM instance: it registers
+// the monitor-level instruments and installs scrape-time collectors over the
+// counters, estimators, queues, and the socket adapter. reg and tracer may
+// each be nil.
+func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
+	l.ins.tracer = tracer
+	if reg == nil {
+		return
+	}
+	l.ins.reg = reg
+	l.ins.allocGrow = reg.Counter("lvrm_alloc_grow_total",
+		"Core allocations performed (VRIs spawned by the allocation pass).")
+	l.ins.allocShrink = reg.Counter("lvrm_alloc_shrink_total",
+		"Core deallocations performed (VRIs destroyed by the allocation pass).")
+	l.ins.allocReaction = reg.Histogram("lvrm_alloc_reaction_nanoseconds",
+		"Modeled reallocation reaction time per allocation event (Experiment 2c).", nil)
+	l.ins.vriSpawns = reg.Counter("lvrm_vri_spawn_total",
+		"VRI adapters created (initial spawns plus allocation growth).")
+	l.ins.vriDestroys = reg.Counter("lvrm_vri_destroy_total",
+		"VRI adapters destroyed by allocation shrink.")
+	l.ins.monitorPolls = reg.Counter("lvrm_monitor_polls_total",
+		"Monitor loop iterations in the live runtime.")
+	l.ins.monitorIdle = reg.Counter("lvrm_monitor_idle_total",
+		"Monitor loop iterations that found no work and backed off.")
+
+	// LVRM-level counters already exist as atomics on the Stats path; expose
+	// them with collectors instead of double-counting on the hot path.
+	reg.Collect("lvrm_frames_received_total",
+		"Frames captured from the socket adapter.", obs.TypeCounter,
+		func(emit func(obs.Sample)) {
+			emit(obs.Sample{Value: float64(l.received.Load())})
+		})
+	reg.Collect("lvrm_frames_sent_total",
+		"Frames forwarded back out through the socket adapter.", obs.TypeCounter,
+		func(emit func(obs.Sample)) {
+			emit(obs.Sample{Value: float64(l.sent.Load())})
+		})
+	reg.Collect("lvrm_frames_unclassified_total",
+		"Frames no VR claimed (dropped at classification).", obs.TypeCounter,
+		func(emit func(obs.Sample)) {
+			emit(obs.Sample{Value: float64(l.unclassifed.Load())})
+		})
+	reg.Collect("lvrm_control_relayed_total",
+		"Control events relayed between VRIs.", obs.TypeCounter,
+		func(emit func(obs.Sample)) {
+			emit(obs.Sample{Value: float64(l.ctlRelayed.Load())})
+		})
+	reg.Collect("lvrm_control_dropped_total",
+		"Control events dropped (unknown destination or full queue).", obs.TypeCounter,
+		func(emit func(obs.Sample)) {
+			emit(obs.Sample{Value: float64(l.ctlDropped.Load())})
+		})
+	reg.Collect("lvrm_vris_live",
+		"VRIs currently running across all VRs.", obs.TypeGauge,
+		func(emit func(obs.Sample)) {
+			live := 0
+			for _, v := range l.vrList() {
+				live += v.Cores()
+			}
+			emit(obs.Sample{Value: float64(live)})
+		})
+	reg.Collect("lvrm_cores_free",
+		"CPU cores not bound to any VRI.", obs.TypeGauge,
+		func(emit func(obs.Sample)) {
+			emit(obs.Sample{Value: float64(l.allocator.FreeCount())})
+		})
+
+	// Per-VR gauges/counters: label sets grow as VRs are added, so one
+	// collector per family walks the copy-on-write VR list at scrape time.
+	perVR := func(name, help string, typ obs.Type, val func(*VR) float64) {
+		reg.Collect(name, help, typ, func(emit func(obs.Sample)) {
+			for _, v := range l.vrList() {
+				emit(obs.Sample{
+					Labels: []obs.Label{obs.L("vr", v.cfg.Name)},
+					Value:  val(v),
+				})
+			}
+		})
+	}
+	perVR("lvrm_vr_cores", "Cores (VRIs) currently allocated to the VR.",
+		obs.TypeGauge, func(v *VR) float64 { return float64(v.Cores()) })
+	perVR("lvrm_vr_arrival_fps", "EWMA arrival-rate estimate in frames/second.",
+		obs.TypeGauge, func(v *VR) float64 { return v.arrival.Estimate() })
+	perVR("lvrm_vr_service_fps", "Mean per-VRI EWMA service-rate estimate in frames/second.",
+		obs.TypeGauge, func(v *VR) float64 { return v.ServiceRatePerVRI() })
+	perVR("lvrm_vr_dispatched_total", "Frames dispatched into the VR's VRIs.",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.dispatched.Load()) })
+	perVR("lvrm_vr_in_drops_total", "Frames lost to full VRI input queues.",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.inDrops.Load()) })
+
+	// Per-VRI series: VRIs spawn and die with core allocation, so these are
+	// collectors too — no register/unregister churn in the allocation pass.
+	perVRI := func(name, help string, typ obs.Type, val func(*VRIAdapter) float64) {
+		reg.Collect(name, help, typ, func(emit func(obs.Sample)) {
+			for _, v := range l.vrList() {
+				for _, a := range v.vriList() {
+					emit(obs.Sample{
+						Labels: []obs.Label{
+							obs.L("vr", v.cfg.Name),
+							obs.L("vri", strconv.Itoa(a.ID)),
+						},
+						Value: val(a),
+					})
+				}
+			}
+		})
+	}
+	perVRI("lvrm_vri_data_queue_depth", "Frames waiting in the VRI's incoming data queue.",
+		obs.TypeGauge, func(a *VRIAdapter) float64 { return float64(a.Data.In.Len()) })
+	perVRI("lvrm_vri_control_queue_depth", "Events waiting in the VRI's incoming control queue.",
+		obs.TypeGauge, func(a *VRIAdapter) float64 { return float64(a.Control.In.Len()) })
+	perVRI("lvrm_vri_queue_estimate", "EWMA queue-length estimate the balancer reads (Figure 3.4).",
+		obs.TypeGauge, func(a *VRIAdapter) float64 { return a.QueueEst.Estimate() })
+	perVRI("lvrm_vri_processed_total", "Data frames the VRI's engine has handled.",
+		obs.TypeCounter, func(a *VRIAdapter) float64 { return float64(a.Processed()) })
+	perVRI("lvrm_vri_engine_drops_total", "Frames the engine dropped (no route, TTL expiry, ...).",
+		obs.TypeCounter, func(a *VRIAdapter) float64 { return float64(a.EngineDrops()) })
+	perVRI("lvrm_vri_out_drops_total", "Frames lost because the outgoing data queue was full.",
+		obs.TypeCounter, func(a *VRIAdapter) float64 { return float64(a.OutDrops()) })
+
+	// Per-queue enqueue-full rejections, straight from the IPC layer.
+	reg.Collect("lvrm_vri_queue_drops_total",
+		"Enqueue rejections per IPC queue (queue = data_in|data_out|ctl_in|ctl_out).",
+		obs.TypeCounter, func(emit func(obs.Sample)) {
+			for _, v := range l.vrList() {
+				for _, a := range v.vriList() {
+					base := []obs.Label{
+						obs.L("vr", v.cfg.Name),
+						obs.L("vri", strconv.Itoa(a.ID)),
+					}
+					queues := []struct {
+						name  string
+						drops int64
+					}{
+						{"data_in", ipc.DropsOf[*packet.Frame](a.Data.In)},
+						{"data_out", ipc.DropsOf[*packet.Frame](a.Data.Out)},
+						{"ctl_in", ipc.DropsOf[*ControlEvent](a.Control.In)},
+						{"ctl_out", ipc.DropsOf[*ControlEvent](a.Control.Out)},
+					}
+					for _, q := range queues {
+						labels := make([]obs.Label, 0, 3)
+						labels = append(labels, base...)
+						labels = append(labels, obs.L("queue", q.name))
+						emit(obs.Sample{Labels: labels, Value: float64(q.drops)})
+					}
+				}
+			}
+		})
+
+	// Socket-adapter frame/byte rates, when the adapter meters itself.
+	if m, ok := l.cfg.Adapter.(netio.Meter); ok {
+		label := []obs.Label{obs.L("adapter", l.cfg.Adapter.Name())}
+		adapterStat := func(name, help string, val func(netio.IOStats) int64) {
+			reg.Collect(name, help, obs.TypeCounter, func(emit func(obs.Sample)) {
+				emit(obs.Sample{Labels: label, Value: float64(val(m.IOStats()))})
+			})
+		}
+		adapterStat("lvrm_adapter_rx_frames_total", "Frames received by the socket adapter.",
+			func(s netio.IOStats) int64 { return s.RxFrames })
+		adapterStat("lvrm_adapter_rx_bytes_total", "Bytes received by the socket adapter.",
+			func(s netio.IOStats) int64 { return s.RxBytes })
+		adapterStat("lvrm_adapter_tx_frames_total", "Frames transmitted by the socket adapter.",
+			func(s netio.IOStats) int64 { return s.TxFrames })
+		adapterStat("lvrm_adapter_tx_bytes_total", "Bytes transmitted by the socket adapter.",
+			func(s netio.IOStats) int64 { return s.TxBytes })
+		adapterStat("lvrm_adapter_rx_dropped_total", "Inbound frames the adapter dropped (capture overflow).",
+			func(s netio.IOStats) int64 { return s.RxDropped })
+		adapterStat("lvrm_adapter_tx_dropped_total", "Outbound frames the adapter dropped.",
+			func(s netio.IOStats) int64 { return s.TxDropped })
+	}
+}
+
+// initVRObs registers the per-VR hot-path instruments — the dispatch-wait
+// histogram and the queue-depth high-water gauge — and hands the VR the
+// tracer for sampled balancer decisions. Called under vrsMu from AddVR.
+func (l *LVRM) initVRObs(v *VR) {
+	v.tracer = l.ins.tracer
+	if l.ins.reg == nil {
+		return
+	}
+	label := obs.L("vr", v.cfg.Name)
+	v.waitHist = l.ins.reg.Histogram("lvrm_dispatch_wait_nanoseconds",
+		"Dispatch-to-dequeue wait per data frame: time spent in the VRI input queue.",
+		nil, label)
+	v.depthHWM = l.ins.reg.Gauge("lvrm_vr_queue_depth_high_water",
+		"Highest input-queue depth any of the VR's VRIs has reached.", label)
+}

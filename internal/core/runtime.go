@@ -107,6 +107,7 @@ func (r *Runtime) monitorLoop() {
 			return
 		default:
 		}
+		r.lvrm.ins.monitorPolls.Inc()
 		if r.lvrm.PollOnce(64) {
 			idle = 0
 			continue
@@ -114,6 +115,7 @@ func (r *Runtime) monitorLoop() {
 		// Allocation must still run while traffic is quiet so that idle
 		// VRs give their cores back.
 		r.lvrm.MaybeAllocate(r.lvrm.cfg.Clock())
+		r.lvrm.ins.monitorIdle.Inc()
 		idle++
 		if idle > 64 {
 			time.Sleep(50 * time.Microsecond)

@@ -1,6 +1,10 @@
 package core
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"lvrm/internal/obs"
+)
 
 // Status is a JSON-friendly snapshot of the whole monitor: the paper's
 // centralized resource-monitoring role, exposed for operators (lvrmd serves
@@ -8,58 +12,100 @@ import "encoding/json"
 type Status struct {
 	Stats Stats      `json:"stats"`
 	VRs   []VRStatus `json:"vrs"`
+	// AllocReaction summarizes the modeled reallocation reaction times
+	// (Experiment 2c). Zero-valued when observability is disabled.
+	AllocReaction LatencySummary `json:"alloc_reaction_ns"`
+}
+
+// LatencySummary condenses a latency histogram for the status page; all
+// quantiles are in nanoseconds, interpolated within histogram buckets.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// summarize condenses h; a nil histogram yields the zero summary.
+func summarize(h *obs.Histogram) LatencySummary {
+	if h == nil || h.Count() == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+	}
 }
 
 // VRStatus snapshots one hosted VR.
 type VRStatus struct {
-	ID          int         `json:"id"`
-	Name        string      `json:"name"`
-	Cores       int         `json:"cores"`
-	ArrivalRate float64     `json:"arrival_fps"`
-	ServiceRate float64     `json:"service_fps_per_vri"`
-	Dispatched  int64       `json:"dispatched"`
-	InDrops     int64       `json:"in_drops"`
-	Balancer    string      `json:"balancer"`
-	VRIs        []VRIStatus `json:"vris"`
+	ID          int     `json:"id"`
+	Name        string  `json:"name"`
+	Cores       int     `json:"cores"`
+	ArrivalRate float64 `json:"arrival_fps"`
+	ServiceRate float64 `json:"service_fps_per_vri"`
+	Dispatched  int64   `json:"dispatched"`
+	InDrops     int64   `json:"in_drops"`
+	Balancer    string  `json:"balancer"`
+	// QueueDepthHighWater is the deepest any VRI input queue has been since
+	// start (0 when observability is disabled).
+	QueueDepthHighWater int64 `json:"queue_depth_high_water"`
+	// DispatchWait summarizes the dispatch-to-dequeue wait histogram
+	// (zero-valued when observability is disabled).
+	DispatchWait LatencySummary `json:"dispatch_wait_ns"`
+	VRIs         []VRIStatus    `json:"vris"`
 }
 
 // VRIStatus snapshots one VR instance.
 type VRIStatus struct {
-	ID             int     `json:"id"`
-	Core           int     `json:"core"`
-	Processed      int64   `json:"processed"`
-	EngineDrops    int64   `json:"engine_drops"`
-	OutDrops       int64   `json:"out_drops"`
-	ControlHandled int64   `json:"control_handled"`
-	QueueEstimate  float64 `json:"queue_estimate"`
-	Engine         string  `json:"engine"`
+	ID              int     `json:"id"`
+	Core            int     `json:"core"`
+	Processed       int64   `json:"processed"`
+	EngineDrops     int64   `json:"engine_drops"`
+	OutDrops        int64   `json:"out_drops"`
+	ControlHandled  int64   `json:"control_handled"`
+	QueueEstimate   float64 `json:"queue_estimate"`
+	DataQueueLen    int     `json:"data_queue_len"`
+	ControlQueueLen int     `json:"control_queue_len"`
+	Engine          string  `json:"engine"`
 }
 
 // Status assembles a snapshot of the monitor and every VR/VRI. It is safe to
-// call while the live runtime is processing traffic.
+// call from any goroutine while the live runtime is processing traffic: the
+// VR and VRI lists are copy-on-write snapshots and every field read below is
+// atomic or internally locked.
 func (l *LVRM) Status() Status {
-	st := Status{Stats: l.Stats()}
-	for _, v := range l.vrs {
+	st := Status{
+		Stats:         l.Stats(),
+		AllocReaction: summarize(l.ins.allocReaction),
+	}
+	for _, v := range l.vrList() {
 		vs := VRStatus{
-			ID:          v.ID,
-			Name:        v.Name(),
-			Cores:       v.Cores(),
-			ArrivalRate: v.ArrivalRate(),
-			ServiceRate: v.ServiceRatePerVRI(),
-			Dispatched:  v.Dispatched(),
-			InDrops:     v.InDrops(),
-			Balancer:    v.Balancer().Name(),
+			ID:                  v.ID,
+			Name:                v.Name(),
+			Cores:               v.Cores(),
+			ArrivalRate:         v.ArrivalRate(),
+			ServiceRate:         v.ServiceRatePerVRI(),
+			Dispatched:          v.Dispatched(),
+			InDrops:             v.InDrops(),
+			Balancer:            v.Balancer().Name(),
+			QueueDepthHighWater: v.depthHWM.Value(),
+			DispatchWait:        summarize(v.waitHist),
 		}
 		for _, a := range v.VRIs() {
 			vs.VRIs = append(vs.VRIs, VRIStatus{
-				ID:             a.ID,
-				Core:           a.Core,
-				Processed:      a.Processed(),
-				EngineDrops:    a.EngineDrops(),
-				OutDrops:       a.OutDrops(),
-				ControlHandled: a.ControlHandled(),
-				QueueEstimate:  a.QueueEst.Estimate(),
-				Engine:         a.Engine.Name(),
+				ID:              a.ID,
+				Core:            a.Core,
+				Processed:       a.Processed(),
+				EngineDrops:     a.EngineDrops(),
+				OutDrops:        a.OutDrops(),
+				ControlHandled:  a.ControlHandled(),
+				QueueEstimate:   a.QueueEst.Estimate(),
+				DataQueueLen:    a.Data.In.Len(),
+				ControlQueueLen: a.Control.In.Len(),
+				Engine:          a.Engine.Name(),
 			})
 		}
 		st.VRs = append(st.VRs, vs)

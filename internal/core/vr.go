@@ -10,6 +10,7 @@ import (
 	"lvrm/internal/balance"
 	"lvrm/internal/estimate"
 	"lvrm/internal/ipc"
+	"lvrm/internal/obs"
 	"lvrm/internal/packet"
 	"lvrm/internal/vr"
 )
@@ -45,10 +46,12 @@ type VR struct {
 	ID  int
 	cfg VRConfig
 
-	// mu guards vris and nextID: the monitor goroutine mutates the VRI
-	// set during allocation passes while stats readers snapshot it.
+	// mu serializes mutations (spawn/destroy, dispatch's balancer state);
+	// vris itself is copy-on-write so readers — the relay loops, Status
+	// scrapers, the allocator — see a consistent snapshot with one atomic
+	// load and no allocation.
 	mu     sync.Mutex
-	vris   []*VRIAdapter
+	vris   atomic.Pointer[[]*VRIAdapter]
 	nextID int
 
 	// arrival estimates the VR's traffic load for core allocation.
@@ -56,26 +59,30 @@ type VR struct {
 
 	dispatched atomic.Int64
 	inDrops    atomic.Int64 // frames lost to full VRI input queues
+
+	// Observability handles, wired by LVRM at AddVR; all nil-safe.
+	depthHWM *obs.Gauge     // high-water mark of any VRI's input queue
+	waitHist *obs.Histogram // dispatch→dequeue wait, copied to each VRI
+	tracer   *obs.Tracer    // sampled balancer decisions
 }
 
 // Name returns the VR's configured name.
 func (v *VR) Name() string { return v.cfg.Name }
 
-// VRIs returns a snapshot of the VR's live VRI adapters.
-func (v *VR) VRIs() []*VRIAdapter {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	out := make([]*VRIAdapter, len(v.vris))
-	copy(out, v.vris)
-	return out
+// vriList returns the current VRI snapshot with one atomic load. Callers
+// must treat the returned slice as immutable.
+func (v *VR) vriList() []*VRIAdapter {
+	if p := v.vris.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
+// VRIs returns a read-only snapshot of the VR's live VRI adapters.
+func (v *VR) VRIs() []*VRIAdapter { return v.vriList() }
+
 // Cores returns the number of cores (VRIs) currently allocated.
-func (v *VR) Cores() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return len(v.vris)
-}
+func (v *VR) Cores() int { return len(v.vriList()) }
 
 // ArrivalRate returns the VR's estimated traffic load in frames/second.
 func (v *VR) ArrivalRate() float64 { return v.arrival.Estimate() }
@@ -92,11 +99,9 @@ func (v *VR) Balancer() balance.Balancer { return v.cfg.Balancer }
 // ServiceRatePerVRI averages the VRIs' service-rate estimates, feeding the
 // dynamic-threshold allocation policy.
 func (v *VR) ServiceRatePerVRI() float64 {
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	var sum float64
 	n := 0
-	for _, a := range v.vris {
+	for _, a := range v.vriList() {
 		if a.SvcEst.Valid() {
 			sum += a.SvcEst.Estimate()
 			n++
@@ -136,32 +141,46 @@ func (v *VR) dispatch(f *packet.Frame, now int64) error {
 	// for the VR, so estimate it before any queue-full drop — otherwise a
 	// saturated VR would under-report its load and never earn more cores.
 	v.arrival.Observe(now)
-	if len(v.vris) == 0 {
+	vris := v.vriList()
+	if len(vris) == 0 {
 		v.inDrops.Add(1)
 		return errors.New("core: VR has no VRIs")
 	}
-	targets := make([]balance.Target, len(v.vris))
-	for i, a := range v.vris {
+	targets := make([]balance.Target, len(vris))
+	for i, a := range vris {
 		a := a
 		targets[i] = balance.Target{ID: a.ID, Load: a.Load}
 	}
 	idx := v.cfg.Balancer.Pick(targets, f)
-	a := v.vris[idx]
+	a := vris[idx]
 	// Figure 3.4 "queue length": observe occupancy when forwarding.
-	a.QueueEst.Observe(a.Data.In.Len())
+	depth := a.Data.In.Len()
+	a.QueueEst.Observe(depth)
 	if !a.Data.In.Enqueue(f) {
 		v.inDrops.Add(1)
 		return fmt.Errorf("core: VRI %d/%d input queue full", v.ID, a.ID)
 	}
-	v.dispatched.Add(1)
+	n := v.dispatched.Add(1)
+	v.depthHWM.SetMax(int64(depth + 1))
+	// Sample one balancer decision in every 256 so the trace shows who the
+	// balancer is picking without flooding the ring on the hot path.
+	if v.tracer != nil && n&0xff == 0 {
+		v.tracer.Record(obs.Event{
+			At:    now,
+			Kind:  obs.KindBalance,
+			VR:    v.ID,
+			VRI:   a.ID,
+			Core:  a.Core,
+			Value: float64(depth + 1),
+			Note:  "balancer pick; value = chosen VRI queue depth after enqueue",
+		})
+	}
 	return nil
 }
 
 // vriByID returns the VRI adapter with the given ID.
 func (v *VR) vriByID(id int) (*VRIAdapter, bool) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	for _, a := range v.vris {
+	for _, a := range v.vriList() {
 		if a.ID == id {
 			return a, true
 		}
@@ -191,10 +210,15 @@ func (v *VR) spawnVRI(core int, now int64, queueKind ipc.Kind, dataCap, ctlCap i
 		Engine:    engine,
 		SpawnedAt: now,
 	}
+	a.waitHist = v.waitHist
 	a.state.Store(int32(VRIRunning))
 	v.mu.Lock()
 	v.nextID++
-	v.vris = append(v.vris, a)
+	cur := v.vriList()
+	next := make([]*VRIAdapter, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, a)
+	v.vris.Store(&next)
 	v.mu.Unlock()
 	return a, nil
 }
@@ -205,10 +229,14 @@ func (v *VR) spawnVRI(core int, now int64, queueKind ipc.Kind, dataCap, ctlCap i
 func (v *VR) destroyVRI(core int) (*VRIAdapter, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	for i, a := range v.vris {
+	cur := v.vriList()
+	for i, a := range cur {
 		if a.Core == core {
 			a.state.Store(int32(VRIStopped))
-			v.vris = append(v.vris[:i], v.vris[i+1:]...)
+			next := make([]*VRIAdapter, 0, len(cur)-1)
+			next = append(next, cur[:i]...)
+			next = append(next, cur[i+1:]...)
+			v.vris.Store(&next)
 			return a, nil
 		}
 	}

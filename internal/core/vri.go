@@ -21,6 +21,7 @@ import (
 
 	"lvrm/internal/estimate"
 	"lvrm/internal/ipc"
+	"lvrm/internal/obs"
 	"lvrm/internal/packet"
 	"lvrm/internal/vr"
 )
@@ -95,6 +96,11 @@ type VRIAdapter struct {
 	outDrops   atomic.Int64
 	ctlHandled atomic.Int64
 
+	// waitHist, when non-nil, records dispatch→dequeue wait per data frame
+	// (the VR's lvrm_dispatch_wait_nanoseconds histogram). The wait comes
+	// free: dispatch stamps f.Timestamp and Step already receives now.
+	waitHist *obs.Histogram
+
 	// SpawnedAt records when the VRI was created (ns).
 	SpawnedAt int64
 }
@@ -146,6 +152,9 @@ func (a *VRIAdapter) Step(now int64, onControl func(*ControlEvent)) (cost time.D
 	f, ok := a.Data.In.Dequeue()
 	if !ok {
 		return 0, false
+	}
+	if a.waitHist != nil && f.Timestamp > 0 && now >= f.Timestamp {
+		a.waitHist.Observe(now - f.Timestamp)
 	}
 	// The LVRM adapter measures the service rate by the gap between
 	// consecutive FromLVRM calls (Section 3.6) — but only while the queue

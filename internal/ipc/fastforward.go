@@ -16,13 +16,14 @@ import "sync/atomic"
 // The element type is constrained to pointers because nil is the in-band
 // "empty" marker.
 type FastForward[T any] struct {
-	_    [cacheLine]byte
-	head uint64 // consumer-local index
-	_    [cacheLine - 8]byte
-	tail uint64 // producer-local index
-	_    [cacheLine - 8]byte
-	mask uint64
-	buf  []atomic.Pointer[T]
+	_     [cacheLine]byte
+	head  uint64 // consumer-local index
+	_     [cacheLine - 8]byte
+	tail  uint64 // producer-local index
+	_     [cacheLine - 8]byte
+	mask  uint64
+	buf   []atomic.Pointer[T]
+	drops atomic.Int64
 }
 
 // NewFastForward returns an empty FastForward queue with capacity rounded
@@ -40,6 +41,7 @@ func (q *FastForward[T]) Enqueue(v *T) bool {
 	}
 	slot := &q.buf[q.tail&q.mask]
 	if slot.Load() != nil {
+		q.drops.Add(1)
 		return false // the consumer has not freed this slot yet: full
 	}
 	slot.Store(v)
@@ -78,6 +80,9 @@ func (q *FastForward[T]) Len() int {
 // Cap reports the fixed capacity.
 func (q *FastForward[T]) Cap() int { return len(q.buf) }
 
+// Drops reports how many enqueues were rejected because the ring was full.
+func (q *FastForward[T]) Drops() int64 { return q.drops.Load() }
+
 // ffAdapter adapts FastForward's pointer-element API to Queue[*T].
 type ffAdapter[T any] struct {
 	q *FastForward[T]
@@ -93,3 +98,4 @@ func (a ffAdapter[T]) Enqueue(v *T) bool   { return a.q.Enqueue(v) }
 func (a ffAdapter[T]) Dequeue() (*T, bool) { return a.q.Dequeue() }
 func (a ffAdapter[T]) Len() int            { return a.q.Len() }
 func (a ffAdapter[T]) Cap() int            { return a.q.Cap() }
+func (a ffAdapter[T]) Drops() int64        { return a.q.Drops() }

@@ -29,6 +29,23 @@ type Queue[T any] interface {
 	Cap() int
 }
 
+// DropCounter is implemented by queues that count rejected enqueues. Every
+// shipped queue implements it; the observability layer scrapes the counts as
+// per-queue tail-drop metrics.
+type DropCounter interface {
+	// Drops returns how many Enqueue calls have been rejected for want of
+	// room since the queue was created.
+	Drops() int64
+}
+
+// DropsOf returns q's enqueue-full drop count, or 0 if q does not count.
+func DropsOf[T any](q Queue[T]) int64 {
+	if d, ok := q.(DropCounter); ok {
+		return d.Drops()
+	}
+	return 0
+}
+
 // Kind selects one of the shipped queue implementations.
 type Kind int
 

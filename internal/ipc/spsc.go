@@ -32,8 +32,9 @@ type SPSC[T any] struct {
 	cachedTail uint64 // consumer-local snapshot of tail
 	_          [cacheLine - 8]byte
 
-	mask uint64
-	buf  []T
+	mask  uint64
+	buf   []T
+	drops atomic.Int64 // rejected enqueues; off the fast path, scraped by obs
 }
 
 // NewSPSC returns an empty lock-free SPSC queue with capacity rounded up to a
@@ -49,6 +50,7 @@ func (q *SPSC[T]) Enqueue(v T) bool {
 	if tail-q.cachedHead > q.mask {
 		q.cachedHead = q.head.Load()
 		if tail-q.cachedHead > q.mask {
+			q.drops.Add(1)
 			return false // full
 		}
 	}
@@ -95,5 +97,8 @@ func (q *SPSC[T]) Len() int {
 
 // Cap reports the fixed capacity.
 func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Drops reports how many enqueues were rejected because the ring was full.
+func (q *SPSC[T]) Drops() int64 { return q.drops.Load() }
 
 var _ Queue[int] = (*SPSC[int])(nil)

@@ -1,16 +1,20 @@
 package ipc
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // MutexQueue is a mutex-guarded ring buffer: the lock-based synchronization
 // baseline of Section 3.5, in which only one process can access the queue at
 // a time. It is safe for any number of producers and consumers.
 type MutexQueue[T any] struct {
-	mu   sync.Mutex
-	buf  []T
-	head uint64
-	tail uint64
-	mask uint64
+	mu    sync.Mutex
+	buf   []T
+	head  uint64
+	tail  uint64
+	mask  uint64
+	drops int64
 }
 
 // NewMutexQueue returns an empty lock-based queue with capacity rounded up to
@@ -25,6 +29,7 @@ func (q *MutexQueue[T]) Enqueue(v T) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.tail-q.head > q.mask {
+		q.drops++
 		return false
 	}
 	q.buf[q.tail&q.mask] = v
@@ -57,11 +62,19 @@ func (q *MutexQueue[T]) Len() int {
 // Cap reports the fixed capacity.
 func (q *MutexQueue[T]) Cap() int { return len(q.buf) }
 
+// Drops reports how many enqueues were rejected because the ring was full.
+func (q *MutexQueue[T]) Drops() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.drops
+}
+
 // ChanQueue adapts a buffered Go channel to the Queue interface. It exists to
 // show the extensibility seam and to benchmark the runtime's native queue
 // against the hand-rolled rings.
 type ChanQueue[T any] struct {
-	ch chan T
+	ch    chan T
+	drops atomic.Int64
 }
 
 // NewChanQueue returns an empty channel-backed queue. The capacity is used
@@ -79,6 +92,7 @@ func (q *ChanQueue[T]) Enqueue(v T) bool {
 	case q.ch <- v:
 		return true
 	default:
+		q.drops.Add(1)
 		return false
 	}
 }
@@ -99,6 +113,9 @@ func (q *ChanQueue[T]) Len() int { return len(q.ch) }
 
 // Cap reports the fixed capacity.
 func (q *ChanQueue[T]) Cap() int { return cap(q.ch) }
+
+// Drops reports how many enqueues were rejected because the channel was full.
+func (q *ChanQueue[T]) Drops() int64 { return q.drops.Load() }
 
 var (
 	_ Queue[int] = (*MutexQueue[int])(nil)

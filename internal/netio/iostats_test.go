@@ -1,0 +1,104 @@
+package netio
+
+import (
+	"testing"
+
+	"lvrm/internal/packet"
+)
+
+func testFrame(t *testing.T, size int) *packet.Frame {
+	t.Helper()
+	f, err := packet.BuildUDP(packet.UDPBuildOpts{
+		Src: packet.IPv4(10, 1, 0, 1), Dst: packet.IPv4(10, 2, 0, 1),
+		SrcPort: 5000, DstPort: 9, WireSize: size,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMemoryAdapterIOStats(t *testing.T) {
+	f := testFrame(t, packet.MinWireSize)
+	m := NewMemoryAdapter([]*packet.Frame{f, f}, false)
+	for i := 0; i < 2; i++ {
+		if _, ok := m.Recv(); !ok {
+			t.Fatalf("Recv %d failed", i)
+		}
+	}
+	if _, ok := m.Recv(); ok {
+		t.Fatal("Recv succeeded past the end of the trace")
+	}
+	if err := m.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	st := m.IOStats()
+	want := IOStats{
+		RxFrames: 2, RxBytes: int64(2 * len(f.Buf)),
+		TxFrames: 1, TxBytes: int64(len(f.Buf)),
+	}
+	if st != want {
+		t.Errorf("IOStats = %+v, want %+v", st, want)
+	}
+}
+
+func TestQueueAdapterIOStats(t *testing.T) {
+	q := NewQueueAdapter(RawSocket, 2)
+	f := testFrame(t, packet.MinWireSize)
+	// Fill the RX ring past capacity: the overflow counts as an RX drop.
+	injected := 0
+	for q.Inject(f) {
+		injected++
+	}
+	if injected != q.rx.Cap() {
+		t.Fatalf("injected %d frames, ring cap %d", injected, q.rx.Cap())
+	}
+	for {
+		if _, ok := q.Recv(); !ok {
+			break
+		}
+	}
+	// Fill the TX ring past capacity: the overflow counts as a TX drop.
+	sends := q.tx.Cap() + 1
+	for i := 0; i < sends; i++ {
+		if err := q.Send(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := q.IOStats()
+	want := IOStats{
+		RxFrames: int64(injected), RxBytes: int64(injected * len(f.Buf)),
+		TxFrames: int64(sends - 1), TxBytes: int64((sends - 1) * len(f.Buf)),
+		RxDropped: 1, TxDropped: 1,
+	}
+	if st != want {
+		t.Errorf("IOStats = %+v, want %+v", st, want)
+	}
+}
+
+func TestChanAdapterIOStats(t *testing.T) {
+	c := NewChanAdapter(1)
+	f := testFrame(t, packet.MinWireSize)
+	c.RX <- f
+	if _, ok := c.Recv(); !ok {
+		t.Fatal("Recv failed")
+	}
+	if _, ok := c.Recv(); ok {
+		t.Fatal("Recv succeeded on empty channel")
+	}
+	// Second Send overflows the depth-1 TX buffer: a tail drop.
+	for i := 0; i < 2; i++ {
+		if err := c.Send(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.IOStats()
+	want := IOStats{
+		RxFrames: 1, RxBytes: int64(len(f.Buf)),
+		TxFrames: 1, TxBytes: int64(len(f.Buf)),
+		TxDropped: 1,
+	}
+	if st != want {
+		t.Errorf("IOStats = %+v, want %+v", st, want)
+	}
+}

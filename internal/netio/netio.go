@@ -15,6 +15,7 @@ package netio
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"lvrm/internal/ipc"
@@ -134,6 +135,23 @@ func Costs(m Mechanism) CostModel {
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("netio: adapter closed")
 
+// IOStats counts an adapter's traffic: frames and buffer bytes that crossed
+// Recv and Send, plus frames lost at the adapter boundary (full capture ring
+// on receive, saturated NIC queue on transmit).
+type IOStats struct {
+	RxFrames, RxBytes int64
+	TxFrames, TxBytes int64
+	RxDropped         int64
+	TxDropped         int64
+}
+
+// Meter is implemented by adapters that count their traffic. The
+// observability layer scrapes IOStats into per-adapter frame/byte metrics.
+type Meter interface {
+	// IOStats returns a snapshot of the adapter's traffic counters.
+	IOStats() IOStats
+}
+
 // MemoryAdapter serves frames from a preloaded in-RAM trace (Section 3.1's
 // third variant). Recv hands out clones of the trace frames sequentially —
 // looping if Loop is set — and Send discards frames after counting them,
@@ -145,6 +163,10 @@ type MemoryAdapter struct {
 	Loop   bool
 	sent   int64
 	closed bool
+
+	// Traffic counters are plain ints: the memory adapter only runs on the
+	// single-threaded testbed, and the exp1c hot loop cannot afford atomics.
+	rxFrames, rxBytes, txBytes int64
 }
 
 // NewMemoryAdapter creates a memory adapter over a trace.
@@ -167,15 +189,18 @@ func (m *MemoryAdapter) Recv() (*packet.Frame, bool) {
 	}
 	f := m.frames[m.next].Clone()
 	m.next++
+	m.rxFrames++
+	m.rxBytes += int64(len(f.Buf))
 	return f, true
 }
 
 // Send counts and discards the frame.
-func (m *MemoryAdapter) Send(*packet.Frame) error {
+func (m *MemoryAdapter) Send(f *packet.Frame) error {
 	if m.closed {
 		return ErrClosed
 	}
 	m.sent++
+	m.txBytes += int64(len(f.Buf))
 	return nil
 }
 
@@ -185,6 +210,11 @@ func (m *MemoryAdapter) Sent() int64 { return m.sent }
 // Remaining returns how many frames are left before the trace is exhausted
 // (meaningless when looping).
 func (m *MemoryAdapter) Remaining() int { return len(m.frames) - m.next }
+
+// IOStats returns the adapter's traffic counters (single-threaded use only).
+func (m *MemoryAdapter) IOStats() IOStats {
+	return IOStats{RxFrames: m.rxFrames, RxBytes: m.rxBytes, TxFrames: m.sent, TxBytes: m.txBytes}
+}
 
 // Name returns "memory".
 func (m *MemoryAdapter) Name() string { return "memory" }
@@ -201,6 +231,10 @@ type QueueAdapter struct {
 	dropsRx   int64
 	dropsTx   int64
 	closed    bool
+
+	// Plain counters, like MemoryAdapter: the testbed is single-threaded
+	// and these sit on the simulated hot path.
+	rxFrames, rxBytes, txFrames, txBytes int64
 }
 
 // NewQueueAdapter creates a queue adapter with the given ring capacity,
@@ -236,7 +270,12 @@ func (q *QueueAdapter) Recv() (*packet.Frame, bool) {
 	if q.closed {
 		return nil, false
 	}
-	return q.rx.Dequeue()
+	f, ok := q.rx.Dequeue()
+	if ok {
+		q.rxFrames++
+		q.rxBytes += int64(len(f.Buf))
+	}
+	return f, ok
 }
 
 // Send places the frame on the TX ring; a full ring counts as a transmit
@@ -247,12 +286,24 @@ func (q *QueueAdapter) Send(f *packet.Frame) error {
 	}
 	if !q.tx.Enqueue(f) {
 		q.dropsTx++
+		return nil
 	}
+	q.txFrames++
+	q.txBytes += int64(len(f.Buf))
 	return nil
 }
 
 // Drops returns the RX and TX tail-drop counts.
 func (q *QueueAdapter) Drops() (rx, tx int64) { return q.dropsRx, q.dropsTx }
+
+// IOStats returns the adapter's traffic counters (single-threaded use only).
+func (q *QueueAdapter) IOStats() IOStats {
+	return IOStats{
+		RxFrames: q.rxFrames, RxBytes: q.rxBytes,
+		TxFrames: q.txFrames, TxBytes: q.txBytes,
+		RxDropped: q.dropsRx, TxDropped: q.dropsTx,
+	}
+}
 
 // RxLen returns the RX ring occupancy.
 func (q *QueueAdapter) RxLen() int { return q.rx.Len() }
@@ -272,6 +323,10 @@ func (q *QueueAdapter) Close() error { q.closed = true; return nil }
 type ChanAdapter struct {
 	RX, TX chan *packet.Frame
 	closed bool
+
+	// Atomic counters: the monitor goroutine moves frames while the obs
+	// scraper reads concurrently.
+	rxFrames, rxBytes, txFrames, txBytes, txDropped atomic.Int64
 }
 
 // NewChanAdapter creates a channel adapter with the given buffer depth.
@@ -286,6 +341,8 @@ func NewChanAdapter(depth int) *ChanAdapter {
 func (c *ChanAdapter) Recv() (*packet.Frame, bool) {
 	select {
 	case f := <-c.RX:
+		c.rxFrames.Add(1)
+		c.rxBytes.Add(int64(len(f.Buf)))
 		return f, true
 	default:
 		return nil, false
@@ -299,9 +356,21 @@ func (c *ChanAdapter) Send(f *packet.Frame) error {
 	}
 	select {
 	case c.TX <- f:
+		c.txFrames.Add(1)
+		c.txBytes.Add(int64(len(f.Buf)))
 	default: // saturated transmit queue: tail drop
+		c.txDropped.Add(1)
 	}
 	return nil
+}
+
+// IOStats returns the adapter's traffic counters.
+func (c *ChanAdapter) IOStats() IOStats {
+	return IOStats{
+		RxFrames: c.rxFrames.Load(), RxBytes: c.rxBytes.Load(),
+		TxFrames: c.txFrames.Load(), TxBytes: c.txBytes.Load(),
+		TxDropped: c.txDropped.Load(),
+	}
 }
 
 // Name returns "chan".
@@ -314,4 +383,8 @@ var (
 	_ Adapter = (*MemoryAdapter)(nil)
 	_ Adapter = (*QueueAdapter)(nil)
 	_ Adapter = (*ChanAdapter)(nil)
+
+	_ Meter = (*MemoryAdapter)(nil)
+	_ Meter = (*QueueAdapter)(nil)
+	_ Meter = (*ChanAdapter)(nil)
 )

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"lvrm/internal/packet"
 )
@@ -26,7 +27,10 @@ type UDPAdapter struct {
 	closed chan struct{}
 	once   sync.Once
 
-	rxDrops int64
+	// Atomic counters: the read loop and the monitor goroutine update them
+	// while the obs scraper reads concurrently.
+	rxDrops                              atomic.Int64
+	rxFrames, rxBytes, txFrames, txBytes atomic.Int64
 }
 
 // NewUDPAdapter binds a UDP socket on listenAddr (e.g. "127.0.0.1:9000").
@@ -82,8 +86,10 @@ func (a *UDPAdapter) readLoop() {
 		frame := &packet.Frame{Buf: append([]byte(nil), buf[:n]...), Out: -1}
 		select {
 		case a.rx <- frame:
+			a.rxFrames.Add(1)
+			a.rxBytes.Add(int64(n))
 		default:
-			a.rxDrops++ // capture ring overflow
+			a.rxDrops.Add(1) // capture ring overflow
 		}
 	}
 }
@@ -122,11 +128,24 @@ func (a *UDPAdapter) Send(f *packet.Frame) error {
 		return errors.New("netio: UDP adapter has no peer yet")
 	}
 	_, err := a.conn.WriteToUDP(f.Buf, peer)
+	if err == nil {
+		a.txFrames.Add(1)
+		a.txBytes.Add(int64(len(f.Buf)))
+	}
 	return err
 }
 
 // RxDrops returns frames lost to a full receive buffer.
-func (a *UDPAdapter) RxDrops() int64 { return a.rxDrops }
+func (a *UDPAdapter) RxDrops() int64 { return a.rxDrops.Load() }
+
+// IOStats returns the adapter's traffic counters.
+func (a *UDPAdapter) IOStats() IOStats {
+	return IOStats{
+		RxFrames: a.rxFrames.Load(), RxBytes: a.rxBytes.Load(),
+		TxFrames: a.txFrames.Load(), TxBytes: a.txBytes.Load(),
+		RxDropped: a.rxDrops.Load(),
+	}
+}
 
 // Name returns "udp".
 func (a *UDPAdapter) Name() string { return "udp" }
@@ -141,4 +160,7 @@ func (a *UDPAdapter) Close() error {
 	return err
 }
 
-var _ Adapter = (*UDPAdapter)(nil)
+var (
+	_ Adapter = (*UDPAdapter)(nil)
+	_ Meter   = (*UDPAdapter)(nil)
+)

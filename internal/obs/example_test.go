@@ -1,0 +1,36 @@
+package obs_test
+
+import (
+	"os"
+
+	"lvrm/internal/obs"
+)
+
+// Example registers a counter and a histogram, simulates some hot-path
+// traffic, and scrapes the registry in Prometheus text format — the same
+// bytes lvrmd serves at /metrics.
+func Example() {
+	reg := obs.NewRegistry()
+
+	frames := reg.Counter("example_frames_total", "frames dispatched", obs.L("vr", "vr1"))
+	wait := reg.Histogram("example_wait_ns", "dispatch wait", []int64{100, 1000})
+
+	for i := 0; i < 3; i++ {
+		frames.Inc()     // hot path: one atomic add
+		wait.Observe(50) // hot path: three atomic adds, no allocation
+	}
+	wait.Observe(2500)
+
+	reg.WritePrometheus(os.Stdout)
+	// Output:
+	// # HELP example_frames_total frames dispatched
+	// # TYPE example_frames_total counter
+	// example_frames_total{vr="vr1"} 3
+	// # HELP example_wait_ns dispatch wait
+	// # TYPE example_wait_ns histogram
+	// example_wait_ns_bucket{le="100"} 3
+	// example_wait_ns_bucket{le="1000"} 3
+	// example_wait_ns_bucket{le="+Inf"} 4
+	// example_wait_ns_sum 2650
+	// example_wait_ns_count 4
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bufio"
+	"expvar"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by metric name for deterministic
+// output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(strings.ReplaceAll(fam.Help, "\n", " "))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.Type.String())
+		bw.WriteByte('\n')
+		for _, s := range fam.Samples {
+			bw.WriteString(fam.Name)
+			bw.WriteString(s.Suffix)
+			if ls := labelString(s.Labels); ls != "" {
+				bw.WriteByte('{')
+				bw.WriteString(ls)
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// formatValue renders a sample value: integers without a decimal point
+// (counters and bucket counts), everything else in shortest-float form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// TraceHandler returns an http.Handler serving the tracer's retained events
+// as JSON — mount it at /trace.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		t.WriteJSON(w)
+	})
+}
+
+// expvarPublished guards against double-publishing (expvar.Publish panics on
+// duplicate names, and tests may wire several registries in one process).
+var expvarPublished sync.Map
+
+// PublishExpvar exposes the registry under the given top-level expvar name
+// (conventionally "lvrm"), so the standard /debug/vars endpoint includes a
+// JSON map of every series: {"metric{labels}": value, ...}. Histograms
+// contribute their _count, _sum, and estimated p50/p99. Publishing the same
+// name twice rebinds it to the newest registry.
+func PublishExpvar(name string, r *Registry) {
+	holder, loaded := expvarPublished.LoadOrStore(name, &registryHolder{})
+	h := holder.(*registryHolder)
+	h.mu.Lock()
+	h.reg = r
+	h.mu.Unlock()
+	if !loaded {
+		expvar.Publish(name, expvar.Func(func() any { return h.snapshot() }))
+	}
+}
+
+type registryHolder struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+func (h *registryHolder) snapshot() map[string]float64 {
+	h.mu.Lock()
+	r := h.reg
+	h.mu.Unlock()
+	out := make(map[string]float64)
+	if r == nil {
+		return out
+	}
+	for _, fam := range r.Gather() {
+		for _, s := range fam.Samples {
+			key := fam.Name + s.Suffix
+			if ls := labelString(s.Labels); ls != "" {
+				key += "{" + ls + "}"
+			}
+			out[key] = s.Value
+		}
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+// Package obs is the live observability layer: allocation-free counters,
+// gauges, and fixed-bucket histograms behind a named registry, plus a bounded
+// ring-buffer event tracer and Prometheus-text / expvar exposition.
+//
+// The design splits cost between two sides of the scrape boundary:
+//
+//   - The hot path (the monitor's dispatch loop, the VRI goroutines, the IPC
+//     queues) only ever touches pre-registered atomics — an Add or Observe is
+//     a handful of uncontended atomic operations and never allocates.
+//   - The scrape path (an HTTP handler hit a few times a minute) walks the
+//     registry, invokes collector callbacks, sorts and formats. It may
+//     allocate freely; nobody on the data path waits for it.
+//
+// All metric handles are nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram, or *Tracer are no-ops, so instrumented code can run with
+// observability disabled without branching at every call site.
+//
+// Metrics follow Prometheus conventions: counters are monotonically
+// increasing and end in _total, gauges move both ways, histograms expose
+// cumulative le buckets plus _sum and _count. See OBSERVABILITY.md at the
+// repository root for the full metric table.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Type classifies a metric for exposition (# TYPE lines).
+type Type int
+
+const (
+	// TypeCounter is a monotonically increasing count.
+	TypeCounter Type = iota
+	// TypeGauge is a value that can go up and down.
+	TypeGauge
+	// TypeHistogram is a fixed-bucket distribution.
+	TypeHistogram
+)
+
+// String returns the Prometheus type keyword.
+func (t Type) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Sample is one exposed series value, produced at scrape time.
+type Sample struct {
+	// Suffix is appended to the metric name ("_bucket", "_sum", "_count");
+	// empty for plain counters and gauges.
+	Suffix string
+	// Labels are the series labels, including histogram "le".
+	Labels []Label
+	// Value is the sample value.
+	Value float64
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative; negative deltas are ignored so the
+// counter stays monotonic).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. Besides Set/Add it supports
+// SetMax, which ratchets the gauge upward — the idiom for high-water marks
+// (peak queue depth) read from a concurrent scraper.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger (lock-free CAS ratchet).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// entry is one registered name+labels series (or dynamic collector).
+type entry struct {
+	name   string
+	help   string
+	typ    Type
+	labels []Label
+	// exactly one of the following is set
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	collect func(emit func(Sample))
+}
+
+// key identifies an entry for idempotent registration.
+func (e *entry) key() string { return e.name + "{" + labelString(e.labels) + "}" }
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// call NewRegistry. All methods are safe for concurrent use.
+//
+// Registration is idempotent: asking twice for the same name+labels returns
+// the same handle. Registering the same series under a different metric type
+// panics — that is a programming error, caught at startup in practice since
+// instruments are registered during construction.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// register inserts or retrieves an entry, enforcing type consistency.
+func (r *Registry) register(e *entry) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.entries[e.key()]; ok {
+		if prev.typ != e.typ {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", e.key(), e.typ, prev.typ))
+		}
+		return prev
+	}
+	r.entries[e.key()] = e
+	return e
+}
+
+// Counter registers (or retrieves) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	e := r.register(&entry{name: name, help: help, typ: TypeCounter, labels: labels, counter: &Counter{}})
+	return e.counter
+}
+
+// Gauge registers (or retrieves) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	e := r.register(&entry{name: name, help: help, typ: TypeGauge, labels: labels, gauge: &Gauge{}})
+	return e.gauge
+}
+
+// Histogram registers (or retrieves) a fixed-bucket histogram series.
+// buckets are the inclusive upper bounds (ascending); nil selects
+// DefaultLatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []int64, labels ...Label) *Histogram {
+	e := r.register(&entry{name: name, help: help, typ: TypeHistogram, labels: labels, hist: NewHistogram(buckets)})
+	return e.hist
+}
+
+// Collect registers a dynamic collector: fn runs at every scrape and emits
+// samples for series whose label sets change over the process lifetime
+// (per-VRI queue depths, where VRIs spawn and die). The emitted samples
+// inherit the collector's name; their Labels distinguish the series.
+// Re-registering the same name replaces the previous collector.
+func (r *Registry) Collect(name, help string, typ Type, fn func(emit func(Sample))) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[name+"{}"] = &entry{name: name, help: help, typ: typ, collect: fn}
+}
+
+// Gathered is one metric family with its samples, as returned by Gather.
+type Gathered struct {
+	Name    string
+	Help    string
+	Type    Type
+	Samples []Sample
+}
+
+// Gather snapshots every registered series, sorted by name then labels —
+// the deterministic order the Prometheus and expvar expositions share.
+func (r *Registry) Gather() []Gathered {
+	r.mu.RLock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return labelString(entries[i].labels) < labelString(entries[j].labels)
+	})
+
+	var out []Gathered
+	for _, e := range entries {
+		var samples []Sample
+		switch {
+		case e.counter != nil:
+			samples = []Sample{{Labels: e.labels, Value: float64(e.counter.Value())}}
+		case e.gauge != nil:
+			samples = []Sample{{Labels: e.labels, Value: float64(e.gauge.Value())}}
+		case e.hist != nil:
+			samples = e.hist.samples(e.labels)
+		case e.collect != nil:
+			e.collect(func(s Sample) { samples = append(samples, s) })
+		}
+		if len(out) > 0 && out[len(out)-1].Name == e.name {
+			out[len(out)-1].Samples = append(out[len(out)-1].Samples, samples...)
+			continue
+		}
+		out = append(out, Gathered{Name: e.name, Help: e.help, Type: e.typ, Samples: samples})
+	}
+	return out
+}
+
+// labelString renders labels in canonical k="v",... form with Prometheus
+// escaping of backslash, quote, and newline in values.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help", L("vr", "a"))
+	c2 := r.Counter("x_total", "other help", L("vr", "a"))
+	if c1 != c2 {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	c3 := r.Counter("x_total", "help", L("vr", "b"))
+	if c1 == c3 {
+		t.Fatal("different labels should be a different series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "help", L("vr", "a"))
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(9)
+	h.Observe(3)
+	tr.Record(Event{})
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || tr.Total() != 0 {
+		t.Fatal("nil metrics should read as zero")
+	}
+	if h.Quantile(0.5) != 0 || len(tr.Events()) != 0 {
+		t.Fatal("nil reads should be empty")
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Inc()
+	c.Add(4)
+	c.Add(-100) // ignored: counters never go down
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "")
+	g.SetMax(7)
+	g.SetMax(3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("high-water mark = %d, want 7", got)
+	}
+	g.Set(2)
+	g.Add(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+// TestPrometheusGolden locks down the full exposition format: HELP/TYPE
+// lines, label rendering, histogram cumulative buckets, and name-sorted
+// deterministic ordering regardless of registration order.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("zz_depth", "current depth", L("vr", "vr1")).Set(3)
+	h := r.Histogram("aa_wait_ns", "dispatch wait", []int64{10, 100})
+	r.Counter("mm_frames_total", "frames seen").Add(42)
+	r.Counter("mm_frames_total", "frames seen", L("vr", "vr2")).Add(7)
+	h.Observe(5)
+	h.Observe(10) // le bounds are inclusive
+	h.Observe(11)
+	h.Observe(500) // +Inf
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_wait_ns dispatch wait
+# TYPE aa_wait_ns histogram
+aa_wait_ns_bucket{le="10"} 2
+aa_wait_ns_bucket{le="100"} 3
+aa_wait_ns_bucket{le="+Inf"} 4
+aa_wait_ns_sum 526
+aa_wait_ns_count 4
+# HELP mm_frames_total frames seen
+# TYPE mm_frames_total counter
+mm_frames_total 42
+mm_frames_total{vr="vr2"} 7
+# HELP zz_depth current depth
+# TYPE zz_depth gauge
+zz_depth{vr="vr1"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", "", L("note", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `e_total{note="a\"b\\c\nd"} 1`) {
+		t.Errorf("labels not escaped:\n%s", b.String())
+	}
+}
+
+func TestCollectDynamic(t *testing.T) {
+	r := NewRegistry()
+	depth := 0
+	r.Collect("dyn_depth", "per-VRI depth", TypeGauge, func(emit func(Sample)) {
+		emit(Sample{Labels: []Label{L("vri", "0")}, Value: float64(depth)})
+	})
+	depth = 9
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `dyn_depth{vri="0"} 9`) {
+		t.Errorf("collector value stale:\n%s", b.String())
+	}
+}
+
+func TestExpvarPublish(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ev_frames_total", "").Add(12)
+	PublishExpvar("obs_test", r)
+	got := expvar.Get("obs_test").String()
+	if !strings.Contains(got, `"ev_frames_total":12`) && !strings.Contains(got, `"ev_frames_total": 12`) {
+		t.Errorf("expvar missing metric: %s", got)
+	}
+	// Rebinding the same name must not panic and must serve the new registry.
+	r2 := NewRegistry()
+	r2.Counter("ev_other_total", "").Inc()
+	PublishExpvar("obs_test", r2)
+	if got := expvar.Get("obs_test").String(); !strings.Contains(got, "ev_other_total") {
+		t.Errorf("expvar not rebound: %s", got)
+	}
+}
+
+// TestConcurrentUse exercises every hot-path operation against a concurrent
+// scraper; run with -race.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "")
+	g := r.Gauge("gg", "")
+	h := r.Histogram("hh_ns", "", nil)
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				c.Inc()
+				g.SetMax(int64(i))
+				h.Observe(int64(i * 100))
+				if i%64 == 0 {
+					tr.Record(Event{At: int64(i), Kind: KindBalance, VR: w})
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		tr.Events()
+	}
+	wg.Wait()
+	if c.Value() != 20000 {
+		t.Fatalf("counter = %d, want 20000", c.Value())
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("histogram count = %d, want 20000", h.Count())
+	}
+}

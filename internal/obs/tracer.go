@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Kind labels a traced runtime event.
+type Kind string
+
+const (
+	// KindAlloc is a core allocation decision (a VR grew by one VRI).
+	KindAlloc Kind = "alloc"
+	// KindDealloc is a core deallocation decision (a VR shrank by one VRI).
+	KindDealloc Kind = "dealloc"
+	// KindSpawn is a VRI adapter coming to life on a core.
+	KindSpawn Kind = "spawn"
+	// KindDestroy is a VRI adapter being torn down.
+	KindDestroy Kind = "destroy"
+	// KindBalance is a sampled load-balancer decision (every Nth dispatch).
+	KindBalance Kind = "balance"
+)
+
+// Event is one traced occurrence on the data or control path.
+type Event struct {
+	// At is the wall-clock (or virtual) timestamp in nanoseconds.
+	At int64 `json:"at_ns"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// VR and VRI identify the involved router and instance (-1 = n/a).
+	VR  int `json:"vr"`
+	VRI int `json:"vri"`
+	// Core is the CPU core involved (-1 = n/a).
+	Core int `json:"core"`
+	// Value carries the event's measurement: the modeled reaction latency in
+	// ns for alloc/dealloc, the chosen VRI's load estimate for balance.
+	Value float64 `json:"value,omitempty"`
+	// Note is a short human-readable annotation.
+	Note string `json:"note,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of Events. When full, the oldest events
+// are overwritten — the ring always holds the most recent window, which is
+// what an operator attaching mid-incident wants. Recording is a short
+// critical section with no allocation; all methods are nil-safe and
+// concurrency-safe.
+type Tracer struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever recorded; next slot is next % len(buf)
+}
+
+// NewTracer returns a tracer retaining the last capacity events
+// (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, overwriting the oldest if the ring is full.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf[t.next%uint64(len(t.buf))] = ev
+	t.next++
+	t.mu.Unlock()
+}
+
+// Total returns how many events have ever been recorded (including
+// overwritten ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	c := uint64(len(t.buf))
+	if n <= c {
+		out := make([]Event, n)
+		copy(out, t.buf[:n])
+		return out
+	}
+	out := make([]Event, 0, c)
+	for i := n - c; i < n; i++ {
+		out = append(out, t.buf[i%c])
+	}
+	return out
+}
+
+// traceDump is the JSON shape served at /trace.
+type traceDump struct {
+	Total    uint64  `json:"total_recorded"`
+	Capacity int     `json:"capacity"`
+	Events   []Event `json:"events"`
+}
+
+// WriteJSON writes the retained events as an indented JSON document.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traceDump{Total: t.Total(), Capacity: t.Cap(), Events: t.Events()})
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 40; i++ {
+		tr.Record(Event{At: int64(i), Kind: KindSpawn, VR: 0, VRI: i, Core: -1})
+	}
+	if tr.Total() != 40 {
+		t.Fatalf("total = %d, want 40", tr.Total())
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want 16", len(evs))
+	}
+	// The ring keeps the newest window, oldest first: 24..39.
+	for i, ev := range evs {
+		if ev.At != int64(24+i) {
+			t.Fatalf("event %d has At=%d, want %d (ring order broken)", i, ev.At, 24+i)
+		}
+	}
+}
+
+func TestTracerPartialFill(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(Event{At: 1, Kind: KindAlloc})
+	tr.Record(Event{At: 2, Kind: KindDealloc})
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].At != 1 || evs[1].At != 2 {
+		t.Fatalf("partial ring = %+v", evs)
+	}
+}
+
+func TestTracerMinCapacity(t *testing.T) {
+	if got := NewTracer(0).Cap(); got != 16 {
+		t.Fatalf("cap = %d, want minimum 16", got)
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(Event{At: 5, Kind: KindBalance, VR: 1, VRI: 2, Core: 3, Value: 7.5, Note: "jsq"})
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"total_recorded": 1`, `"kind": "balance"`, `"value": 7.5`, `"note": "jsq"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("JSON missing %s:\n%s", want, b.String())
+		}
+	}
+}
