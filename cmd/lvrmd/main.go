@@ -52,6 +52,7 @@ func main() {
 		httpAddr = flag.String("http", "", "serve /status, /metrics, /trace, /debug/vars and /debug/pprof at this address (e.g. :8080)")
 		traceCap = flag.Int("tracecap", 1024, "event tracer ring capacity (allocation, lifecycle, sampled balancer events)")
 		udpAddr  = flag.String("udp", "", "receive frames as UDP datagrams on this address instead of the built-in generator")
+		batch    = flag.Int("batch", 16, "frames moved per queue operation on the receive, VRI and relay paths (1 = per-frame)")
 	)
 	flag.Parse()
 
@@ -94,6 +95,9 @@ func main() {
 		AllocPeriod: time.Second,
 		Obs:         registry,
 		Trace:       tracer,
+		RecvBatch:   *batch,
+		VRIBatch:    *batch,
+		RelayBatch:  *batch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -33,6 +33,14 @@ type Config struct {
 	QueueKind ipc.Kind
 	// DataQueueCap and ControlQueueCap size the per-VRI queue pairs.
 	DataQueueCap, ControlQueueCap int
+	// RecvBatch caps how many frames one adapter poll drains (via
+	// netio.RecvBatch), VRIBatch caps how many data frames a VRI worker
+	// drains per wakeup (VRIAdapter.StepBatch), and RelayBatch caps how
+	// many frames RelayOut moves per VRI queue visit. Each defaults to 1,
+	// which reproduces the per-frame semantics exactly; larger values
+	// amortize the queue release/acquire pair and the scheduler round-trip
+	// per frame (the ROADMAP's "batched dequeue on the data path").
+	RecvBatch, VRIBatch, RelayBatch int
 	// AllocPeriod is the minimum interval between core re-allocation
 	// passes; the paper uses 1 second.
 	AllocPeriod time.Duration
@@ -121,11 +129,19 @@ type LVRM struct {
 
 	ins instruments
 
-	received    atomic.Int64
-	unclassifed atomic.Int64
-	sent        atomic.Int64
-	ctlRelayed  atomic.Int64
-	ctlDropped  atomic.Int64
+	received     atomic.Int64
+	unclassified atomic.Int64
+	sent         atomic.Int64
+	sendErrs     atomic.Int64 // frames consumed from a VRI queue but lost in Adapter.Send
+	ctlRelayed   atomic.Int64
+	ctlDropped   atomic.Int64
+
+	// recvBuf and relayBuf are the monitor's batch scratch buffers. Only
+	// the monitor goroutine (or the single-threaded testbed) touches them,
+	// so they need no synchronisation — the same ownership rule as
+	// lastAlloc.
+	recvBuf  []*packet.Frame
+	relayBuf []*packet.Frame
 
 	// OnSpawn/OnDestroy are called whenever a VRI is created/destroyed;
 	// the live runtime uses them to start and stop worker goroutines.
@@ -162,11 +178,22 @@ func New(cfg Config) (*LVRM, error) {
 	if cfg.PerVRIMonitorCost == 0 {
 		cfg.PerVRIMonitorCost = DefaultPerVRIMonitorCost
 	}
+	if cfg.RecvBatch < 1 {
+		cfg.RecvBatch = 1
+	}
+	if cfg.VRIBatch < 1 {
+		cfg.VRIBatch = 1
+	}
+	if cfg.RelayBatch < 1 {
+		cfg.RelayBatch = 1
+	}
 	allocator, err := cores.NewAllocator(cfg.Topology, cfg.LVRMCore)
 	if err != nil {
 		return nil, err
 	}
 	l := &LVRM{cfg: cfg, allocator: allocator, lastAlloc: -int64(cfg.AllocPeriod)}
+	l.recvBuf = make([]*packet.Frame, cfg.RecvBatch)
+	l.relayBuf = make([]*packet.Frame, cfg.RelayBatch)
 	l.initObs(cfg.Obs, cfg.Trace)
 	return l, nil
 }
@@ -325,32 +352,105 @@ func (l *LVRM) RecvAndDispatch() (received bool) {
 	if !ok {
 		return false
 	}
+	l.dispatchFrame(f)
+	return true
+}
+
+// dispatchFrame stamps, classifies and dispatches one captured frame, then
+// runs the paced allocation check — the per-frame half of RecvAndDispatch,
+// shared with the batched receive path so batch size 1 behaves identically.
+func (l *LVRM) dispatchFrame(f *packet.Frame) {
 	now := l.cfg.Clock()
 	f.Timestamp = now
 	l.received.Add(1)
 	if v, ok := l.Classify(f); ok {
 		_ = v.dispatch(f, now) // queue-full drops are counted by the VR
 	} else {
-		l.unclassifed.Add(1)
+		l.unclassified.Add(1)
 	}
 	l.MaybeAllocate(now)
-	return true
+}
+
+// RecvDispatchBatch drains up to budget frames (<= 0 = until the adapter is
+// empty) from the socket adapter in Config.RecvBatch-sized bursts (one
+// adapter poll per burst instead of one per frame) and dispatches each. It
+// returns how many frames it received.
+func (l *LVRM) RecvDispatchBatch(budget int) int {
+	total := 0
+	for budget <= 0 || total < budget {
+		want := l.cfg.RecvBatch
+		if budget > 0 {
+			if r := budget - total; want > r {
+				want = r
+			}
+		}
+		buf := l.recvBuf[:want]
+		n := netio.RecvBatch(l.cfg.Adapter, buf)
+		for i := 0; i < n; i++ {
+			f := buf[i]
+			buf[i] = nil
+			l.dispatchFrame(f)
+		}
+		total += n
+		if n < want {
+			break // adapter drained
+		}
+	}
+	return total
+}
+
+// relayScratch returns the relay scratch buffer grown to at least n slots.
+// Monitor goroutine only.
+func (l *LVRM) relayScratch(n int) []*packet.Frame {
+	if cap(l.relayBuf) < n {
+		l.relayBuf = make([]*packet.Frame, n)
+	}
+	return l.relayBuf[:n]
+}
+
+// sendBatch forwards buf[:n] to the socket adapter, counting successes in
+// sent and failures in sendErrs — a frame that dequeued but failed to send
+// is lost, and the loss must be visible in Stats rather than silent. It
+// returns how many frames were sent successfully.
+func (l *LVRM) sendBatch(buf []*packet.Frame, n int) int {
+	ok := 0
+	for i := 0; i < n; i++ {
+		f := buf[i]
+		buf[i] = nil
+		if err := l.cfg.Adapter.Send(f); err != nil {
+			l.sendErrs.Add(1)
+			continue
+		}
+		l.sent.Add(1)
+		ok++
+	}
+	return ok
 }
 
 // RelayOut drains up to budget frames from every VRI's outgoing data queue
-// into the socket adapter and returns how many were sent.
+// into the socket adapter and returns how many were sent. Frames move in
+// Config.RelayBatch-sized bursts — one cursor acquire/release per burst on
+// the lock-free rings — and send failures are counted, never silently
+// swallowed.
 func (l *LVRM) RelayOut(budget int) int {
 	sent := 0
 	for _, v := range l.vrList() {
 		for _, a := range v.vriList() {
 			for budget <= 0 || sent < budget {
-				f, ok := a.Data.Out.Dequeue()
-				if !ok {
+				want := l.cfg.RelayBatch
+				if budget > 0 {
+					if r := budget - sent; want > r {
+						want = r
+					}
+				}
+				buf := l.relayScratch(want)
+				n := ipc.DequeueBatch(a.Data.Out, buf)
+				if n == 0 {
 					break
 				}
-				if err := l.cfg.Adapter.Send(f); err == nil {
-					l.sent.Add(1)
-					sent++
+				sent += l.sendBatch(buf, n)
+				if n < want {
+					break // queue drained
 				}
 			}
 		}
@@ -358,20 +458,29 @@ func (l *LVRM) RelayOut(budget int) int {
 	return sent
 }
 
+// RelayFrom drains up to max frames from the given VRI's outgoing data queue
+// into the socket adapter and returns how many frames were consumed from the
+// queue (sent or lost to a counted send failure).
+func (l *LVRM) RelayFrom(a *VRIAdapter, max int) int {
+	if max < 1 {
+		max = 1
+	}
+	buf := l.relayScratch(max)
+	n := ipc.DequeueBatch(a.Data.Out, buf)
+	if n > 0 {
+		l.sendBatch(buf, n)
+	}
+	return n
+}
+
 // RelayOneFrom drains exactly one frame from the given VRI's outgoing data
-// queue into the socket adapter, reporting whether a frame moved. The
+// queue into the socket adapter, reporting whether a frame was consumed. The
 // testbed uses it so each VRI's completions relay that VRI's own output
 // (a global scan would starve later VRIs whenever an earlier one is busy).
+// A frame that dequeues but fails to send still counts as consumed — it is
+// gone from the queue — with the loss recorded in Stats.SendErrors.
 func (l *LVRM) RelayOneFrom(a *VRIAdapter) bool {
-	f, ok := a.Data.Out.Dequeue()
-	if !ok {
-		return false
-	}
-	if err := l.cfg.Adapter.Send(f); err != nil {
-		return false
-	}
-	l.sent.Add(1)
-	return true
+	return l.RelayFrom(a, 1) == 1
 }
 
 // RelayControl moves pending control events from every VRI's outgoing
@@ -501,6 +610,7 @@ func (l *LVRM) AllocEvents() []AllocEvent {
 type Stats struct {
 	Received        int64 // frames captured from the adapter
 	Sent            int64 // frames forwarded to the adapter
+	SendErrors      int64 // frames consumed from a VRI queue but lost in Adapter.Send
 	Unclassified    int64 // frames no VR claimed
 	ControlRelayed  int64
 	ControlDropped  int64
@@ -521,7 +631,8 @@ func (l *LVRM) Stats() Stats {
 	return Stats{
 		Received:        l.received.Load(),
 		Sent:            l.sent.Load(),
-		Unclassified:    l.unclassifed.Load(),
+		SendErrors:      l.sendErrs.Load(),
+		Unclassified:    l.unclassified.Load(),
 		ControlRelayed:  l.ctlRelayed.Load(),
 		ControlDropped:  l.ctlDropped.Load(),
 		VRIsLive:        live,
@@ -537,10 +648,7 @@ func (l *LVRM) PollOnce(rxBudget int) bool {
 	if l.RelayControl() > 0 {
 		work = true
 	}
-	for i := 0; i < rxBudget; i++ {
-		if !l.RecvAndDispatch() {
-			break
-		}
+	if l.RecvDispatchBatch(rxBudget) > 0 {
 		work = true
 	}
 	if l.RelayOut(0) > 0 {

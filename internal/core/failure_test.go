@@ -105,11 +105,18 @@ func TestRelayToClosedAdapter(t *testing.T) {
 	a.Data.In.Enqueue(frameFrom(t, "10.1.0.5", "10.2.0.1"))
 	a.Step(clock.now, nil)
 	adapter.Close()
-	if l.RelayOneFrom(a) {
-		t.Error("RelayOneFrom reported success on a closed adapter")
+	// The frame is consumed from the queue even though the send fails, so
+	// RelayOneFrom must report progress — otherwise relay loops would stall
+	// on a failing adapter with frames still queued. The loss is counted.
+	if !l.RelayOneFrom(a) {
+		t.Error("RelayOneFrom did not report the frame as consumed")
 	}
-	if st := l.Stats(); st.Sent != 0 {
-		t.Errorf("Sent = %d", st.Sent)
+	st := l.Stats()
+	if st.Sent != 0 {
+		t.Errorf("Sent = %d, want 0 (send failed)", st.Sent)
+	}
+	if st.SendErrors != 1 {
+		t.Errorf("SendErrors = %d, want 1", st.SendErrors)
 	}
 }
 

@@ -74,7 +74,13 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 	reg.Collect("lvrm_frames_unclassified_total",
 		"Frames no VR claimed (dropped at classification).", obs.TypeCounter,
 		func(emit func(obs.Sample)) {
-			emit(obs.Sample{Value: float64(l.unclassifed.Load())})
+			emit(obs.Sample{Value: float64(l.unclassified.Load())})
+		})
+	reg.Collect("lvrm_send_errors_total",
+		"Frames consumed from a VRI's outgoing queue but lost because Adapter.Send failed.",
+		obs.TypeCounter,
+		func(emit func(obs.Sample)) {
+			emit(obs.Sample{Value: float64(l.sendErrs.Load())})
 		})
 	reg.Collect("lvrm_control_relayed_total",
 		"Control events relayed between VRIs.", obs.TypeCounter,
@@ -203,6 +209,10 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 			func(s netio.IOStats) int64 { return s.RxDropped })
 		adapterStat("lvrm_adapter_tx_dropped_total", "Outbound frames the adapter dropped.",
 			func(s netio.IOStats) int64 { return s.TxDropped })
+		adapterStat("lvrm_adapter_rx_runts_total", "Inbound payloads rejected as too short for an Ethernet header.",
+			func(s netio.IOStats) int64 { return s.RxRunts })
+		adapterStat("lvrm_adapter_rx_oversize_total", "Inbound payloads rejected as larger than the maximum frame.",
+			func(s netio.IOStats) int64 { return s.RxOversize })
 	}
 }
 

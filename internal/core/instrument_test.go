@@ -186,6 +186,9 @@ func TestRuntimeScrape(t *testing.T) {
 		"lvrm_vri_spawn_total",
 		`lvrm_vri_queue_drops_total{vr="vr1",vri="0",queue="data_in"}`,
 		"lvrm_adapter_rx_frames_total{adapter=\"chan\"} 3000",
+		"lvrm_send_errors_total 0",
+		"lvrm_adapter_rx_runts_total{adapter=\"chan\"} 0",
+		"lvrm_adapter_rx_oversize_total{adapter=\"chan\"} 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output missing %q", want)

@@ -28,11 +28,12 @@ type Runtime struct {
 	// demonstrate load-aware allocation live).
 	BurnCost bool
 
-	mu      sync.Mutex
-	stops   map[*VRIAdapter]chan struct{}
-	stopped chan struct{}
-	wg      sync.WaitGroup
-	started bool
+	mu       sync.Mutex
+	stops    map[*VRIAdapter]chan struct{}
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+	started  bool
+	stopping bool
 }
 
 // NewRuntime wraps an LVRM instance. It installs spawn/destroy hooks, so it
@@ -53,14 +54,19 @@ func NewRuntime(l *LVRM) *Runtime {
 func (r *Runtime) LVRM() *LVRM { return r.lvrm }
 
 // Start launches the monitor goroutine and workers for any VRIs that were
-// spawned before Start.
+// spawned before Start. Start after Stop restarts the runtime: it rescans the
+// live VRI set (allocation may have changed it while stopped) and launches a
+// fresh monitor goroutine. Start during a concurrent Stop is a no-op — the
+// caller must let Stop finish before restarting.
 func (r *Runtime) Start() {
 	r.mu.Lock()
-	if r.started {
+	if r.started || r.stopping {
 		r.mu.Unlock()
 		return
 	}
 	r.started = true
+	r.stopped = make(chan struct{})
+	stopped := r.stopped
 	r.mu.Unlock()
 
 	for _, v := range r.lvrm.VRs() {
@@ -69,41 +75,42 @@ func (r *Runtime) Start() {
 		}
 	}
 	r.wg.Add(1)
-	go r.monitorLoop()
+	go r.monitorLoop(stopped)
 }
 
-// Stop halts the monitor and all VRI goroutines and waits for them.
+// Stop halts the monitor and all VRI goroutines and waits for them. The
+// runtime can be started again afterwards; Stop on a stopped runtime is a
+// no-op.
 func (r *Runtime) Stop() {
 	r.mu.Lock()
 	if !r.started {
 		r.mu.Unlock()
 		return
 	}
-	select {
-	case <-r.stopped:
-	default:
-		close(r.stopped)
-	}
+	r.stopping = true
+	close(r.stopped)
 	for a, ch := range r.stops {
-		select {
-		case <-ch:
-		default:
-			close(ch)
-		}
+		close(ch)
 		delete(r.stops, a)
 	}
 	r.mu.Unlock()
+	// Wait outside the lock: the monitor goroutine's allocation pass can
+	// call OnSpawn -> startVRI, which needs r.mu to observe the shutdown.
 	r.wg.Wait()
+	r.mu.Lock()
+	r.started = false
+	r.stopping = false
+	r.mu.Unlock()
 }
 
 // monitorLoop is the LVRM process: poll the socket adapter, dispatch,
 // relay, and run the periodic allocation pass.
-func (r *Runtime) monitorLoop() {
+func (r *Runtime) monitorLoop(stopped chan struct{}) {
 	defer r.wg.Done()
 	idle := 0
 	for {
 		select {
-		case <-r.stopped:
+		case <-stopped:
 			return
 		default:
 		}
@@ -138,7 +145,7 @@ func (r *Runtime) startVRI(v *VR, a *VRIAdapter) {
 	stop := make(chan struct{})
 	r.stops[a] = stop
 	r.wg.Add(1)
-	go r.vriLoop(v, a, stop)
+	go r.vriLoop(v, a, stop, r.stopped)
 }
 
 // stopVRI signals a VRI goroutine to exit.
@@ -152,23 +159,36 @@ func (r *Runtime) stopVRI(a *VRIAdapter) {
 }
 
 // vriLoop is one VRI process: drain control events first, then data frames.
-func (r *Runtime) vriLoop(v *VR, a *VRIAdapter, stop chan struct{}) {
+// With Config.VRIBatch > 1 each wakeup runs StepBatch, amortizing one cursor
+// publication per batch on the SPSC rings; at 1 it keeps the seed's exact
+// one-item-per-step semantics.
+func (r *Runtime) vriLoop(v *VR, a *VRIAdapter, stop, stopped chan struct{}) {
 	defer r.wg.Done()
 	onControl := func(ev *ControlEvent) {
 		if r.ControlHandler != nil {
 			r.ControlHandler(v, a, ev)
 		}
 	}
+	batch := r.lvrm.cfg.VRIBatch
 	idle := 0
 	for {
 		select {
 		case <-stop:
 			return
-		case <-r.stopped:
+		case <-stopped:
 			return
 		default:
 		}
-		cost, did := a.Step(r.lvrm.cfg.Clock(), onControl)
+		var (
+			cost time.Duration
+			did  bool
+		)
+		if batch > 1 {
+			res := a.StepBatch(r.lvrm.cfg.Clock(), batch, onControl)
+			cost, did = res.Cost, res.Did()
+		} else {
+			cost, did = a.Step(r.lvrm.cfg.Clock(), onControl)
+		}
 		if did {
 			idle = 0
 			if r.BurnCost && cost > 0 {

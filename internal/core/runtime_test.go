@@ -93,8 +93,29 @@ func TestRuntimeControlRoundTrip(t *testing.T) {
 func TestRuntimeStopIdempotent(t *testing.T) {
 	rt, _ := startLiveLVRM(t, 1)
 	rt.Stop()
-	rt.Stop()  // second Stop must not panic or deadlock
-	rt.Start() // restart after stop is a no-op (already started once)
+	rt.Stop() // second Stop must not panic or deadlock
+}
+
+func TestRuntimeRestart(t *testing.T) {
+	rt, ca := startLiveLVRM(t, 2)
+	roundTrip := func(phase string) {
+		t.Helper()
+		ca.RX <- frameFrom(t, "10.1.0.5", "10.2.0.1")
+		select {
+		case <-ca.TX:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("no forwarding %s", phase)
+		}
+	}
+	roundTrip("before restart")
+	rt.Stop()
+	rt.Start()
+	roundTrip("after restart")
+	// A second cycle proves the restart path does not consume one-shot
+	// state (channels, waitgroups).
+	rt.Stop()
+	rt.Start()
+	roundTrip("after second restart")
 }
 
 func TestRuntimeDoubleStartHarmless(t *testing.T) {

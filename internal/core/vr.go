@@ -54,6 +54,11 @@ type VR struct {
 	vris   atomic.Pointer[[]*VRIAdapter]
 	nextID int
 
+	// targets is dispatch's scratch slice, reused under mu so the hot path
+	// does not allocate a fresh balance.Target slice per frame. Balancers
+	// must not retain it past Pick (none of the shipped ones do).
+	targets []balance.Target
+
 	// arrival estimates the VR's traffic load for core allocation.
 	arrival *estimate.ArrivalRate
 
@@ -146,12 +151,11 @@ func (v *VR) dispatch(f *packet.Frame, now int64) error {
 		v.inDrops.Add(1)
 		return errors.New("core: VR has no VRIs")
 	}
-	targets := make([]balance.Target, len(vris))
-	for i, a := range vris {
-		a := a
-		targets[i] = balance.Target{ID: a.ID, Load: a.Load}
+	v.targets = v.targets[:0]
+	for _, a := range vris {
+		v.targets = append(v.targets, balance.Target{ID: a.ID, Load: a.loadFn})
 	}
-	idx := v.cfg.Balancer.Pick(targets, f)
+	idx := v.cfg.Balancer.Pick(v.targets, f)
 	a := vris[idx]
 	// Figure 3.4 "queue length": observe occupancy when forwarding.
 	depth := a.Data.In.Len()
@@ -211,6 +215,7 @@ func (v *VR) spawnVRI(core int, now int64, queueKind ipc.Kind, dataCap, ctlCap i
 		SpawnedAt: now,
 	}
 	a.waitHist = v.waitHist
+	a.loadFn = a.Load // bound once; dispatch reuses it allocation-free
 	a.state.Store(int32(VRIRunning))
 	v.mu.Lock()
 	v.nextID++

@@ -96,6 +96,17 @@ type VRIAdapter struct {
 	outDrops   atomic.Int64
 	ctlHandled atomic.Int64
 
+	// loadFn is the bound Load method, created once at spawn so the
+	// dispatch hot path can build balance targets without allocating a
+	// method value per frame.
+	loadFn func() float64
+
+	// batchIn/batchOut are StepBatch's scratch buffers. StepBatch runs on
+	// the consumer side only (the VRI's own goroutine or the
+	// single-threaded testbed), so they need no synchronisation.
+	batchIn  []*packet.Frame
+	batchOut []*packet.Frame
+
 	// waitHist, when non-nil, records dispatch→dequeue wait per data frame
 	// (the VR's lvrm_dispatch_wait_nanoseconds histogram). The wait comes
 	// free: dispatch stamps f.Timestamp and Step already receives now.
@@ -177,6 +188,102 @@ func (a *VRIAdapter) Step(now int64, onControl func(*ControlEvent)) (cost time.D
 	return cost, true
 }
 
+// StepBatchResult reports what one StepBatch call did: the simulated CPU
+// cost of the work, how many control events and data frames were consumed,
+// and the buffer bytes enqueued toward LVRM (the testbed sizes the batched
+// relay's transmit cost from OutBytes).
+type StepBatchResult struct {
+	Cost     time.Duration
+	Control  int
+	Frames   int
+	OutBytes int
+}
+
+// Did reports whether any work was done.
+func (r StepBatchResult) Did() bool { return r.Control+r.Frames > 0 }
+
+// StepBatch performs one batched VRI scheduling quantum at time now: it
+// drains every pending control event first (control queues keep strict
+// priority), then up to max data frames in one queue operation. The batch
+// dequeue publishes a single cursor release/acquire pair for the whole run
+// of frames, and the processed outputs are enqueued toward LVRM the same
+// way — the amortization the paper's Section 3.5 queues exist to enable.
+// With max = 1 the data-path semantics match a Step loop exactly.
+func (a *VRIAdapter) StepBatch(now int64, max int, onControl func(*ControlEvent)) StepBatchResult {
+	var res StepBatchResult
+	if VRIState(a.state.Load()) != VRIRunning {
+		return res
+	}
+	for {
+		ev, ok := a.Control.In.Dequeue()
+		if !ok {
+			break
+		}
+		a.ctlHandled.Add(1)
+		if onControl != nil {
+			onControl(ev)
+		}
+		res.Control++
+		res.Cost += ControlHandleCost
+	}
+	if max < 1 {
+		max = 1
+	}
+	if cap(a.batchIn) < max {
+		a.batchIn = make([]*packet.Frame, max)
+	}
+	in := a.batchIn[:max]
+	n := ipc.DequeueBatch(a.Data.In, in)
+	if n == 0 {
+		return res
+	}
+	// Section 3.6's service-rate rule, batch form: every frame that had a
+	// successor behind it — later in this batch or still queued — came off
+	// a backed-up queue, so it measures capacity. The whole batch shares
+	// one timestamp, so the gap since the previous completion is spread
+	// across the backed-up completions (ObserveN) rather than observed as
+	// zero-length gaps; a batch that drains the queue ends the busy period.
+	backed := n - 1
+	if a.Data.In.Len() > 0 {
+		backed = n
+	}
+	if backed > 0 {
+		a.SvcEst.ObserveN(now, backed)
+	}
+	if backed < n {
+		a.SvcEst.Break()
+	}
+	out := a.batchOut[:0]
+	for i := 0; i < n; i++ {
+		f := in[i]
+		in[i] = nil
+		if a.waitHist != nil && f.Timestamp > 0 && now >= f.Timestamp {
+			a.waitHist.Observe(now - f.Timestamp)
+		}
+		cost, err := a.Engine.Process(f)
+		res.Cost += cost
+		a.processed.Add(1)
+		if err != nil || f.Out == vr.Drop {
+			a.engDrops.Add(1)
+			continue
+		}
+		out = append(out, f)
+	}
+	res.Frames = n
+	accepted := ipc.EnqueueBatch(a.Data.Out, out)
+	if rejected := len(out) - accepted; rejected > 0 {
+		a.outDrops.Add(int64(rejected))
+	}
+	for i := 0; i < accepted; i++ {
+		res.OutBytes += len(out[i].Buf)
+	}
+	for i := range out {
+		out[i] = nil // release references for GC; the queue owns them now
+	}
+	a.batchOut = out[:0]
+	return res
+}
+
 // SendControl lets VRI-side code emit a control event toward another VRI;
 // it reports whether the outgoing control queue had room.
 func (a *VRIAdapter) SendControl(ev *ControlEvent) bool {
@@ -208,11 +315,19 @@ func NewLVRMAdapter(vri *VRIAdapter, clock func() int64) *LVRMAdapter {
 	return &LVRMAdapter{vri: vri, clock: clock}
 }
 
-// FromLVRM polls the next inbound data frame, observing the service rate.
+// FromLVRM polls the next inbound data frame, observing the service rate
+// under the Section 3.6 rule Step follows: the completion gap only measures
+// capacity while the queue stays backed up, so a dequeue that drains the
+// queue breaks the estimate instead of echoing the arrival rate under light
+// load.
 func (l *LVRMAdapter) FromLVRM() (*packet.Frame, bool) {
 	f, ok := l.vri.Data.In.Dequeue()
 	if ok {
-		l.vri.SvcEst.Observe(l.clock())
+		if l.vri.Data.In.Len() > 0 {
+			l.vri.SvcEst.Observe(l.clock())
+		} else {
+			l.vri.SvcEst.Break()
+		}
 	}
 	return f, ok
 }

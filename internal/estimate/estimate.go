@@ -209,6 +209,28 @@ func (s *ServiceRate) Observe(now int64) {
 	s.havePrev = true
 }
 
+// ObserveN records n service completions all finishing at virtual time now
+// (ns) — the batched-dequeue case, where a run of frames completes within
+// one scheduling quantum. The gap since the previous completion is
+// attributed evenly across the n completions, so the estimate stays a
+// per-frame rate instead of collapsing to a per-batch rate; ObserveN(now, 1)
+// is identical to Observe(now).
+func (s *ServiceRate) ObserveN(now int64, n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.havePrev {
+		gap := float64(now-s.prev) / float64(n)
+		if gap > 0 {
+			s.gap.Update(gap)
+		}
+	}
+	s.prev = now
+	s.havePrev = true
+}
+
 // Estimate returns the smoothed service rate in frames per second.
 func (s *ServiceRate) Estimate() float64 {
 	s.mu.Lock()

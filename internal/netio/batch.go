@@ -1,0 +1,82 @@
+package netio
+
+import "lvrm/internal/packet"
+
+// BatchRecver is implemented by adapters that can fill a whole slice of
+// frames in one poll. Batching matters on the receive side because the
+// monitor loop pays the adapter's synchronization cost (a channel select, an
+// SPSC cursor load) once per call instead of once per frame.
+type BatchRecver interface {
+	// RecvBatch fills out with available frames and returns how many were
+	// written. It never blocks; 0 means nothing was pending.
+	RecvBatch(out []*packet.Frame) int
+}
+
+// RecvBatch drains up to len(out) frames from the adapter. Adapters that
+// implement BatchRecver get their native batched path; anything else falls
+// back to per-frame Recv, so callers can batch unconditionally.
+func RecvBatch(a Adapter, out []*packet.Frame) int {
+	if b, ok := a.(BatchRecver); ok {
+		return b.RecvBatch(out)
+	}
+	for i := range out {
+		f, ok := a.Recv()
+		if !ok {
+			return i
+		}
+		out[i] = f
+	}
+	return len(out)
+}
+
+// RecvBatch drains the RX ring with one cursor acquire/publish for the whole
+// run of frames.
+func (q *QueueAdapter) RecvBatch(out []*packet.Frame) int {
+	if q.closed {
+		return 0
+	}
+	n := q.rx.DequeueBatch(out)
+	for _, f := range out[:n] {
+		q.rxFrames++
+		q.rxBytes += int64(len(f.Buf))
+	}
+	return n
+}
+
+// RecvBatch drains the RX channel without blocking.
+func (c *ChanAdapter) RecvBatch(out []*packet.Frame) int {
+	n := 0
+	for n < len(out) {
+		select {
+		case f := <-c.RX:
+			c.rxFrames.Add(1)
+			c.rxBytes.Add(int64(len(f.Buf)))
+			out[n] = f
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// RecvBatch drains the receive buffer without blocking.
+func (a *UDPAdapter) RecvBatch(out []*packet.Frame) int {
+	n := 0
+	for n < len(out) {
+		select {
+		case f := <-a.rx:
+			out[n] = f
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+var (
+	_ BatchRecver = (*QueueAdapter)(nil)
+	_ BatchRecver = (*ChanAdapter)(nil)
+	_ BatchRecver = (*UDPAdapter)(nil)
+)

@@ -143,6 +143,12 @@ type IOStats struct {
 	TxFrames, TxBytes int64
 	RxDropped         int64
 	TxDropped         int64
+	// RxRunts counts inbound payloads too short to hold an Ethernet header;
+	// RxOversize counts payloads beyond the maximum frame size. Both are
+	// rejected at the adapter boundary before a Frame is built, so only
+	// adapters fed by an untrusted wire (UDP) ever report them.
+	RxRunts    int64
+	RxOversize int64
 }
 
 // Meter is implemented by adapters that count their traffic. The

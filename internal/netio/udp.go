@@ -30,6 +30,7 @@ type UDPAdapter struct {
 	// Atomic counters: the read loop and the monitor goroutine update them
 	// while the obs scraper reads concurrently.
 	rxDrops                              atomic.Int64
+	rxRunts, rxOversize                  atomic.Int64
 	rxFrames, rxBytes, txFrames, txBytes atomic.Int64
 }
 
@@ -78,7 +79,15 @@ func (a *UDPAdapter) readLoop() {
 			continue
 		}
 		if n < packet.EthHeaderLen {
-			continue // runt datagram
+			a.rxRunts.Add(1) // runt datagram: too short for an Ethernet header
+			continue
+		}
+		if n > packet.EthMaxFrame {
+			// The read buffer carries headroom beyond EthMaxFrame exactly so
+			// oversize datagrams land here instead of being silently clipped
+			// to a valid-looking frame.
+			a.rxOversize.Add(1)
+			continue
 		}
 		if a.peerLocked() == nil {
 			a.setPeer(from)
@@ -138,12 +147,21 @@ func (a *UDPAdapter) Send(f *packet.Frame) error {
 // RxDrops returns frames lost to a full receive buffer.
 func (a *UDPAdapter) RxDrops() int64 { return a.rxDrops.Load() }
 
+// RxRunts returns datagrams rejected for being shorter than an Ethernet
+// header.
+func (a *UDPAdapter) RxRunts() int64 { return a.rxRunts.Load() }
+
+// RxOversize returns datagrams rejected for exceeding the maximum frame size.
+func (a *UDPAdapter) RxOversize() int64 { return a.rxOversize.Load() }
+
 // IOStats returns the adapter's traffic counters.
 func (a *UDPAdapter) IOStats() IOStats {
 	return IOStats{
 		RxFrames: a.rxFrames.Load(), RxBytes: a.rxBytes.Load(),
 		TxFrames: a.txFrames.Load(), TxBytes: a.txBytes.Load(),
-		RxDropped: a.rxDrops.Load(),
+		RxDropped:  a.rxDrops.Load(),
+		RxRunts:    a.rxRunts.Load(),
+		RxOversize: a.rxOversize.Load(),
 	}
 }
 
