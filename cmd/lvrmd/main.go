@@ -9,6 +9,7 @@
 //	lvrmd [-vrs 2] [-rate 50000] [-duration 10s] [-balancer jsq]
 //	      [-policy dynamic-fixed:20000] [-queue lockfree] [-burn]
 //	      [-http :8080] [-tracecap 1024] [-udp :9000]
+//	      [-flow-shards 8] [-flow-table 1024]
 //
 // With -http, lvrmd serves the operator endpoints (see OBSERVABILITY.md):
 //
@@ -53,6 +54,8 @@ func main() {
 		traceCap = flag.Int("tracecap", 1024, "event tracer ring capacity (allocation, lifecycle, sampled balancer events)")
 		udpAddr  = flag.String("udp", "", "receive frames as UDP datagrams on this address instead of the built-in generator")
 		batch    = flag.Int("batch", 16, "frames moved per queue operation on the receive, VRI and relay paths (1 = per-frame)")
+		flowSh   = flag.Int("flow-shards", 0, "flow-affinity table shards per VR; > 0 replaces the per-VR balancer lock with flow-sharded dispatch (0 = classic locked path)")
+		flowCap  = flag.Int("flow-table", 1024, "total pinned flows per VR across shards (stalest flows evicted beyond this)")
 	)
 	flag.Parse()
 
@@ -89,15 +92,17 @@ func main() {
 	registry := obs.NewRegistry()
 	tracer := obs.NewTracer(*traceCap)
 	lvrm, err := core.New(core.Config{
-		Adapter:     sock,
-		QueueKind:   kind,
-		Clock:       core.WallClock,
-		AllocPeriod: time.Second,
-		Obs:         registry,
-		Trace:       tracer,
-		RecvBatch:   *batch,
-		VRIBatch:    *batch,
-		RelayBatch:  *batch,
+		Adapter:      sock,
+		QueueKind:    kind,
+		Clock:        core.WallClock,
+		AllocPeriod:  time.Second,
+		Obs:          registry,
+		Trace:        tracer,
+		RecvBatch:    *batch,
+		VRIBatch:     *batch,
+		RelayBatch:   *batch,
+		FlowShards:   *flowSh,
+		FlowTableCap: *flowCap,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -11,6 +11,7 @@ import (
 	"lvrm/internal/balance"
 	"lvrm/internal/cores"
 	"lvrm/internal/estimate"
+	"lvrm/internal/flow"
 	"lvrm/internal/ipc"
 	"lvrm/internal/netio"
 	"lvrm/internal/obs"
@@ -41,6 +42,17 @@ type Config struct {
 	// amortize the queue release/acquire pair and the scheduler round-trip
 	// per frame (the ROADMAP's "batched dequeue on the data path").
 	RecvBatch, VRIBatch, RelayBatch int
+	// FlowShards enables flow-aware sharded dispatch when > 0: each VR gets
+	// a flow-affinity table with this many shards (rounded up to a power of
+	// two), dispatch pins flows to VRIs through it instead of serializing on
+	// the per-VR mutex, and the VRIs' data-in queues become multi-producer so
+	// several ingest goroutines may call Dispatch concurrently. Zero (the
+	// default) keeps the seed single-lock dispatch path exactly.
+	FlowShards int
+	// FlowTableCap bounds the total pinned flows per VR across all shards
+	// (default 1024). When a shard's probe window fills, the stalest flow is
+	// evicted, so the table never grows past this bound.
+	FlowTableCap int
 	// AllocPeriod is the minimum interval between core re-allocation
 	// passes; the paper uses 1 second.
 	AllocPeriod time.Duration
@@ -187,6 +199,12 @@ func New(cfg Config) (*LVRM, error) {
 	if cfg.RelayBatch < 1 {
 		cfg.RelayBatch = 1
 	}
+	if cfg.FlowShards < 0 {
+		cfg.FlowShards = 0
+	}
+	if cfg.FlowTableCap <= 0 {
+		cfg.FlowTableCap = 1024
+	}
 	allocator, err := cores.NewAllocator(cfg.Topology, cfg.LVRMCore)
 	if err != nil {
 		return nil, err
@@ -238,6 +256,12 @@ func (l *LVRM) AddVR(cfg VRConfig) (*VR, error) {
 	defer l.vrsMu.Unlock()
 	old := l.vrList()
 	v := &VR{ID: len(old), cfg: cfg, arrival: estimate.NewArrivalRate(0)}
+	if l.cfg.FlowShards > 0 {
+		// Per-shard capacity divides the VR-wide budget; NewTable raises it
+		// to at least one probe window. Must exist before the initial VRIs
+		// spawn so their data-in queues are built multi-producer.
+		v.flows = flow.NewTable(l.cfg.FlowShards, l.cfg.FlowTableCap/l.cfg.FlowShards)
+	}
 	l.initVRObs(v)
 	now := l.cfg.Clock()
 	for i := 0; i < cfg.InitialVRIs; i++ {
@@ -369,6 +393,23 @@ func (l *LVRM) dispatchFrame(f *packet.Frame) {
 		l.unclassified.Add(1)
 	}
 	l.MaybeAllocate(now)
+}
+
+// Dispatch stamps, classifies and dispatches one externally captured frame,
+// reporting whether a VR accepted it. Unlike RecvAndDispatch it performs no
+// allocation check — lastAlloc and the allocator stay monitor-owned — so with
+// flow dispatch enabled (Config.FlowShards > 0) any number of ingest
+// goroutines may call it concurrently alongside the monitor loop.
+func (l *LVRM) Dispatch(f *packet.Frame) bool {
+	now := l.cfg.Clock()
+	f.Timestamp = now
+	l.received.Add(1)
+	v, ok := l.Classify(f)
+	if !ok {
+		l.unclassified.Add(1)
+		return false
+	}
+	return v.dispatch(f, now) == nil
 }
 
 // RecvDispatchBatch drains up to budget frames (<= 0 = until the adapter is

@@ -3,6 +3,7 @@ package core
 import (
 	"strconv"
 
+	"lvrm/internal/flow"
 	"lvrm/internal/ipc"
 	"lvrm/internal/netio"
 	"lvrm/internal/obs"
@@ -130,6 +131,51 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 	perVR("lvrm_vr_in_drops_total", "Frames lost to full VRI input queues.",
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.inDrops.Load()) })
 
+	// Flow-affinity table outcomes and occupancy. Registered unconditionally
+	// but emitting only for VRs with flow dispatch enabled, so the families
+	// exist whether or not -flow-shards is set.
+	flowStat := func(name, help string, val func(flow.Stats) int64) {
+		reg.Collect(name, help, obs.TypeCounter, func(emit func(obs.Sample)) {
+			for _, v := range l.vrList() {
+				if v.flows == nil {
+					continue
+				}
+				emit(obs.Sample{
+					Labels: []obs.Label{obs.L("vr", v.cfg.Name)},
+					Value:  float64(val(v.flows.Stats())),
+				})
+			}
+		})
+	}
+	flowStat("lvrm_flow_hits_total", "Dispatches resolved by a live flow-table pin.",
+		func(s flow.Stats) int64 { return s.Hits })
+	flowStat("lvrm_flow_misses_total", "Dispatches that installed a new flow-table pin.",
+		func(s flow.Stats) int64 { return s.Misses })
+	flowStat("lvrm_flow_refreshes_total", "Stale pins kept in place because moving the flow would reorder it.",
+		func(s flow.Stats) int64 { return s.Refreshes })
+	flowStat("lvrm_flow_rebalances_total", "Stale pins re-balanced onto a fresh VRI after a spawn/destroy epoch.",
+		func(s flow.Stats) int64 { return s.Rebalances })
+	flowStat("lvrm_flow_evictions_total", "Flows evicted from a full shard probe window (stalest first).",
+		func(s flow.Stats) int64 { return s.Evictions })
+	reg.Collect("lvrm_flow_shard_occupancy",
+		"Pinned flows per affinity-table shard.", obs.TypeGauge,
+		func(emit func(obs.Sample)) {
+			for _, v := range l.vrList() {
+				if v.flows == nil {
+					continue
+				}
+				for i := 0; i < v.flows.Shards(); i++ {
+					emit(obs.Sample{
+						Labels: []obs.Label{
+							obs.L("vr", v.cfg.Name),
+							obs.L("shard", strconv.Itoa(i)),
+						},
+						Value: float64(v.flows.ShardOccupancy(i)),
+					})
+				}
+			}
+		})
+
 	// Per-VRI series: VRIs spawn and die with core allocation, so these are
 	// collectors too — no register/unregister churn in the allocation pass.
 	perVRI := func(name, help string, typ obs.Type, val func(*VRIAdapter) float64) {
@@ -213,6 +259,30 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 			func(s netio.IOStats) int64 { return s.RxRunts })
 		adapterStat("lvrm_adapter_rx_oversize_total", "Inbound payloads rejected as larger than the maximum frame.",
 			func(s netio.IOStats) int64 { return s.RxOversize })
+	}
+
+	// Per-source ingest accounting, for adapters fed by an untrusted wire.
+	if pm, ok := l.cfg.Adapter.(netio.PeerMeter); ok {
+		adapterName := l.cfg.Adapter.Name()
+		peerStat := func(name, help string, val func(netio.PeerStat) int64) {
+			reg.Collect(name, help, obs.TypeCounter, func(emit func(obs.Sample)) {
+				for _, p := range pm.PeerStats() {
+					emit(obs.Sample{
+						Labels: []obs.Label{
+							obs.L("adapter", adapterName),
+							obs.L("peer", p.Addr),
+						},
+						Value: float64(val(p)),
+					})
+				}
+			})
+		}
+		peerStat("lvrm_adapter_peer_frames_total", "Frames accepted from this source address (peer=\"other\" aggregates sources beyond the tracking bound).",
+			func(p netio.PeerStat) int64 { return p.Frames })
+		peerStat("lvrm_adapter_peer_bytes_total", "Frame bytes accepted from this source address.",
+			func(p netio.PeerStat) int64 { return p.Bytes })
+		peerStat("lvrm_adapter_peer_drops_total", "Datagrams from this source rejected at the adapter boundary (runt, oversize, or capture-ring overflow).",
+			func(p netio.PeerStat) int64 { return p.Drops })
 	}
 }
 

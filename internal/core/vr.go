@@ -9,6 +9,7 @@ import (
 	"lvrm/internal/alloc"
 	"lvrm/internal/balance"
 	"lvrm/internal/estimate"
+	"lvrm/internal/flow"
 	"lvrm/internal/ipc"
 	"lvrm/internal/obs"
 	"lvrm/internal/packet"
@@ -61,6 +62,12 @@ type VR struct {
 
 	// arrival estimates the VR's traffic load for core allocation.
 	arrival *estimate.ArrivalRate
+
+	// flows, when non-nil, replaces the mutex-serialized balancer with the
+	// sharded flow-affinity table (Config.FlowShards > 0): dispatch hashes
+	// the frame to a flow key, pins the flow to a VRI, and enqueues without
+	// taking mu. Nil keeps the seed single-lock path exactly.
+	flows *flow.Table
 
 	dispatched atomic.Int64
 	inDrops    atomic.Int64 // frames lost to full VRI input queues
@@ -137,9 +144,19 @@ func (v *VR) match(f *packet.Frame) bool {
 	return uint32(h.Src)&mask == uint32(v.cfg.SrcPrefix)&mask
 }
 
-// dispatch hands a frame to one of the VR's VRIs using the configured load
-// balancing scheme, and performs the VRI adapter's load estimation.
+// dispatch hands a frame to one of the VR's VRIs and performs the VRI
+// adapter's load estimation. With flow dispatch enabled it routes through the
+// sharded affinity table; otherwise it takes the classic single-lock path.
 func (v *VR) dispatch(f *packet.Frame, now int64) error {
+	if v.flows != nil {
+		return v.dispatchFlow(f, now)
+	}
+	return v.dispatchLocked(f, now)
+}
+
+// dispatchLocked is the seed dispatch path: one balancer decision per frame,
+// serialized on v.mu.
+func (v *VR) dispatchLocked(f *packet.Frame, now int64) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	// The paper's traffic load is the *arrival* rate of incoming frames
@@ -168,7 +185,8 @@ func (v *VR) dispatch(f *packet.Frame, now int64) error {
 	v.depthHWM.SetMax(int64(depth + 1))
 	// Sample one balancer decision in every 256 so the trace shows who the
 	// balancer is picking without flooding the ring on the hot path.
-	if v.tracer != nil && n&0xff == 0 {
+	// Tracer.Record is nil-safe, so no explicit nil check.
+	if n&0xff == 0 {
 		v.tracer.Record(obs.Event{
 			At:    now,
 			Kind:  obs.KindBalance,
@@ -181,6 +199,124 @@ func (v *VR) dispatch(f *packet.Frame, now int64) error {
 	}
 	return nil
 }
+
+// dispatchFlow is the lock-free dispatch path: the frame's flow key is
+// resolved against the sharded affinity table and the frame is enqueued to
+// the pinned VRI. The only lock taken is the key's shard mutex inside
+// Assign; everything else reads atomics (the VRI snapshot, queue cursors,
+// estimator EWMAs), so ingest goroutines working different shards never
+// contend. Safe for concurrent callers: the data-in queues are
+// multi-producer when flow dispatch is on (see spawnVRI).
+func (v *VR) dispatchFlow(f *packet.Frame, now int64) error {
+	// Arrival is the VR's *offered* load, so observe before any drop — the
+	// same rule as the locked path. The estimator is internally locked.
+	v.arrival.Observe(now)
+	vris := v.vriList()
+	if len(vris) == 0 {
+		v.inDrops.Add(1)
+		return errors.New("core: VR has no VRIs")
+	}
+	key := flow.KeyOf(f)
+	var chosen *VRIAdapter
+	// keep decides what to do with a pin from before the last VRI spawn or
+	// destroy. Moving a flow whose frames are still queued on the old VRI
+	// would let the new VRI overtake them, so affinity is kept while the
+	// pinned VRI is alive and backed up; a drained (or dead) flow can move
+	// freely — its frames are all processed (or already lost to teardown).
+	keep := func(id int) bool {
+		a, ok := snapshotByID(vris, id)
+		if !ok || a.Data.In.Len() > 0 {
+			chosen = a // nil when !ok; Assign then consults pick
+			return ok
+		}
+		return false
+	}
+	// pick chooses a VRI for an unpinned flow: least instantaneous queue
+	// depth, service rate breaking ties. It runs under the shard lock, so
+	// concurrent misses on the same flow agree on one assignment.
+	pick := func() int {
+		chosen = leastLoaded(vris)
+		return chosen.ID
+	}
+	id, outcome := v.flows.Assign(key, now, keep, pick)
+	a := chosen
+	if a == nil || a.ID != id {
+		// Hit on a pin whose VRI is not in our snapshot: teardown raced
+		// between our snapshot and Assign's epoch read. Fall back to a fresh
+		// local pick without installing it — the next frame of the flow will
+		// see the bumped epoch and rebalance through the table.
+		var ok bool
+		if a, ok = snapshotByID(vris, id); !ok {
+			a = leastLoaded(vris)
+		}
+	}
+	depth := a.Data.In.Len()
+	a.QueueEst.Observe(depth)
+	if !a.Data.In.Enqueue(f) {
+		v.inDrops.Add(1)
+		return fmt.Errorf("core: VRI %d/%d input queue full", v.ID, a.ID)
+	}
+	n := v.dispatched.Add(1)
+	v.depthHWM.SetMax(int64(depth + 1))
+	// Sampled affinity trace, mirroring the locked path's balancer sample.
+	if n&0xff == 0 {
+		v.tracer.Record(obs.Event{
+			At:    now,
+			Kind:  obs.KindFlow,
+			VR:    v.ID,
+			VRI:   a.ID,
+			Core:  a.Core,
+			Value: float64(depth + 1),
+			Note:  outcome.String() + "; value = pinned VRI queue depth after enqueue",
+		})
+	}
+	return nil
+}
+
+// snapshotByID finds a VRI by ID in an immutable snapshot slice.
+func snapshotByID(vris []*VRIAdapter, id int) (*VRIAdapter, bool) {
+	for _, a := range vris {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// leastLoaded picks the VRI with the shortest instantaneous input queue,
+// breaking ties toward the higher measured service rate. It reads only
+// atomics and estimator snapshots — no locks — so the flow miss path can run
+// it concurrently from many ingest goroutines. The shipped balancers are not
+// used here: RoundRobin and Random mutate state on Pick and are only safe
+// under the locked path's mutex.
+func leastLoaded(vris []*VRIAdapter) *VRIAdapter {
+	best := vris[0]
+	bestDepth := best.Data.In.Len()
+	for _, a := range vris[1:] {
+		d := a.Data.In.Len()
+		if d < bestDepth {
+			best, bestDepth = a, d
+			continue
+		}
+		if d == bestDepth && a.SvcEst.Valid() && best.SvcEst.Valid() &&
+			a.SvcEst.Estimate() > best.SvcEst.Estimate() {
+			best = a
+		}
+	}
+	return best
+}
+
+// FlowStats returns the VR's flow-table counters; ok is false when flow
+// dispatch is disabled.
+func (v *VR) FlowStats() (flow.Stats, bool) {
+	if v.flows == nil {
+		return flow.Stats{}, false
+	}
+	return v.flows.Stats(), true
+}
+
+// FlowTable exposes the VR's affinity table (nil when flow dispatch is off).
+func (v *VR) FlowTable() *flow.Table { return v.flows }
 
 // vriByID returns the VRI adapter with the given ID.
 func (v *VR) vriByID(id int) (*VRIAdapter, bool) {
@@ -203,11 +339,22 @@ func (v *VR) spawnVRI(core int, now int64, queueKind ipc.Kind, dataCap, ctlCap i
 	v.mu.Lock()
 	id := v.nextID
 	v.mu.Unlock()
+	// With flow dispatch, several ingest goroutines can enqueue to the same
+	// VRI's data-in queue concurrently, which the SPSC ring forbids — upgrade
+	// it to the MPSC ring. Out stays SPSC (one VRI producer, one relay
+	// consumer), and the Locked/Channel variants are already MP-safe.
+	dataIn := queueKind
+	if v.flows != nil && queueKind == ipc.LockFree {
+		dataIn = ipc.MultiProducer
+	}
 	a := &VRIAdapter{
-		ID:        id,
-		VRID:      v.ID,
-		Core:      core,
-		Data:      ipc.NewPair[*packet.Frame](queueKind, dataCap),
+		ID:   id,
+		VRID: v.ID,
+		Core: core,
+		Data: ipc.Pair[*packet.Frame]{
+			In:  ipc.New[*packet.Frame](dataIn, dataCap),
+			Out: ipc.New[*packet.Frame](queueKind, dataCap),
+		},
 		Control:   ipc.NewPair[*ControlEvent](queueKind, ctlCap),
 		QueueEst:  estimate.NewQueueLength(0),
 		SvcEst:    estimate.NewServiceRate(0),
@@ -225,6 +372,11 @@ func (v *VR) spawnVRI(core int, now int64, queueKind ipc.Kind, dataCap, ctlCap i
 	next = append(next, a)
 	v.vris.Store(&next)
 	v.mu.Unlock()
+	if v.flows != nil {
+		// Mark every pin stale: drained flows may voluntarily re-balance
+		// onto the new VRI instead of staying piled on the old ones.
+		v.flows.BumpEpoch()
+	}
 	return a, nil
 }
 
@@ -242,6 +394,11 @@ func (v *VR) destroyVRI(core int) (*VRIAdapter, error) {
 			next = append(next, cur[:i]...)
 			next = append(next, cur[i+1:]...)
 			v.vris.Store(&next)
+			if v.flows != nil {
+				// Flows pinned to the dead VRI lazily re-balance on their
+				// next frame; teardown never sweeps the table.
+				v.flows.BumpEpoch()
+			}
 			return a, nil
 		}
 	}

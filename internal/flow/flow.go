@@ -1,0 +1,269 @@
+// Package flow implements flow classification and the sharded flow-affinity
+// table that lets LVRM dispatch frames to VRIs without a per-VR mutex.
+//
+// A flow is a 64-bit key (see KeyOf): the 5-tuple hash for decodable frames,
+// a bytes+length hash otherwise. The Table remembers which VRI each flow was
+// assigned to, so every frame of a flow lands on the same VRI queue and
+// per-flow ordering is preserved — the property the paper's flow-based
+// balancer provides with a single shared map, reproduced here without the
+// global lock.
+//
+// Concurrency model: the table is split into N independent shards. An ingest
+// goroutine hashes its frame's key onto one shard and takes only that shard's
+// mutex, so goroutines working different shards never contend, and the common
+// case (table hit) is one short critical section over a few array slots.
+// Within a shard, entries live in a bounded open-addressing map (linear
+// probing over a fixed window); when the window is full the stalest entry is
+// evicted, bounding memory with no background sweeper.
+//
+// VRI lifecycle is handled with epochs, not synchronization: spawning or
+// destroying a VRI bumps every shard's epoch, marking all pins stale at once.
+// A stale pin is not discarded — on its next frame the caller's keep callback
+// decides whether moving the flow is safe (see Table.Assign), so teardown
+// never blocks the data path and affinity survives epochs whenever possible.
+package flow
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// probeWindow is how many slots past the home slot a key may land. A full
+// window forces an eviction, so the window bounds both lookup cost and how
+// long a dead flow can occupy a slot.
+const probeWindow = 16
+
+// Outcome says how Assign resolved a key against the table.
+type Outcome int
+
+const (
+	// Hit: the key was pinned in the current epoch; the pin was returned.
+	Hit Outcome = iota
+	// Refreshed: the pin predated the current epoch but the keep callback
+	// ruled moving unsafe (or unnecessary); the pin was kept and re-stamped.
+	Refreshed
+	// Miss: the key was not in the table; pick chose a VRI and the
+	// assignment was installed.
+	Miss
+	// Rebalanced: the pin was stale and the keep callback released it; pick
+	// chose a (possibly different) VRI and the entry was re-installed.
+	Rebalanced
+)
+
+// String returns the outcome name as used in traces and metrics.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Refreshed:
+		return "refreshed"
+	case Miss:
+		return "miss"
+	case Rebalanced:
+		return "rebalanced"
+	default:
+		return "unknown"
+	}
+}
+
+// shard is one independent slice of the table: a bounded open-addressing map
+// from flow key to VRI ID plus the epoch the pin was made in. All four
+// parallel arrays are guarded by mu. The pad keeps hot shards off each
+// other's cache lines.
+type shard struct {
+	mu    sync.Mutex
+	epoch atomic.Uint64 // bumped lock-free by BumpEpoch, read under mu
+
+	keys   []uint64 // 0 = empty slot (KeyOf never returns 0)
+	vris   []int32
+	epochs []uint64
+	stamps []int64 // last-touch time, drives stalest-entry eviction
+	n      int     // occupied slots
+
+	_ [64]byte
+}
+
+// Stats is a point-in-time snapshot of the table's outcome counters.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Refreshes  int64
+	Rebalances int64
+	Evictions  int64
+}
+
+// Table is the sharded flow-affinity map. All methods are safe for
+// concurrent use.
+type Table struct {
+	shards    []shard
+	shardMask uint64
+	slotMask  uint64
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	refreshes  atomic.Int64
+	rebalances atomic.Int64
+	evictions  atomic.Int64
+}
+
+// NewTable builds a table with the given shard count and per-shard slot
+// capacity, both rounded up to powers of two (minimums 1 shard, probeWindow
+// slots).
+func NewTable(shards, shardCap int) *Table {
+	ns := ceilPow2(shards, 1)
+	nc := ceilPow2(shardCap, probeWindow)
+	t := &Table{
+		shards:    make([]shard, ns),
+		shardMask: uint64(ns - 1),
+		slotMask:  uint64(nc - 1),
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.keys = make([]uint64, nc)
+		s.vris = make([]int32, nc)
+		s.epochs = make([]uint64, nc)
+		s.stamps = make([]int64, nc)
+	}
+	return t
+}
+
+// Assign resolves key to a VRI ID, consulting and updating the affinity
+// table. now stamps the entry for eviction ordering. The callbacks run while
+// the key's shard lock is held, which serializes concurrent decisions about
+// the same flow (and its shard neighbours) — keep them cheap:
+//
+//   - keep(vri) is consulted only for a stale pin (the shard epoch moved
+//     since the pin was made). Return true to keep the flow where it is —
+//     the caller knows moving it would reorder in-flight frames — or false
+//     to release it for re-balancing.
+//   - pick() chooses a VRI for a flow with no usable pin. It must return a
+//     valid current VRI ID, or a negative value to refuse (nothing is
+//     installed and Assign returns it as-is).
+func (t *Table) Assign(key uint64, now int64, keep func(vri int) bool, pick func() int) (int, Outcome) {
+	s := &t.shards[key&t.shardMask]
+	s.mu.Lock()
+	epoch := s.epoch.Load()
+
+	// Probe the window for the key, remembering the first free slot and the
+	// stalest occupied slot in case we need to install.
+	home := (key >> 32) & t.slotMask
+	free, stalest := -1, -1
+	var stalestStamp int64
+	for i := uint64(0); i < probeWindow; i++ {
+		idx := (home + i) & t.slotMask
+		k := s.keys[idx]
+		if k == key {
+			vri := int(s.vris[idx])
+			if s.epochs[idx] == epoch {
+				s.stamps[idx] = now
+				s.mu.Unlock()
+				t.hits.Add(1)
+				return vri, Hit
+			}
+			// Stale pin: the VRI set changed since this flow was pinned.
+			if keep(vri) {
+				s.epochs[idx] = epoch
+				s.stamps[idx] = now
+				s.mu.Unlock()
+				t.refreshes.Add(1)
+				return vri, Refreshed
+			}
+			next := pick()
+			if next >= 0 {
+				s.vris[idx] = int32(next)
+				s.epochs[idx] = epoch
+				s.stamps[idx] = now
+			}
+			s.mu.Unlock()
+			t.rebalances.Add(1)
+			return next, Rebalanced
+		}
+		if k == 0 {
+			if free < 0 {
+				free = int(idx)
+			}
+			continue
+		}
+		if stalest < 0 || s.stamps[idx] < stalestStamp {
+			stalest, stalestStamp = int(idx), s.stamps[idx]
+		}
+	}
+
+	// Miss: choose a VRI and install the pin.
+	vri := pick()
+	if vri < 0 {
+		s.mu.Unlock()
+		t.misses.Add(1)
+		return vri, Miss
+	}
+	idx := free
+	if idx < 0 {
+		idx = stalest // window full: overwrite the least-recently-touched flow
+		t.evictions.Add(1)
+	} else {
+		s.n++
+	}
+	s.keys[idx] = key
+	s.vris[idx] = int32(vri)
+	s.epochs[idx] = epoch
+	s.stamps[idx] = now
+	s.mu.Unlock()
+	t.misses.Add(1)
+	return vri, Miss
+}
+
+// BumpEpoch marks every pin in the table stale. Called when a VRI is spawned
+// or destroyed: existing flows re-validate lazily on their next frame instead
+// of the lifecycle event sweeping the table.
+func (t *Table) BumpEpoch() {
+	for i := range t.shards {
+		t.shards[i].epoch.Add(1)
+	}
+}
+
+// Stats returns the cumulative outcome counters.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Hits:       t.hits.Load(),
+		Misses:     t.misses.Load(),
+		Refreshes:  t.refreshes.Load(),
+		Rebalances: t.rebalances.Load(),
+		Evictions:  t.evictions.Load(),
+	}
+}
+
+// Shards returns the shard count.
+func (t *Table) Shards() int { return len(t.shards) }
+
+// ShardCap returns the per-shard slot capacity.
+func (t *Table) ShardCap() int { return int(t.slotMask) + 1 }
+
+// ShardOccupancy returns how many slots shard i currently holds.
+func (t *Table) ShardOccupancy(i int) int {
+	s := &t.shards[i]
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// Len returns the total number of pinned flows across all shards.
+func (t *Table) Len() int {
+	total := 0
+	for i := range t.shards {
+		total += t.ShardOccupancy(i)
+	}
+	return total
+}
+
+// ceilPow2 rounds n up to the next power of two, at least min.
+func ceilPow2(n, min int) int {
+	if n < min {
+		n = min
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

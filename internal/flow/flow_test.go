@@ -1,0 +1,217 @@
+package flow
+
+import (
+	"sync"
+	"testing"
+
+	"lvrm/internal/packet"
+)
+
+// keepAlways / keepNever / pickConst are the trivial callback shapes most
+// table tests need.
+func keepAlways(int) bool { return true }
+func keepNever(int) bool  { return false }
+func pickConst(v int) func() int {
+	return func() int { return v }
+}
+
+func TestAssignMissThenHit(t *testing.T) {
+	tb := NewTable(4, 64)
+	vri, out := tb.Assign(42, 1, keepAlways, pickConst(3))
+	if vri != 3 || out != Miss {
+		t.Fatalf("first assign = %d,%v, want 3,miss", vri, out)
+	}
+	vri, out = tb.Assign(42, 2, keepAlways, pickConst(9))
+	if vri != 3 || out != Hit {
+		t.Fatalf("second assign = %d,%v, want 3,hit (pick must not run)", vri, out)
+	}
+	st := tb.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", st)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tb.Len())
+	}
+}
+
+func TestEpochRefreshAndRebalance(t *testing.T) {
+	tb := NewTable(1, 64)
+	tb.Assign(7, 1, keepAlways, pickConst(1))
+
+	// Stale pin + keep=true: the flow stays put and the pin is refreshed.
+	tb.BumpEpoch()
+	vri, out := tb.Assign(7, 2, keepAlways, pickConst(2))
+	if vri != 1 || out != Refreshed {
+		t.Fatalf("after bump with keep = %d,%v, want 1,refreshed", vri, out)
+	}
+	// The refresh re-pinned in the current epoch: next lookup is a plain hit.
+	if vri, out = tb.Assign(7, 3, keepNever, pickConst(2)); vri != 1 || out != Hit {
+		t.Fatalf("post-refresh assign = %d,%v, want 1,hit", vri, out)
+	}
+
+	// Stale pin + keep=false: the flow is re-balanced onto pick's choice.
+	tb.BumpEpoch()
+	if vri, out = tb.Assign(7, 4, keepNever, pickConst(2)); vri != 2 || out != Rebalanced {
+		t.Fatalf("after bump without keep = %d,%v, want 2,rebalanced", vri, out)
+	}
+	st := tb.Stats()
+	if st.Refreshes != 1 || st.Rebalances != 1 {
+		t.Fatalf("stats = %+v, want 1 refresh 1 rebalance", st)
+	}
+}
+
+func TestPickRefusal(t *testing.T) {
+	tb := NewTable(1, 64)
+	vri, out := tb.Assign(5, 1, keepAlways, pickConst(-1))
+	if vri != -1 || out != Miss {
+		t.Fatalf("refused assign = %d,%v, want -1,miss", vri, out)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("refused pick installed an entry: len = %d", tb.Len())
+	}
+	// A refused rebalance keeps nothing either, but must not crash.
+	tb.Assign(5, 2, keepAlways, pickConst(4))
+	tb.BumpEpoch()
+	if vri, out = tb.Assign(5, 3, keepNever, pickConst(-1)); vri != -1 || out != Rebalanced {
+		t.Fatalf("refused rebalance = %d,%v, want -1,rebalanced", vri, out)
+	}
+}
+
+// TestEvictionUnderPressure drives more distinct flows into one shard than
+// its probe window can hold and checks that the stalest pins are the ones
+// sacrificed.
+func TestEvictionUnderPressure(t *testing.T) {
+	tb := NewTable(1, probeWindow) // single shard, exactly one probe window
+	// All keys collide into the same window because the slot index is taken
+	// from the key's high 32 bits, which we hold constant.
+	key := func(i int) uint64 { return uint64(i + 1) } // low bits only
+	for i := 0; i < probeWindow; i++ {
+		tb.Assign(key(i), int64(i), keepAlways, pickConst(1))
+	}
+	if st := tb.Stats(); st.Evictions != 0 {
+		t.Fatalf("evictions before pressure = %d, want 0", st.Evictions)
+	}
+	// One more flow: the oldest stamp (key(0), stamp 0) must be evicted.
+	tb.Assign(key(probeWindow), 100, keepAlways, pickConst(2))
+	st := tb.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// The evicted flow misses again; the survivor still hits.
+	if _, out := tb.Assign(key(1), 101, keepAlways, pickConst(3)); out != Hit {
+		t.Fatalf("recently-stamped flow was evicted (outcome %v)", out)
+	}
+	if _, out := tb.Assign(key(0), 102, keepAlways, pickConst(3)); out != Miss {
+		t.Fatalf("stalest flow survived eviction (outcome %v)", out)
+	}
+	if tb.ShardOccupancy(0) != probeWindow {
+		t.Fatalf("occupancy = %d, want %d (bounded)", tb.ShardOccupancy(0), probeWindow)
+	}
+}
+
+func TestShardIndependence(t *testing.T) {
+	tb := NewTable(4, 64)
+	if tb.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", tb.Shards())
+	}
+	// Keys 0..3 in the low bits land on distinct shards.
+	for i := uint64(0); i < 4; i++ {
+		tb.Assign(0x100|i, 1, keepAlways, pickConst(int(i)))
+	}
+	occupied := 0
+	for i := 0; i < tb.Shards(); i++ {
+		occupied += tb.ShardOccupancy(i)
+		if tb.ShardOccupancy(i) != 1 {
+			t.Fatalf("shard %d occupancy = %d, want 1", i, tb.ShardOccupancy(i))
+		}
+	}
+	if occupied != tb.Len() {
+		t.Fatalf("sum of shard occupancy %d != Len %d", occupied, tb.Len())
+	}
+}
+
+// TestConcurrentAssign hammers the table from several goroutines under -race
+// and verifies the affinity invariant: with no epoch bumps, every assignment
+// of the same key returns the same VRI.
+func TestConcurrentAssign(t *testing.T) {
+	tb := NewTable(8, 1024)
+	const workers = 8
+	const keys = 512
+	const rounds = 200
+
+	var wg sync.WaitGroup
+	results := make([][]int, workers)
+	for w := 0; w < workers; w++ {
+		results[w] = make([]int, keys)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keys; k++ {
+					key := uint64(k)*0x9e3779b97f4a7c15 | 1
+					vri, _ := tb.Assign(key, int64(r), keepAlways, pickConst(w))
+					if prev := results[w][k]; prev != 0 && prev != vri {
+						t.Errorf("key %d moved from VRI %d to %d without an epoch bump", k, prev, vri)
+						return
+					}
+					results[w][k] = vri
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// All workers must agree on every key's pin.
+	for k := 0; k < keys; k++ {
+		for w := 1; w < workers; w++ {
+			if results[w][k] != results[0][k] {
+				t.Fatalf("key %d: worker %d saw VRI %d, worker 0 saw %d",
+					k, w, results[w][k], results[0][k])
+			}
+		}
+	}
+}
+
+func TestKeyOfStableAndNonzero(t *testing.T) {
+	f, err := packet.BuildUDP(packet.UDPBuildOpts{
+		Src: packet.IPv4(10, 1, 0, 1), Dst: packet.IPv4(10, 2, 0, 1),
+		SrcPort: 5000, DstPort: 9, WireSize: packet.MinWireSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := KeyOf(f)
+	k2 := KeyOf(f.Clone())
+	if k1 != k2 {
+		t.Fatalf("KeyOf not stable: %x vs %x", k1, k2)
+	}
+	if k1 == 0 {
+		t.Fatal("KeyOf returned the reserved zero key")
+	}
+	// The 5-tuple path must match the documented hash.
+	if ft, ok := packet.FlowOf(f); !ok || k1 != ft.Hash() {
+		t.Fatalf("KeyOf = %x, want FiveTuple.Hash %x", k1, ft.Hash())
+	}
+
+	// Unparseable frames (runt, ARP, empty) still get stable nonzero keys.
+	cases := []*packet.Frame{
+		{Buf: nil},
+		{Buf: []byte{1, 2, 3}},
+		{Buf: make([]byte, packet.EthHeaderLen)},
+		{Buf: append(make([]byte, 12), 0x08, 0x06)}, // ARP EtherType
+	}
+	for i, f := range cases {
+		k := KeyOf(f)
+		if k == 0 {
+			t.Fatalf("case %d: zero key", i)
+		}
+		if k != KeyOf(f) {
+			t.Fatalf("case %d: unstable key", i)
+		}
+	}
+	// Same leading bytes, different length: distinct fallback keys.
+	a := &packet.Frame{Buf: make([]byte, 10)}
+	b := &packet.Frame{Buf: make([]byte, 11)}
+	if KeyOf(a) == KeyOf(b) {
+		t.Fatal("fallback key ignores length")
+	}
+}

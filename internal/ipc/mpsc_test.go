@@ -1,0 +1,164 @@
+package ipc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMPSCFIFO(t *testing.T) {
+	q := NewMPSC[int](8)
+	for i := 0; i < 8; i++ {
+		if !q.Enqueue(i) {
+			t.Fatalf("enqueue %d rejected on empty ring", i)
+		}
+	}
+	if q.Enqueue(99) {
+		t.Fatal("enqueue accepted on full ring")
+	}
+	if q.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", q.Drops())
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue succeeded on empty ring")
+	}
+}
+
+func TestMPSCWrapAround(t *testing.T) {
+	q := NewMPSC[int](4)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.Enqueue(round*10 + i) {
+				t.Fatalf("round %d: enqueue %d rejected", round, i)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: dequeue = %d,%v, want %d,true", round, v, ok, round*10+i)
+			}
+		}
+	}
+}
+
+func TestMPSCPeek(t *testing.T) {
+	q := NewMPSC[int](4)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek succeeded on empty ring")
+	}
+	q.Enqueue(7)
+	if v, ok := q.Peek(); !ok || v != 7 {
+		t.Fatalf("peek = %d,%v, want 7,true", v, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len after peek = %d, want 1", q.Len())
+	}
+}
+
+func TestMPSCBatch(t *testing.T) {
+	q := NewMPSC[int](8)
+	in := []int{1, 2, 3, 4, 5}
+	if n := q.EnqueueBatch(in); n != 5 {
+		t.Fatalf("EnqueueBatch = %d, want 5", n)
+	}
+	out := make([]int, 3)
+	if n := q.DequeueBatch(out); n != 3 {
+		t.Fatalf("DequeueBatch = %d, want 3", n)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+	// Fill past capacity: only the free slots are accepted.
+	big := make([]int, 10)
+	for i := range big {
+		big[i] = 100 + i
+	}
+	if n := q.EnqueueBatch(big); n != 6 {
+		t.Fatalf("EnqueueBatch on partial ring = %d, want 6", n)
+	}
+	rest := make([]int, 16)
+	if n := q.DequeueBatch(rest); n != 8 {
+		t.Fatalf("DequeueBatch = %d, want 8", n)
+	}
+	want := []int{4, 5, 100, 101, 102, 103, 104, 105}
+	for i := 0; i < 8; i++ {
+		if rest[i] != want[i] {
+			t.Fatalf("rest[%d] = %d, want %d", i, rest[i], want[i])
+		}
+	}
+}
+
+// TestMPSCConcurrentProducers drives several producers against one consumer
+// under -race and checks that every element arrives exactly once and that
+// each producer's elements arrive in its own order (per-producer FIFO).
+func TestMPSCConcurrentProducers(t *testing.T) {
+	const producers = 4
+	const perProducer = 5000
+	q := NewMPSC[uint64](256)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < perProducer; i++ {
+				v := p<<32 | i
+				for !q.Enqueue(v) {
+					// ring full: spin until the consumer frees a slot
+				}
+			}
+		}(uint64(p))
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var lastSeq [producers]int64
+		for p := range lastSeq {
+			lastSeq[p] = -1
+		}
+		seen := 0
+		buf := make([]uint64, 64)
+		for seen < producers*perProducer {
+			n := q.DequeueBatch(buf)
+			for _, v := range buf[:n] {
+				p := v >> 32
+				seq := int64(v & 0xffffffff)
+				if seq <= lastSeq[p] {
+					t.Errorf("producer %d: sequence %d after %d", p, seq, lastSeq[p])
+					return
+				}
+				lastSeq[p] = seq
+				seen++
+			}
+		}
+		for p, last := range lastSeq {
+			if last != perProducer-1 {
+				t.Errorf("producer %d: last sequence %d, want %d", p, last, perProducer-1)
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-done
+}
+
+func TestNewMultiProducerKind(t *testing.T) {
+	q := New[int](MultiProducer, 16)
+	if _, ok := q.(*MPSC[int]); !ok {
+		t.Fatalf("New(MultiProducer) = %T, want *MPSC", q)
+	}
+	if MultiProducer.String() != "mpsc" {
+		t.Fatalf("MultiProducer.String() = %q, want mpsc", MultiProducer.String())
+	}
+	if DropsOf(q) != 0 {
+		t.Fatalf("DropsOf = %d, want 0", DropsOf(q))
+	}
+}

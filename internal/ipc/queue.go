@@ -57,6 +57,10 @@ const (
 	Locked
 	// Channel adapts a buffered Go channel to the Queue interface.
 	Channel
+	// MultiProducer is a Vyukov-style bounded MPSC ring: many producers,
+	// one consumer. The flow-sharded dispatch path uses it for VRI data-in
+	// queues, where several ingest goroutines may enqueue concurrently.
+	MultiProducer
 )
 
 // String returns the human-readable name of the queue kind.
@@ -68,6 +72,8 @@ func (k Kind) String() string {
 		return "locked"
 	case Channel:
 		return "channel"
+	case MultiProducer:
+		return "mpsc"
 	default:
 		return "unknown"
 	}
@@ -82,6 +88,8 @@ func New[T any](kind Kind, capacity int) Queue[T] {
 		return NewMutexQueue[T](capacity)
 	case Channel:
 		return NewChanQueue[T](capacity)
+	case MultiProducer:
+		return NewMPSC[T](capacity)
 	default:
 		return NewSPSC[T](capacity)
 	}

@@ -1,6 +1,7 @@
 package netio
 
 import (
+	"reflect"
 	"testing"
 
 	"lvrm/internal/packet"
@@ -37,7 +38,7 @@ func TestMemoryAdapterIOStats(t *testing.T) {
 		RxFrames: 2, RxBytes: int64(2 * len(f.Buf)),
 		TxFrames: 1, TxBytes: int64(len(f.Buf)),
 	}
-	if st != want {
+	if !reflect.DeepEqual(st, want) {
 		t.Errorf("IOStats = %+v, want %+v", st, want)
 	}
 }
@@ -71,7 +72,7 @@ func TestQueueAdapterIOStats(t *testing.T) {
 		TxFrames: int64(sends - 1), TxBytes: int64((sends - 1) * len(f.Buf)),
 		RxDropped: 1, TxDropped: 1,
 	}
-	if st != want {
+	if !reflect.DeepEqual(st, want) {
 		t.Errorf("IOStats = %+v, want %+v", st, want)
 	}
 }
@@ -98,7 +99,7 @@ func TestChanAdapterIOStats(t *testing.T) {
 		TxFrames: 1, TxBytes: int64(len(f.Buf)),
 		TxDropped: 1,
 	}
-	if st != want {
+	if !reflect.DeepEqual(st, want) {
 		t.Errorf("IOStats = %+v, want %+v", st, want)
 	}
 }

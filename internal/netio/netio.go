@@ -149,6 +149,31 @@ type IOStats struct {
 	// adapters fed by an untrusted wire (UDP) ever report them.
 	RxRunts    int64
 	RxOversize int64
+	// Peers carries per-source accounting for adapters fed by an untrusted
+	// wire (see PeerMeter); nil for adapters with a single known feeder.
+	Peers []PeerStat
+}
+
+// PeerStat is one traffic source's share of an adapter's inbound traffic.
+// Drops aggregates everything rejected at the adapter boundary — runts,
+// oversize payloads, and capture-ring overflow — so a misbehaving sender is
+// attributable even when nothing it sends becomes a Frame.
+type PeerStat struct {
+	// Addr is the source IP address, or "other" for the aggregate bucket
+	// holding senders beyond the tracking bound.
+	Addr   string
+	Frames int64
+	Bytes  int64
+	Drops  int64
+}
+
+// PeerMeter is implemented by adapters that attribute inbound traffic to its
+// source addresses. The tracked set is bounded; senders past the bound are
+// aggregated into a single "other" bucket rather than growing the map.
+type PeerMeter interface {
+	// PeerStats returns a snapshot of the per-source counters, sorted by
+	// address with the "other" bucket (if any) last.
+	PeerStats() []PeerStat
 }
 
 // Meter is implemented by adapters that count their traffic. The

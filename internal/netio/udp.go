@@ -4,11 +4,18 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"lvrm/internal/packet"
 )
+
+// maxTrackedPeers bounds the per-source accounting map: an address-spoofing
+// sender must not be able to grow adapter memory without bound. Senders
+// beyond the bound aggregate into one "other" bucket.
+const maxTrackedPeers = 1024
 
 // UDPAdapter is a live socket adapter that moves raw Ethernet frames over
 // UDP datagrams (one frame per datagram) — the stdlib-reachable analog of
@@ -32,6 +39,19 @@ type UDPAdapter struct {
 	rxDrops                              atomic.Int64
 	rxRunts, rxOversize                  atomic.Int64
 	rxFrames, rxBytes, txFrames, txBytes atomic.Int64
+
+	// Per-source accounting: only the read loop writes, obs scrapers read.
+	// A bounded map keyed by source IP (ports collapse onto one peer);
+	// senders beyond maxTrackedPeers land in peerOther.
+	peersMu   sync.Mutex
+	peers     map[netip.Addr]*peerCount
+	peerOther peerCount
+}
+
+// peerCount accumulates one source's inbound traffic. Drops covers runts,
+// oversize payloads and capture-ring overflow alike.
+type peerCount struct {
+	frames, bytes, drops int64
 }
 
 // NewUDPAdapter binds a UDP socket on listenAddr (e.g. "127.0.0.1:9000").
@@ -50,6 +70,7 @@ func NewUDPAdapter(listenAddr, peerAddr string, depth int) (*UDPAdapter, error) 
 		conn:   conn,
 		rx:     make(chan *packet.Frame, depth),
 		closed: make(chan struct{}),
+		peers:  make(map[netip.Addr]*peerCount),
 	}
 	if peerAddr != "" {
 		paddr, err := net.ResolveUDPAddr("udp", peerAddr)
@@ -69,7 +90,9 @@ func (a *UDPAdapter) LocalAddr() net.Addr { return a.conn.LocalAddr() }
 func (a *UDPAdapter) readLoop() {
 	buf := make([]byte, packet.EthMaxFrame+64)
 	for {
-		n, from, err := a.conn.ReadFromUDP(buf)
+		// AddrPort instead of *net.UDPAddr: a comparable value key for the
+		// peer map with no per-datagram address allocation.
+		n, from, err := a.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			select {
 			case <-a.closed:
@@ -78,8 +101,10 @@ func (a *UDPAdapter) readLoop() {
 			}
 			continue
 		}
+		src := from.Addr().Unmap()
 		if n < packet.EthHeaderLen {
 			a.rxRunts.Add(1) // runt datagram: too short for an Ethernet header
+			a.accountPeer(src, 0, true)
 			continue
 		}
 		if n > packet.EthMaxFrame {
@@ -87,20 +112,66 @@ func (a *UDPAdapter) readLoop() {
 			// oversize datagrams land here instead of being silently clipped
 			// to a valid-looking frame.
 			a.rxOversize.Add(1)
+			a.accountPeer(src, 0, true)
 			continue
 		}
 		if a.peerLocked() == nil {
-			a.setPeer(from)
+			a.setPeer(net.UDPAddrFromAddrPort(from))
 		}
 		frame := &packet.Frame{Buf: append([]byte(nil), buf[:n]...), Out: -1}
 		select {
 		case a.rx <- frame:
 			a.rxFrames.Add(1)
 			a.rxBytes.Add(int64(n))
+			a.accountPeer(src, n, false)
 		default:
 			a.rxDrops.Add(1) // capture ring overflow
+			a.accountPeer(src, 0, true)
 		}
 	}
+}
+
+// accountPeer attributes one datagram to its source address: n payload bytes
+// for an accepted frame, or one drop (runt, oversize, or ring overflow).
+func (a *UDPAdapter) accountPeer(src netip.Addr, n int, dropped bool) {
+	a.peersMu.Lock()
+	c := a.peers[src]
+	if c == nil {
+		if len(a.peers) >= maxTrackedPeers {
+			c = &a.peerOther
+		} else {
+			c = &peerCount{}
+			a.peers[src] = c
+		}
+	}
+	if dropped {
+		c.drops++
+	} else {
+		c.frames++
+		c.bytes += int64(n)
+	}
+	a.peersMu.Unlock()
+}
+
+// PeerStats returns the per-source traffic counters, sorted by address, with
+// the overflow "other" bucket (senders beyond the tracking bound) last.
+func (a *UDPAdapter) PeerStats() []PeerStat {
+	a.peersMu.Lock()
+	out := make([]PeerStat, 0, len(a.peers)+1)
+	for addr, c := range a.peers {
+		out = append(out, PeerStat{
+			Addr: addr.String(), Frames: c.frames, Bytes: c.bytes, Drops: c.drops,
+		})
+	}
+	other := a.peerOther
+	a.peersMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	if other.frames+other.drops > 0 {
+		out = append(out, PeerStat{
+			Addr: "other", Frames: other.frames, Bytes: other.bytes, Drops: other.drops,
+		})
+	}
+	return out
 }
 
 func (a *UDPAdapter) peerLocked() *net.UDPAddr {
@@ -162,6 +233,7 @@ func (a *UDPAdapter) IOStats() IOStats {
 		RxDropped:  a.rxDrops.Load(),
 		RxRunts:    a.rxRunts.Load(),
 		RxOversize: a.rxOversize.Load(),
+		Peers:      a.PeerStats(),
 	}
 }
 
@@ -179,6 +251,7 @@ func (a *UDPAdapter) Close() error {
 }
 
 var (
-	_ Adapter = (*UDPAdapter)(nil)
-	_ Meter   = (*UDPAdapter)(nil)
+	_ Adapter   = (*UDPAdapter)(nil)
+	_ Meter     = (*UDPAdapter)(nil)
+	_ PeerMeter = (*UDPAdapter)(nil)
 )

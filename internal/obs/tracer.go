@@ -20,6 +20,9 @@ const (
 	KindDestroy Kind = "destroy"
 	// KindBalance is a sampled load-balancer decision (every Nth dispatch).
 	KindBalance Kind = "balance"
+	// KindFlow is a sampled flow-affinity dispatch (every Nth dispatch on
+	// the sharded path); Note carries the table outcome (hit, miss, ...).
+	KindFlow Kind = "flow"
 )
 
 // Event is one traced occurrence on the data or control path.

@@ -84,6 +84,15 @@ type LVRMGatewayConfig struct {
 	// over the batch; 0 or 1 keeps the seed's exact one-frame-per-step
 	// path, so existing experiment outputs are bit-identical.
 	VRIBatch int
+	// FlowShards/FlowTableCap enable flow-aware sharded dispatch on the
+	// hosted monitor (core.Config.FlowShards): dispatch pins flows to VRIs
+	// through the sharded affinity table instead of running a balancer
+	// decision per frame. The testbed is single-threaded, so this exercises
+	// the flow table's semantics (affinity, epochs, eviction) under virtual
+	// time rather than its parallelism; combine with ExtraDispatchCost to
+	// model the lookup's per-frame cost. Zero keeps the seed balancer path.
+	FlowShards   int
+	FlowTableCap int
 	// AllowSharedLVRMCore over-subscribes the monitor core when VRIs
 	// outnumber free cores (Experiment 2b's contention case).
 	AllowSharedLVRMCore bool
@@ -163,6 +172,8 @@ func NewLVRMGateway(cfg LVRMGatewayConfig) (*LVRMGateway, error) {
 		Clock:               cfg.Eng.Now,
 		DataQueueCap:        cfg.DataQueueCap,
 		AllowSharedLVRMCore: cfg.AllowSharedLVRMCore,
+		FlowShards:          cfg.FlowShards,
+		FlowTableCap:        cfg.FlowTableCap,
 	})
 	if err != nil {
 		return nil, err
@@ -430,7 +441,8 @@ func (s *vriServer) serve() {
 	// transmit cost exactly (control events have priority and no relay).
 	var frameSize int
 	if s.a.Control.In.Len() == 0 {
-		if q, ok := s.a.Data.In.(*ipc.SPSC[*packet.Frame]); ok {
+		// Both ring kinds (SPSC, and MPSC under flow dispatch) expose Peek.
+		if q, ok := s.a.Data.In.(interface{ Peek() (*packet.Frame, bool) }); ok {
 			if f, ok := q.Peek(); ok {
 				frameSize = len(f.Buf)
 			}
