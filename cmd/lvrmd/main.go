@@ -8,8 +8,8 @@
 //
 //	lvrmd [-vrs 2] [-rate 50000] [-duration 10s] [-balancer jsq]
 //	      [-policy dynamic-fixed:20000] [-queue lockfree] [-burn]
-//	      [-http :8080] [-tracecap 1024] [-udp :9000]
-//	      [-flow-shards 8] [-flow-table 1024]
+//	      [-http :8080] [-tracecap 1024] [-udp :9000] [-udp-allow 10.0.0.0/8]
+//	      [-flow-shards 8] [-flow-table 1024] [-frame-pool] [-pool-poison]
 //
 // With -http, lvrmd serves the operator endpoints (see OBSERVABILITY.md):
 //
@@ -37,6 +37,7 @@ import (
 	"lvrm/internal/netio"
 	"lvrm/internal/obs"
 	"lvrm/internal/packet"
+	"lvrm/internal/packet/pool"
 	"lvrm/internal/route"
 	"lvrm/internal/vr"
 )
@@ -56,6 +57,9 @@ func main() {
 		batch    = flag.Int("batch", 16, "frames moved per queue operation on the receive, VRI and relay paths (1 = per-frame)")
 		flowSh   = flag.Int("flow-shards", 0, "flow-affinity table shards per VR; > 0 replaces the per-VR balancer lock with flow-sharded dispatch (0 = classic locked path)")
 		flowCap  = flag.Int("flow-table", 1024, "total pinned flows per VR across shards (stalest flows evicted beyond this)")
+		usePool  = flag.Bool("frame-pool", true, "recycle frame buffers through the size-classed pool (zero allocations per frame at steady state); false reverts to per-frame heap allocation")
+		poison   = flag.Bool("pool-poison", false, "fill released pool buffers with a sentinel and panic on use-after-release (debugging; costs a memset per frame)")
+		udpAllow = flag.String("udp-allow", "", "comma-separated source CIDRs/addresses the UDP adapter accepts (empty = accept all)")
 	)
 	flag.Parse()
 
@@ -71,13 +75,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The frame pool: on by default; -frame-pool=false reverts every path to
+	// the seed per-frame heap lifecycle (Release no-ops on heap frames).
+	var framePool *pool.Pool
+	if *usePool {
+		framePool = pool.NewWithOptions(pool.Options{Poison: *poison})
+	}
+
 	// The socket adapter: the in-process channel backend with the built-in
 	// generator by default, or a UDP socket fed by an external generator
 	// (datagram payload = raw Ethernet frame).
 	var sock netio.Adapter
 	var chanAdapter *netio.ChanAdapter
 	if *udpAddr != "" {
-		ua, err := netio.NewUDPAdapter(*udpAddr, "", 8192)
+		allow, err := netio.ParseAllowList(*udpAllow)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ua, err := netio.NewUDPAdapterConfig(netio.UDPConfig{
+			Listen: *udpAddr, Depth: 8192, Pool: framePool, Allow: allow,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -91,6 +109,7 @@ func main() {
 	}
 	registry := obs.NewRegistry()
 	tracer := obs.NewTracer(*traceCap)
+	obs.RegisterGoRuntime(registry)
 	lvrm, err := core.New(core.Config{
 		Adapter:      sock,
 		QueueKind:    kind,
@@ -98,6 +117,7 @@ func main() {
 		AllocPeriod:  time.Second,
 		Obs:          registry,
 		Trace:        tracer,
+		FramePool:    framePool,
 		RecvBatch:    *batch,
 		VRIBatch:     *batch,
 		RelayBatch:   *batch,
@@ -192,16 +212,24 @@ func main() {
 				due := now.Sub(start).Seconds() * *rate
 				for ; emitted < due; emitted++ {
 					vrIdx := seq % *nVRs
-					f, err := packet.BuildUDP(packet.UDPBuildOpts{
+					opts := packet.UDPBuildOpts{
 						Src:     packet.IPv4(10, 1, byte(vrIdx), byte(1+seq%250)),
 						Dst:     packet.IPv4(10, 2, 0, byte(1+seq%250)),
 						SrcPort: uint16(5000 + seq%64), DstPort: 9,
 						WireSize: packet.MinWireSize,
-					})
+					}
+					var f *packet.Frame
+					var err error
+					if framePool != nil {
+						f, err = framePool.BuildUDP(opts)
+					} else {
+						f, err = packet.BuildUDP(opts)
+					}
 					if err == nil {
 						select {
 						case chanAdapter.RX <- f:
 						default: // generator outran the monitor: drop
+							f.Release()
 						}
 					}
 					seq++
@@ -210,11 +238,12 @@ func main() {
 		}
 	}()
 
-	// Drain forwarded frames (the "output NIC"); the UDP adapter sends
-	// them back to its peer itself.
+	// Drain forwarded frames (the "output NIC"), recycling each buffer back
+	// to the pool; the UDP adapter sends them back to its peer itself.
 	if chanAdapter != nil {
 		go func() {
-			for range chanAdapter.TX {
+			for f := range chanAdapter.TX {
+				f.Release()
 			}
 		}()
 	}

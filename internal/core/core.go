@@ -16,6 +16,7 @@ import (
 	"lvrm/internal/netio"
 	"lvrm/internal/obs"
 	"lvrm/internal/packet"
+	"lvrm/internal/packet/pool"
 )
 
 // Config configures an LVRM instance.
@@ -71,6 +72,13 @@ type Config struct {
 	// no free core remains, re-creating the contention the paper observes
 	// when more cores are requested than the machine has (Experiment 2b).
 	AllowSharedLVRMCore bool
+	// FramePool, when non-nil, is the frame pool the ingest adapters draw
+	// from. The monitor itself never allocates from it — it only needs the
+	// handle to export the pool's counters through Obs and to document which
+	// pool owns the frames flowing through this instance. All drop paths
+	// call Frame.Release regardless, which no-ops on unpooled frames, so a
+	// nil FramePool reproduces the seed heap lifecycle exactly.
+	FramePool *pool.Pool
 	// Obs, when non-nil, receives the monitor's live metrics: dispatch-wait
 	// histograms, per-VR/VRI queue gauges, allocation counters, and adapter
 	// frame/byte rates. Nil disables metric collection at zero hot-path
@@ -388,9 +396,10 @@ func (l *LVRM) dispatchFrame(f *packet.Frame) {
 	f.Timestamp = now
 	l.received.Add(1)
 	if v, ok := l.Classify(f); ok {
-		_ = v.dispatch(f, now) // queue-full drops are counted by the VR
+		_ = v.dispatch(f, now) // drops are counted by the VR, which releases f
 	} else {
 		l.unclassified.Add(1)
+		f.Release()
 	}
 	l.MaybeAllocate(now)
 }
@@ -407,6 +416,7 @@ func (l *LVRM) Dispatch(f *packet.Frame) bool {
 	v, ok := l.Classify(f)
 	if !ok {
 		l.unclassified.Add(1)
+		f.Release()
 		return false
 	}
 	return v.dispatch(f, now) == nil
@@ -460,6 +470,7 @@ func (l *LVRM) sendBatch(buf []*packet.Frame, n int) int {
 		buf[i] = nil
 		if err := l.cfg.Adapter.Send(f); err != nil {
 			l.sendErrs.Add(1)
+			f.Release() // Send consumes only on success; the loss is ours
 			continue
 		}
 		l.sent.Add(1)

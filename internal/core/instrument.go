@@ -8,6 +8,7 @@ import (
 	"lvrm/internal/netio"
 	"lvrm/internal/obs"
 	"lvrm/internal/packet"
+	"lvrm/internal/packet/pool"
 )
 
 // instruments bundles LVRM's observability handles. Every handle is nil-safe,
@@ -259,6 +260,30 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 			func(s netio.IOStats) int64 { return s.RxRunts })
 		adapterStat("lvrm_adapter_rx_oversize_total", "Inbound payloads rejected as larger than the maximum frame.",
 			func(s netio.IOStats) int64 { return s.RxOversize })
+		adapterStat("lvrm_adapter_rejected_total", "Inbound datagrams refused by the adapter's source allow-list.",
+			func(s netio.IOStats) int64 { return s.RxRejected })
+	}
+
+	// Frame-pool lifecycle counters, when pooling is enabled. Scrape-time
+	// reads of the pool's own atomics — the recycle hot path stays untouched.
+	if p := l.cfg.FramePool; p != nil {
+		poolStat := func(name, help string, typ obs.Type, val func(pool.Stats) int64) {
+			reg.Collect(name, help, typ, func(emit func(obs.Sample)) {
+				emit(obs.Sample{Value: float64(val(p.Stats()))})
+			})
+		}
+		poolStat("lvrm_pool_gets_total", "Frames handed out by the frame pool (Get, Copy, and pooled builders).",
+			obs.TypeCounter, func(s pool.Stats) int64 { return s.Gets })
+		poolStat("lvrm_pool_hits_total", "Pool gets served by a recycled buffer of the matching size class.",
+			obs.TypeCounter, func(s pool.Stats) int64 { return s.Hits })
+		poolStat("lvrm_pool_misses_total", "Pool gets that had to allocate a fresh buffer.",
+			obs.TypeCounter, func(s pool.Stats) int64 { return s.Misses })
+		poolStat("lvrm_pool_steals_total", "Pool gets served by a recycled oversize buffer with larger capacity (cross-size reuse).",
+			obs.TypeCounter, func(s pool.Stats) int64 { return s.Steals })
+		poolStat("lvrm_pool_recycles_total", "Frames returned to the pool by the final Release.",
+			obs.TypeCounter, func(s pool.Stats) int64 { return s.Recycles })
+		poolStat("lvrm_pool_outstanding", "Pooled frames currently held by the pipeline (gets minus recycles; drifts up if frames leak to VRI teardown).",
+			obs.TypeGauge, func(s pool.Stats) int64 { return s.Outstanding })
 	}
 
 	// Per-source ingest accounting, for adapters fed by an untrusted wire.

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"lvrm/internal/netio"
+	"lvrm/internal/packet"
+	"lvrm/internal/packet/pool"
+)
+
+// pooledPipeline builds the full live data path over the channel adapter:
+// pooled ingest -> RecvDispatchBatch -> VRI StepBatch -> RelayOut -> TX drain.
+// Everything runs on the calling goroutine so testing.AllocsPerRun sees every
+// allocation the steady state makes.
+func pooledPipeline(t testing.TB, p *pool.Pool) (l *LVRM, step func()) {
+	t.Helper()
+	clock := &fakeClock{}
+	ca := netio.NewChanAdapter(64)
+	l, err := New(Config{
+		Adapter:   ca,
+		Clock:     clock.fn(),
+		FramePool: p,
+		// The allocation pass runs once during warmup and then never again
+		// inside the measured window.
+		AllocPeriod: time.Hour,
+		RecvBatch:   16, VRIBatch: 16, RelayBatch: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddVR(vrCfg(t, "vr1", "10.1.0.0", 16)); err != nil {
+		t.Fatal(err)
+	}
+	proto := frameFrom(t, "10.1.0.1", "10.2.0.9")
+	step = func() {
+		var f *packet.Frame
+		if p != nil {
+			f = p.Copy(proto)
+		} else {
+			f = proto.Clone()
+		}
+		ca.RX <- f
+		clock.advance(time.Microsecond)
+		l.RecvDispatchBatch(16)
+		for _, v := range l.VRs() {
+			for _, a := range v.VRIs() {
+				a.StepBatch(clock.now, 16, nil)
+			}
+		}
+		l.RelayOut(0)
+		for {
+			select {
+			case out := <-ca.TX:
+				out.Release()
+			default:
+				return
+			}
+		}
+	}
+	return l, step
+}
+
+// TestPooledPipelineZeroAllocs is the tentpole's acceptance check: one frame
+// through UDP-equivalent ingest, dispatch, VRI processing, and relay costs
+// zero heap allocations at steady state when pooling is on.
+func TestPooledPipelineZeroAllocs(t *testing.T) {
+	p := pool.New()
+	l, step := pooledPipeline(t, p)
+	// Warm up: grow scratch buffers, run the one allocation pass, seed the
+	// pool's size classes.
+	for i := 0; i < 64; i++ {
+		step()
+	}
+	// GC off so a collection cannot evict the sync.Pool mid-measurement.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(1000, step)
+	if allocs != 0 {
+		t.Errorf("pooled ingest->dispatch->step->relay: %.2f allocs/frame, want 0", allocs)
+	}
+	st := l.Stats()
+	if st.Sent == 0 || st.Received != st.Sent {
+		t.Errorf("pipeline did not forward cleanly: %+v", st)
+	}
+	if ps := p.Stats(); ps.Outstanding != 0 {
+		t.Errorf("pool outstanding = %d after full drain, want 0", ps.Outstanding)
+	}
+}
+
+// TestUnpooledPipelineUnchanged pins the opt-out: with FramePool nil the same
+// path runs on heap frames (Release everywhere is a no-op) and forwards
+// identically — the seed lifecycle.
+func TestUnpooledPipelineUnchanged(t *testing.T) {
+	l, step := pooledPipeline(t, nil)
+	for i := 0; i < 32; i++ {
+		step()
+	}
+	st := l.Stats()
+	if st.Sent != 32 || st.Received != 32 || st.SendErrors != 0 {
+		t.Errorf("unpooled pipeline: %+v, want 32 received and sent", st)
+	}
+}
+
+// TestDropPathsRelease checks the monitor-side drop paths recycle instead of
+// leaking: an unclassified frame and a full-input-queue drop must both return
+// their buffers to the pool.
+func TestDropPathsRelease(t *testing.T) {
+	clock := &fakeClock{}
+	p := pool.New()
+	l, err := New(Config{
+		Adapter: netio.NewChanAdapter(4), Clock: clock.fn(),
+		FramePool: p, DataQueueCap: 2, AllocPeriod: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddVR(vrCfg(t, "vr1", "10.1.0.0", 16)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unclassified: no VR claims 192.168/16 traffic.
+	stray := p.Copy(frameFrom(t, "192.168.0.1", "10.2.0.9"))
+	if l.Dispatch(stray) {
+		t.Fatal("stray frame classified")
+	}
+	if st := p.Stats(); st.Outstanding != 0 {
+		t.Errorf("unclassified frame leaked: outstanding = %d", st.Outstanding)
+	}
+
+	// Queue-full: capacity 2, third dispatch must drop and recycle.
+	proto := frameFrom(t, "10.1.0.1", "10.2.0.9")
+	for i := 0; i < 2; i++ {
+		if !l.Dispatch(p.Copy(proto)) {
+			t.Fatalf("dispatch %d rejected with queue space left", i)
+		}
+	}
+	if l.Dispatch(p.Copy(proto)) {
+		t.Fatal("dispatch into a full queue succeeded")
+	}
+	if st := p.Stats(); st.Outstanding != 2 {
+		t.Errorf("outstanding = %d, want 2 (the queued frames)", st.Outstanding)
+	}
+	if drops := l.VRs()[0].InDrops(); drops != 0+1 {
+		t.Errorf("InDrops = %d, want 1", drops)
+	}
+}
+
+// BenchmarkPooledDispatchRelay and BenchmarkHeapDispatchRelay are the
+// before/after numbers for OBSERVABILITY.md; CI greps the pooled one's
+// -benchmem output to enforce 0 allocs/op.
+func BenchmarkPooledDispatchRelay(b *testing.B) {
+	p := pool.New()
+	_, step := pooledPipeline(b, p)
+	for i := 0; i < 64; i++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+func BenchmarkHeapDispatchRelay(b *testing.B) {
+	_, step := pooledPipeline(b, nil)
+	for i := 0; i < 64; i++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}

@@ -166,6 +166,7 @@ func (v *VR) dispatchLocked(f *packet.Frame, now int64) error {
 	vris := v.vriList()
 	if len(vris) == 0 {
 		v.inDrops.Add(1)
+		f.Release()
 		return errors.New("core: VR has no VRIs")
 	}
 	v.targets = v.targets[:0]
@@ -179,6 +180,7 @@ func (v *VR) dispatchLocked(f *packet.Frame, now int64) error {
 	a.QueueEst.Observe(depth)
 	if !a.Data.In.Enqueue(f) {
 		v.inDrops.Add(1)
+		f.Release()
 		return fmt.Errorf("core: VRI %d/%d input queue full", v.ID, a.ID)
 	}
 	n := v.dispatched.Add(1)
@@ -214,6 +216,7 @@ func (v *VR) dispatchFlow(f *packet.Frame, now int64) error {
 	vris := v.vriList()
 	if len(vris) == 0 {
 		v.inDrops.Add(1)
+		f.Release()
 		return errors.New("core: VR has no VRIs")
 	}
 	key := flow.KeyOf(f)
@@ -254,6 +257,7 @@ func (v *VR) dispatchFlow(f *packet.Frame, now int64) error {
 	a.QueueEst.Observe(depth)
 	if !a.Data.In.Enqueue(f) {
 		v.inDrops.Add(1)
+		f.Release()
 		return fmt.Errorf("core: VRI %d/%d input queue full", v.ID, a.ID)
 	}
 	n := v.dispatched.Add(1)
@@ -382,7 +386,9 @@ func (v *VR) spawnVRI(core int, now int64, queueKind ipc.Kind, dataCap, ctlCap i
 
 // destroyVRI removes the VRI bound to core (Figure 3.2's "destroy VRI
 // adapter"): mark it stopped and drop it from the list. Frames still in its
-// queues are lost, as when the paper kill()s the process.
+// queues are lost, as when the paper kill()s the process — pooled frames
+// among them leak to the GC (the pool's Outstanding gauge drifts up by that
+// many), which is safe: the buffers are simply never recycled.
 func (v *VR) destroyVRI(core int) (*VRIAdapter, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()

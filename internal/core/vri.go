@@ -180,10 +180,12 @@ func (a *VRIAdapter) Step(now int64, onControl func(*ControlEvent)) (cost time.D
 	a.processed.Add(1)
 	if err != nil || f.Out == vr.Drop {
 		a.engDrops.Add(1)
+		f.Release()
 		return cost, true
 	}
 	if !a.Data.Out.Enqueue(f) {
 		a.outDrops.Add(1)
+		f.Release()
 	}
 	return cost, true
 }
@@ -265,6 +267,7 @@ func (a *VRIAdapter) StepBatch(now int64, max int, onControl func(*ControlEvent)
 		a.processed.Add(1)
 		if err != nil || f.Out == vr.Drop {
 			a.engDrops.Add(1)
+			f.Release()
 			continue
 		}
 		out = append(out, f)
@@ -273,6 +276,9 @@ func (a *VRIAdapter) StepBatch(now int64, max int, onControl func(*ControlEvent)
 	accepted := ipc.EnqueueBatch(a.Data.Out, out)
 	if rejected := len(out) - accepted; rejected > 0 {
 		a.outDrops.Add(int64(rejected))
+		for _, f := range out[accepted:] {
+			f.Release()
+		}
 	}
 	for i := 0; i < accepted; i++ {
 		res.OutBytes += len(out[i].Buf)
@@ -333,7 +339,9 @@ func (l *LVRMAdapter) FromLVRM() (*packet.Frame, bool) {
 }
 
 // ToLVRM hands a processed frame back toward LVRM; it reports whether the
-// outgoing queue had room.
+// outgoing queue had room. On failure the caller keeps ownership of the
+// frame (it may retry or Release it) — ToLVRM never consumes a rejected
+// frame, unlike the monitor-side drop paths.
 func (l *LVRMAdapter) ToLVRM(f *packet.Frame) bool {
 	ok := l.vri.Data.Out.Enqueue(f)
 	if !ok {

@@ -20,6 +20,7 @@ import (
 
 	"lvrm/internal/ipc"
 	"lvrm/internal/packet"
+	"lvrm/internal/packet/pool"
 )
 
 // Adapter is the socket adapter contract. Recv polls for one available
@@ -149,6 +150,9 @@ type IOStats struct {
 	// adapters fed by an untrusted wire (UDP) ever report them.
 	RxRunts    int64
 	RxOversize int64
+	// RxRejected counts inbound datagrams refused by the adapter's source
+	// allow-list (see UDPConfig.Allow), also before a Frame is built.
+	RxRejected int64
 	// Peers carries per-source accounting for adapters fed by an untrusted
 	// wire (see PeerMeter); nil for adapters with a single known feeder.
 	Peers []PeerStat
@@ -191,7 +195,11 @@ type MemoryAdapter struct {
 	frames []*packet.Frame
 	next   int
 	// Loop restarts the trace when it is exhausted.
-	Loop   bool
+	Loop bool
+	// Pool, when non-nil, supplies Recv's copies from recycled buffers
+	// instead of heap clones; downstream owners must then Release them
+	// (Send does it for the frames it discards).
+	Pool   *pool.Pool
 	sent   int64
 	closed bool
 
@@ -218,20 +226,27 @@ func (m *MemoryAdapter) Recv() (*packet.Frame, bool) {
 		}
 		m.next = 0
 	}
-	f := m.frames[m.next].Clone()
+	var f *packet.Frame
+	if m.Pool != nil {
+		f = m.Pool.Copy(m.frames[m.next])
+	} else {
+		f = m.frames[m.next].Clone()
+	}
 	m.next++
 	m.rxFrames++
 	m.rxBytes += int64(len(f.Buf))
 	return f, true
 }
 
-// Send counts and discards the frame.
+// Send counts and discards the frame, releasing its buffer to the pool it
+// came from (a no-op for heap frames).
 func (m *MemoryAdapter) Send(f *packet.Frame) error {
 	if m.closed {
 		return ErrClosed
 	}
 	m.sent++
 	m.txBytes += int64(len(f.Buf))
+	f.Release()
 	return nil
 }
 
@@ -317,6 +332,7 @@ func (q *QueueAdapter) Send(f *packet.Frame) error {
 	}
 	if !q.tx.Enqueue(f) {
 		q.dropsTx++
+		f.Release() // dropped at the boundary: the adapter owned it
 		return nil
 	}
 	q.txFrames++
@@ -391,6 +407,7 @@ func (c *ChanAdapter) Send(f *packet.Frame) error {
 		c.txBytes.Add(int64(len(f.Buf)))
 	default: // saturated transmit queue: tail drop
 		c.txDropped.Add(1)
+		f.Release()
 	}
 	return nil
 }

@@ -6,10 +6,12 @@ import (
 	"net"
 	"net/netip"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"lvrm/internal/packet"
+	"lvrm/internal/packet/pool"
 )
 
 // maxTrackedPeers bounds the per-source accounting map: an address-spoofing
@@ -34,10 +36,20 @@ type UDPAdapter struct {
 	closed chan struct{}
 	once   sync.Once
 
+	// pool, when non-nil, supplies receive buffers: one pooled frame per
+	// accepted datagram instead of one heap allocation. Nil keeps the seed
+	// per-datagram make path.
+	pool *pool.Pool
+
+	// allow, when non-empty, is the source allow-list: datagrams whose
+	// source address matches no prefix are rejected before a Frame is built.
+	allow []netip.Prefix
+
 	// Atomic counters: the read loop and the monitor goroutine update them
 	// while the obs scraper reads concurrently.
 	rxDrops                              atomic.Int64
 	rxRunts, rxOversize                  atomic.Int64
+	rxRejected                           atomic.Int64
 	rxFrames, rxBytes, txFrames, txBytes atomic.Int64
 
 	// Per-source accounting: only the read loop writes, obs scrapers read.
@@ -46,6 +58,26 @@ type UDPAdapter struct {
 	peersMu   sync.Mutex
 	peers     map[netip.Addr]*peerCount
 	peerOther peerCount
+}
+
+// UDPConfig configures a UDP adapter beyond the positional basics.
+type UDPConfig struct {
+	// Listen is the bind address (e.g. "127.0.0.1:9000"). Required.
+	Listen string
+	// Peer, when non-empty, fixes the destination for outgoing frames;
+	// otherwise the source of the most recent datagram becomes the peer.
+	Peer string
+	// Depth sizes the receive buffer in frames.
+	Depth int
+	// Pool, when non-nil, supplies pooled receive buffers (zero-allocation
+	// ingest); frames handed out by Recv must then be Released downstream.
+	Pool *pool.Pool
+	// Allow is the source allow-list: when non-empty, only datagrams whose
+	// source IP matches one of the prefixes become frames. Rejections are
+	// counted in IOStats.RxRejected and attributed to the per-peer "other"
+	// bucket — deliberately not to a per-source entry, so address-spoofing
+	// blocked senders cannot churn the bounded peer map.
+	Allow []netip.Prefix
 }
 
 // peerCount accumulates one source's inbound traffic. Drops covers runts,
@@ -58,7 +90,12 @@ type peerCount struct {
 // peerAddr, when non-empty, fixes the destination for outgoing frames.
 // depth sizes the receive buffer in frames.
 func NewUDPAdapter(listenAddr, peerAddr string, depth int) (*UDPAdapter, error) {
-	laddr, err := net.ResolveUDPAddr("udp", listenAddr)
+	return NewUDPAdapterConfig(UDPConfig{Listen: listenAddr, Peer: peerAddr, Depth: depth})
+}
+
+// NewUDPAdapterConfig binds a UDP socket per cfg; see UDPConfig.
+func NewUDPAdapterConfig(cfg UDPConfig) (*UDPAdapter, error) {
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("netio: listen address: %w", err)
 	}
@@ -68,12 +105,18 @@ func NewUDPAdapter(listenAddr, peerAddr string, depth int) (*UDPAdapter, error) 
 	}
 	a := &UDPAdapter{
 		conn:   conn,
-		rx:     make(chan *packet.Frame, depth),
+		rx:     make(chan *packet.Frame, cfg.Depth),
 		closed: make(chan struct{}),
 		peers:  make(map[netip.Addr]*peerCount),
+		pool:   cfg.Pool,
 	}
-	if peerAddr != "" {
-		paddr, err := net.ResolveUDPAddr("udp", peerAddr)
+	for _, p := range cfg.Allow {
+		// Masked canonicalizes the prefix (and unmaps 4-in-6 addresses do
+		// not arise: readLoop unmaps sources before matching).
+		a.allow = append(a.allow, p.Masked())
+	}
+	if cfg.Peer != "" {
+		paddr, err := net.ResolveUDPAddr("udp", cfg.Peer)
 		if err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("netio: peer address: %w", err)
@@ -82,6 +125,29 @@ func NewUDPAdapter(listenAddr, peerAddr string, depth int) (*UDPAdapter, error) 
 	}
 	go a.readLoop()
 	return a, nil
+}
+
+// ParseAllowList parses a comma-separated list of CIDR prefixes or single
+// addresses ("10.0.0.0/8,192.168.1.7") into allow-list prefixes; single
+// addresses become host-length prefixes.
+func ParseAllowList(s string) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if p, err := netip.ParsePrefix(part); err == nil {
+			out = append(out, p)
+			continue
+		}
+		addr, err := netip.ParseAddr(part)
+		if err != nil {
+			return nil, fmt.Errorf("netio: allow-list entry %q is neither a CIDR prefix nor an address", part)
+		}
+		out = append(out, netip.PrefixFrom(addr, addr.BitLen()))
+	}
+	return out, nil
 }
 
 // LocalAddr returns the bound address (useful with ":0" listeners).
@@ -101,34 +167,77 @@ func (a *UDPAdapter) readLoop() {
 			}
 			continue
 		}
-		src := from.Addr().Unmap()
-		if n < packet.EthHeaderLen {
-			a.rxRunts.Add(1) // runt datagram: too short for an Ethernet header
-			a.accountPeer(src, 0, true)
-			continue
-		}
-		if n > packet.EthMaxFrame {
-			// The read buffer carries headroom beyond EthMaxFrame exactly so
-			// oversize datagrams land here instead of being silently clipped
-			// to a valid-looking frame.
-			a.rxOversize.Add(1)
-			a.accountPeer(src, 0, true)
-			continue
-		}
-		if a.peerLocked() == nil {
-			a.setPeer(net.UDPAddrFromAddrPort(from))
-		}
-		frame := &packet.Frame{Buf: append([]byte(nil), buf[:n]...), Out: -1}
-		select {
-		case a.rx <- frame:
-			a.rxFrames.Add(1)
-			a.rxBytes.Add(int64(n))
-			a.accountPeer(src, n, false)
-		default:
-			a.rxDrops.Add(1) // capture ring overflow
-			a.accountPeer(src, 0, true)
+		a.handleDatagram(buf[:n], from)
+	}
+}
+
+// handleDatagram runs the per-datagram half of the read loop: admission
+// checks, frame construction (pooled or heap), and delivery to the receive
+// channel. Split from readLoop so the allocs-per-datagram regression test can
+// drive it on the measuring goroutine.
+func (a *UDPAdapter) handleDatagram(b []byte, from netip.AddrPort) {
+	n := len(b)
+	src := from.Addr().Unmap()
+	if len(a.allow) > 0 && !a.allowed(src) {
+		// Rejected sources are attributed to the aggregate "other" bucket,
+		// never to a per-source entry: an address-spoofing blocked sender
+		// must not be able to churn the bounded peer map.
+		a.rxRejected.Add(1)
+		a.accountOther()
+		return
+	}
+	if n < packet.EthHeaderLen {
+		a.rxRunts.Add(1) // runt datagram: too short for an Ethernet header
+		a.accountPeer(src, 0, true)
+		return
+	}
+	if n > packet.EthMaxFrame {
+		// The read buffer carries headroom beyond EthMaxFrame exactly so
+		// oversize datagrams land here instead of being silently clipped
+		// to a valid-looking frame.
+		a.rxOversize.Add(1)
+		a.accountPeer(src, 0, true)
+		return
+	}
+	if a.peerLocked() == nil {
+		a.setPeer(net.UDPAddrFromAddrPort(from))
+	}
+	var frame *packet.Frame
+	if a.pool != nil {
+		frame = a.pool.Get(n)
+		copy(frame.Buf, b)
+	} else {
+		frame = &packet.Frame{Buf: append([]byte(nil), b...), Out: -1}
+	}
+	select {
+	case a.rx <- frame:
+		a.rxFrames.Add(1)
+		a.rxBytes.Add(int64(n))
+		a.accountPeer(src, n, false)
+	default:
+		frame.Release()  // pooled buffers go straight back; heap ones no-op
+		a.rxDrops.Add(1) // capture ring overflow
+		a.accountPeer(src, 0, true)
+	}
+}
+
+// allowed reports whether src matches the allow-list. Linear scan: operator
+// allow-lists are short, and prefix Contains is a few word compares.
+func (a *UDPAdapter) allowed(src netip.Addr) bool {
+	for _, p := range a.allow {
+		if p.Contains(src) {
+			return true
 		}
 	}
+	return false
+}
+
+// accountOther charges one drop to the aggregate bucket without touching the
+// per-source map.
+func (a *UDPAdapter) accountOther() {
+	a.peersMu.Lock()
+	a.peerOther.drops++
+	a.peersMu.Unlock()
 }
 
 // accountPeer attributes one datagram to its source address: n payload bytes
@@ -196,7 +305,9 @@ func (a *UDPAdapter) Recv() (*packet.Frame, bool) {
 	}
 }
 
-// Send transmits a frame to the peer as one datagram.
+// Send transmits a frame to the peer as one datagram. On success the frame is
+// consumed: the kernel has copied the bytes, so a pooled frame is Released
+// back to its pool. On error the caller still owns the frame.
 func (a *UDPAdapter) Send(f *packet.Frame) error {
 	select {
 	case <-a.closed:
@@ -211,6 +322,7 @@ func (a *UDPAdapter) Send(f *packet.Frame) error {
 	if err == nil {
 		a.txFrames.Add(1)
 		a.txBytes.Add(int64(len(f.Buf)))
+		f.Release()
 	}
 	return err
 }
@@ -225,6 +337,9 @@ func (a *UDPAdapter) RxRunts() int64 { return a.rxRunts.Load() }
 // RxOversize returns datagrams rejected for exceeding the maximum frame size.
 func (a *UDPAdapter) RxOversize() int64 { return a.rxOversize.Load() }
 
+// RxRejected returns datagrams rejected by the source allow-list.
+func (a *UDPAdapter) RxRejected() int64 { return a.rxRejected.Load() }
+
 // IOStats returns the adapter's traffic counters.
 func (a *UDPAdapter) IOStats() IOStats {
 	return IOStats{
@@ -233,6 +348,7 @@ func (a *UDPAdapter) IOStats() IOStats {
 		RxDropped:  a.rxDrops.Load(),
 		RxRunts:    a.rxRunts.Load(),
 		RxOversize: a.rxOversize.Load(),
+		RxRejected: a.rxRejected.Load(),
 		Peers:      a.PeerStats(),
 	}
 }

@@ -1,0 +1,40 @@
+package obs
+
+import "runtime"
+
+// RegisterGoRuntime installs scrape-time collectors over the Go runtime's
+// memory statistics, so the allocation behaviour the frame pool exists to
+// eliminate is visible next to the pool's own counters: a healthy pooled
+// steady state shows lvrm_go_heap_bytes flat and lvrm_go_gc_pauses_total
+// barely moving while frames stream through.
+//
+// runtime.ReadMemStats stops the world briefly, so the read happens once per
+// scrape (all three series share it), never on the data path.
+func RegisterGoRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	read := func() runtime.MemStats {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms
+	}
+	reg.Collect("lvrm_go_heap_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		TypeGauge, func(emit func(Sample)) {
+			ms := read()
+			emit(Sample{Value: float64(ms.HeapAlloc)})
+		})
+	reg.Collect("lvrm_go_gc_pauses_total",
+		"Completed garbage-collection cycles (runtime.MemStats.NumGC).",
+		TypeCounter, func(emit func(Sample)) {
+			ms := read()
+			emit(Sample{Value: float64(ms.NumGC)})
+		})
+	reg.Collect("lvrm_go_gc_cpu_fraction",
+		"Fraction of available CPU consumed by the garbage collector since start.",
+		TypeGauge, func(emit func(Sample)) {
+			ms := read()
+			emit(Sample{Value: ms.GCCPUFraction})
+		})
+}

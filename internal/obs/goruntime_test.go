@@ -1,0 +1,41 @@
+package obs
+
+import "testing"
+
+func TestRegisterGoRuntime(t *testing.T) {
+	reg := NewRegistry()
+	RegisterGoRuntime(reg)
+
+	want := map[string]Type{
+		"lvrm_go_heap_bytes":      TypeGauge,
+		"lvrm_go_gc_pauses_total": TypeCounter,
+		"lvrm_go_gc_cpu_fraction": TypeGauge,
+	}
+	got := map[string]Gathered{}
+	for _, g := range reg.Gather() {
+		got[g.Name] = g
+	}
+	for name, typ := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("metric %s not gathered", name)
+		}
+		if g.Type != typ {
+			t.Errorf("%s: type = %v, want %v", name, g.Type, typ)
+		}
+		if len(g.Samples) != 1 {
+			t.Fatalf("%s: got %d samples, want 1", name, len(g.Samples))
+		}
+		if v := g.Samples[0].Value; v < 0 {
+			t.Errorf("%s: negative value %v", name, v)
+		}
+	}
+	// A live process has allocated something; the heap gauge must be > 0.
+	if v := got["lvrm_go_heap_bytes"].Samples[0].Value; v == 0 {
+		t.Error("lvrm_go_heap_bytes = 0, want > 0")
+	}
+}
+
+func TestRegisterGoRuntimeNilRegistry(t *testing.T) {
+	RegisterGoRuntime(nil) // must not panic
+}

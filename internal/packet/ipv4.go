@@ -120,25 +120,41 @@ type UDPBuildOpts struct {
 	Payload []byte
 }
 
-// BuildUDP constructs a complete Ethernet+IPv4+UDP frame. When WireSize is
-// set, the frame is padded so that WireLen() == WireSize.
-func BuildUDP(o UDPBuildOpts) (*Frame, error) {
+// UDPFrameLen returns the buffer length a frame built from o occupies, after
+// validating the size constraints — the sizing half of BuildUDP, split out so
+// pooled builders can acquire a right-sized buffer first.
+func UDPFrameLen(o UDPBuildOpts) (int, error) {
 	headers := EthHeaderLen + IPv4HeaderLen + UDPHeaderLen
 	payloadLen := len(o.Payload)
 	if o.WireSize > 0 {
 		if o.WireSize < MinWireSize || o.WireSize > MaxWireSize {
-			return nil, fmt.Errorf("packet: wire size %d outside [%d,%d]", o.WireSize, MinWireSize, MaxWireSize)
+			return 0, fmt.Errorf("packet: wire size %d outside [%d,%d]", o.WireSize, MinWireSize, MaxWireSize)
 		}
 		avail := o.WireSize - EthPreambleLen - EthFCSLen - headers
 		if avail < payloadLen {
-			return nil, fmt.Errorf("packet: payload %dB does not fit wire size %d", payloadLen, o.WireSize)
+			return 0, fmt.Errorf("packet: payload %dB does not fit wire size %d", payloadLen, o.WireSize)
 		}
 		payloadLen = avail
+	}
+	return headers + payloadLen, nil
+}
+
+// BuildUDPInto serializes the frame described by o into buf, whose length
+// must be exactly UDPFrameLen(o). buf may be dirty (recycled from a pool):
+// every byte is written, including explicit zeroing of the padding beyond the
+// payload.
+func BuildUDPInto(o UDPBuildOpts, buf []byte) error {
+	want, err := UDPFrameLen(o)
+	if err != nil {
+		return err
+	}
+	if len(buf) != want {
+		return fmt.Errorf("packet: BuildUDPInto buffer is %dB, frame needs %dB", len(buf), want)
 	}
 	if o.TTL == 0 {
 		o.TTL = 64
 	}
-	buf := make([]byte, headers+payloadLen)
+	payloadLen := want - EthHeaderLen - IPv4HeaderLen - UDPHeaderLen
 	copy(buf[0:6], o.DstMAC[:])
 	copy(buf[6:12], o.SrcMAC[:])
 	binary.BigEndian.PutUint16(buf[12:14], EtherTypeIPv4)
@@ -155,8 +171,26 @@ func BuildUDP(o UDPBuildOpts) (*Frame, error) {
 	binary.BigEndian.PutUint16(udp[2:4], o.DstPort)
 	binary.BigEndian.PutUint16(udp[4:6], uint16(UDPHeaderLen+payloadLen))
 	binary.BigEndian.PutUint16(udp[6:8], 0) // checksum optional for IPv4
-	copy(udp[UDPHeaderLen:], o.Payload)
-	return &Frame{Buf: buf, Out: -1}, nil
+	n := copy(udp[UDPHeaderLen:], o.Payload)
+	pad := udp[UDPHeaderLen+n:]
+	for i := range pad {
+		pad[i] = 0
+	}
+	return nil
+}
+
+// BuildUDP constructs a complete Ethernet+IPv4+UDP frame. When WireSize is
+// set, the frame is padded so that WireLen() == WireSize.
+func BuildUDP(o UDPBuildOpts) (*Frame, error) {
+	n, err := UDPFrameLen(o)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{Buf: make([]byte, n), Out: -1}
+	if err := BuildUDPInto(o, f.Buf); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 // FlowOf extracts the transport 5-tuple of the frame, if it carries IPv4

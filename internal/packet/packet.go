@@ -11,6 +11,7 @@ package packet
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // Wire-format constants.
@@ -156,6 +157,81 @@ type Frame struct {
 	// Timestamp is the capture time in simulation or wall-clock
 	// nanoseconds, used for latency accounting.
 	Timestamp int64
+
+	// refs is the reference count while the frame is pool-owned: Retain
+	// increments it, Release decrements it, and the count reaching zero
+	// returns the frame to origin. A plain int32 driven through sync/atomic
+	// (rather than atomic.Int32) keeps Frame copyable by value, which the
+	// testbed and several tests rely on. Zero on unpooled frames.
+	refs int32
+	// origin is the pool that owns the frame's buffer, nil for frames
+	// allocated straight from the heap. Release on a nil-origin frame is a
+	// no-op, so code threaded through the pooled lifecycle behaves
+	// identically when pooling is disabled.
+	origin Recycler
+}
+
+// Recycler takes back a frame whose reference count dropped to zero.
+// internal/packet/pool implements it; the indirection exists so Frame can
+// return itself to its pool without this package importing the pool.
+type Recycler interface {
+	RecycleFrame(*Frame)
+}
+
+// AttachPool binds the frame to a recycler and resets its reference count to
+// one. Only frame pools call this, on the Get path; user code acquires frames
+// from a pool and never attaches them itself.
+func (f *Frame) AttachPool(r Recycler) {
+	f.origin = r
+	atomic.StoreInt32(&f.refs, 1)
+}
+
+// Pooled reports whether the frame's buffer is owned by a pool, i.e. whether
+// Release actually recycles it.
+func (f *Frame) Pooled() bool { return f.origin != nil }
+
+// Refs returns the current reference count (0 for unpooled frames). It is a
+// racy snapshot, meant for tests and diagnostics.
+func (f *Frame) Refs() int32 { return atomic.LoadInt32(&f.refs) }
+
+// Shared reports whether more than one holder currently references the frame.
+// The copy-on-write rule for pooled frames: a holder may mutate Buf in place
+// (MAC rewrite, TTL decrement) only while it holds the sole reference; a
+// fan-out path that Retained the frame must treat the buffer read-only or
+// take its own pooled copy first.
+func (f *Frame) Shared() bool {
+	return f.origin != nil && atomic.LoadInt32(&f.refs) > 1
+}
+
+// Retain adds a reference for a fan-out path that hands the same frame to
+// more than one consumer; each consumer then calls Release independently. It
+// returns the frame for call chaining. On unpooled frames it is a no-op — the
+// GC owns the buffer.
+func (f *Frame) Retain() *Frame {
+	if f.origin != nil {
+		atomic.AddInt32(&f.refs, 1)
+	}
+	return f
+}
+
+// Release drops one reference; the count reaching zero returns the frame to
+// its pool. On unpooled frames it is a no-op, which is what makes the pooled
+// ownership discipline safe to thread through paths that also carry
+// heap-allocated frames. Releasing more times than the frame was acquired or
+// Retained panics — a silent extra release would recycle a buffer someone
+// still reads.
+func (f *Frame) Release() {
+	if f.origin == nil {
+		return
+	}
+	switch n := atomic.AddInt32(&f.refs, -1); {
+	case n == 0:
+		f.origin.RecycleFrame(f)
+	case n < 0:
+		panic(fmt.Sprintf(
+			"packet: Frame.Release without matching acquire (refs=%d, len=%d): double release, or release of a frame already recycled",
+			n, len(f.Buf)))
+	}
 }
 
 // WireLen returns the frame's wire occupancy in bytes: buffer + FCS +
@@ -203,7 +279,8 @@ func (f *Frame) SetSrcMAC(m MAC) {
 }
 
 // Clone returns a deep copy of the frame, for fan-out paths that must not
-// share buffers.
+// share buffers. The copy is always heap-allocated and unpooled regardless of
+// the receiver's origin; pool.Copy is the allocation-free equivalent.
 func (f *Frame) Clone() *Frame {
 	buf := make([]byte, len(f.Buf))
 	copy(buf, f.Buf)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pool
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package pool
+
+// Under the race detector sync.Pool deliberately drops a quarter of Puts
+// (see sync/pool.go) to shake out lifetime races. Tests that assert a
+// specific hit/steal/reuse outcome retry until a Put survives when this
+// is set.
+const raceEnabled = true

@@ -32,19 +32,29 @@ type TCPBuildOpts struct {
 	PayloadLen     int
 }
 
-// BuildTCP constructs an Ethernet+IPv4+TCP frame with a zero-filled payload
-// of the requested length. The simulator cares about sizes and headers, not
-// payload content, so the payload carries the segment sequence number in its
-// first bytes for debugging and is otherwise zero.
-func BuildTCP(o TCPBuildOpts) (*Frame, error) {
+// TCPFrameLen returns the buffer length a frame built from o occupies.
+func TCPFrameLen(o TCPBuildOpts) (int, error) {
 	if o.PayloadLen < 0 {
-		return nil, fmt.Errorf("packet: negative TCP payload length %d", o.PayloadLen)
+		return 0, fmt.Errorf("packet: negative TCP payload length %d", o.PayloadLen)
+	}
+	return EthHeaderLen + IPv4HeaderLen + TCPHeaderLen + o.PayloadLen, nil
+}
+
+// BuildTCPInto serializes the frame described by o into buf, whose length
+// must be exactly TCPFrameLen(o). buf may be dirty (recycled from a pool):
+// every byte is written, the payload zeroed beyond the embedded sequence
+// number.
+func BuildTCPInto(o TCPBuildOpts, buf []byte) error {
+	want, err := TCPFrameLen(o)
+	if err != nil {
+		return err
+	}
+	if len(buf) != want {
+		return fmt.Errorf("packet: BuildTCPInto buffer is %dB, frame needs %dB", len(buf), want)
 	}
 	if o.TTL == 0 {
 		o.TTL = 64
 	}
-	headers := EthHeaderLen + IPv4HeaderLen + TCPHeaderLen
-	buf := make([]byte, headers+o.PayloadLen)
 	copy(buf[0:6], o.DstMAC[:])
 	copy(buf[6:12], o.SrcMAC[:])
 	binary.BigEndian.PutUint16(buf[12:14], EtherTypeIPv4)
@@ -64,10 +74,32 @@ func BuildTCP(o TCPBuildOpts) (*Frame, error) {
 	t[12] = 5 << 4 // data offset: 5 words
 	t[13] = o.Hdr.Flags
 	binary.BigEndian.PutUint16(t[14:16], o.Hdr.Window)
-	if o.PayloadLen >= 4 {
-		binary.BigEndian.PutUint32(t[TCPHeaderLen:TCPHeaderLen+4], o.Hdr.Seq)
+	binary.BigEndian.PutUint16(t[16:18], 0) // checksum: unset, as in the heap builder
+	binary.BigEndian.PutUint16(t[18:20], 0) // urgent pointer
+	payload := t[TCPHeaderLen:]
+	for i := range payload {
+		payload[i] = 0
 	}
-	return &Frame{Buf: buf, Out: -1}, nil
+	if o.PayloadLen >= 4 {
+		binary.BigEndian.PutUint32(payload[0:4], o.Hdr.Seq)
+	}
+	return nil
+}
+
+// BuildTCP constructs an Ethernet+IPv4+TCP frame with a zero-filled payload
+// of the requested length. The simulator cares about sizes and headers, not
+// payload content, so the payload carries the segment sequence number in its
+// first bytes for debugging and is otherwise zero.
+func BuildTCP(o TCPBuildOpts) (*Frame, error) {
+	n, err := TCPFrameLen(o)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{Buf: make([]byte, n), Out: -1}
+	if err := BuildTCPInto(o, f.Buf); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 // ParseTCP parses the TCP header in payload (the IPv4 payload), returning the
@@ -112,16 +144,28 @@ type ICMPBuildOpts struct {
 	PayloadLen     int
 }
 
-// BuildICMPEcho constructs an Ethernet+IPv4+ICMP echo frame.
-func BuildICMPEcho(o ICMPBuildOpts) (*Frame, error) {
+// ICMPFrameLen returns the buffer length a frame built from o occupies.
+func ICMPFrameLen(o ICMPBuildOpts) (int, error) {
 	if o.PayloadLen < 0 {
-		return nil, fmt.Errorf("packet: negative ICMP payload length %d", o.PayloadLen)
+		return 0, fmt.Errorf("packet: negative ICMP payload length %d", o.PayloadLen)
+	}
+	return EthHeaderLen + IPv4HeaderLen + ICMPEchoHeaderLen + o.PayloadLen, nil
+}
+
+// BuildICMPEchoInto serializes the frame described by o into buf, whose
+// length must be exactly ICMPFrameLen(o). buf may be dirty (recycled from a
+// pool): the payload is zeroed before the ICMP checksum is computed over it.
+func BuildICMPEchoInto(o ICMPBuildOpts, buf []byte) error {
+	want, err := ICMPFrameLen(o)
+	if err != nil {
+		return err
+	}
+	if len(buf) != want {
+		return fmt.Errorf("packet: BuildICMPEchoInto buffer is %dB, frame needs %dB", len(buf), want)
 	}
 	if o.TTL == 0 {
 		o.TTL = 64
 	}
-	headers := EthHeaderLen + IPv4HeaderLen + ICMPEchoHeaderLen
-	buf := make([]byte, headers+o.PayloadLen)
 	copy(buf[0:6], o.DstMAC[:])
 	copy(buf[6:12], o.SrcMAC[:])
 	binary.BigEndian.PutUint16(buf[12:14], EtherTypeIPv4)
@@ -137,9 +181,26 @@ func BuildICMPEcho(o ICMPBuildOpts) (*Frame, error) {
 	ic[1] = 0
 	binary.BigEndian.PutUint16(ic[4:6], o.Echo.ID)
 	binary.BigEndian.PutUint16(ic[6:8], o.Echo.Seq)
+	payload := ic[ICMPEchoHeaderLen:]
+	for i := range payload {
+		payload[i] = 0
+	}
 	binary.BigEndian.PutUint16(ic[2:4], 0)
 	binary.BigEndian.PutUint16(ic[2:4], Checksum(ic))
-	return &Frame{Buf: buf, Out: -1}, nil
+	return nil
+}
+
+// BuildICMPEcho constructs an Ethernet+IPv4+ICMP echo frame.
+func BuildICMPEcho(o ICMPBuildOpts) (*Frame, error) {
+	n, err := ICMPFrameLen(o)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{Buf: make([]byte, n), Out: -1}
+	if err := BuildICMPEchoInto(o, f.Buf); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 // ParseICMPEcho parses an ICMP echo header from an IPv4 payload.

@@ -214,6 +214,7 @@ func (g *LVRMGateway) Arrive(f *packet.Frame, in int) {
 	f.In = in
 	if !g.qa.Inject(f) {
 		g.rxDrops++
+		f.Release() // capture-ring tail drop: the gateway owned the frame
 		return
 	}
 	size := len(f.Buf)

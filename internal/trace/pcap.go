@@ -88,6 +88,15 @@ func ReadPcap(r io.Reader) ([]*packet.Frame, error) {
 	}
 	var frames []*packet.Frame
 	rec := make([]byte, 16)
+	// Buffers and Frame headers come from slabs refilled in bulk, so loading
+	// an N-record trace costs O(N / records-per-slab) allocations instead of
+	// 2N. The three-index slice expression pins each buffer's capacity to its
+	// own bytes: a later append on one frame's Buf can never overwrite its
+	// slab neighbour.
+	var byteSlab []byte
+	var frameSlab []packet.Frame
+	const byteSlabMin = 64 * 1024
+	const frameSlabLen = 64
 	for {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			if errors.Is(err, io.EOF) {
@@ -97,18 +106,30 @@ func ReadPcap(r io.Reader) ([]*packet.Frame, error) {
 		}
 		sec := int64(binary.LittleEndian.Uint32(rec[0:4]))
 		sub := int64(binary.LittleEndian.Uint32(rec[4:8]))
-		incl := binary.LittleEndian.Uint32(rec[8:12])
+		incl := int(binary.LittleEndian.Uint32(rec[8:12]))
 		if incl > 256*1024 {
 			return nil, fmt.Errorf("trace: record %d: absurd capture length %d", len(frames), incl)
 		}
-		buf := make([]byte, incl)
+		if len(byteSlab) < incl {
+			n := byteSlabMin
+			if incl > n {
+				n = incl
+			}
+			byteSlab = make([]byte, n)
+		}
+		buf := byteSlab[:incl:incl]
+		byteSlab = byteSlab[incl:]
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("trace: record %d body: %w", len(frames), err)
 		}
-		frames = append(frames, &packet.Frame{
-			Buf:       buf,
-			Out:       -1,
-			Timestamp: sec*int64(time.Second) + sub*subsecScale,
-		})
+		if len(frameSlab) == 0 {
+			frameSlab = make([]packet.Frame, frameSlabLen)
+		}
+		f := &frameSlab[0]
+		frameSlab = frameSlab[1:]
+		f.Buf = buf
+		f.Out = -1
+		f.Timestamp = sec*int64(time.Second) + sub*subsecScale
+		frames = append(frames, f)
 	}
 }

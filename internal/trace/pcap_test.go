@@ -116,6 +116,48 @@ func TestReadPcapErrors(t *testing.T) {
 	}
 }
 
+func TestReadPcapAllocsBounded(t *testing.T) {
+	const n = 256
+	frames, err := Generate(GenerateOpts{Count: n, WireSize: 128, Flows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, frames); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	allocs := testing.AllocsPerRun(10, func() {
+		got, err := ReadPcap(bytes.NewReader(data))
+		if err != nil || len(got) != n {
+			t.Fatalf("read: %v (%d frames)", err, len(got))
+		}
+	})
+	// The seed allocated a buffer plus a Frame header per record (2n ≈ 512);
+	// slab refills amortize that to a handful of bulk allocations. The bound
+	// leaves room for the frames slice growth, the bufio buffer, and scratch.
+	if allocs > 40 {
+		t.Errorf("ReadPcap of %d records did %.0f allocs, want <= 40", n, allocs)
+	}
+}
+
+func TestReadPcapSlabBuffersIndependent(t *testing.T) {
+	frames, _ := Generate(GenerateOpts{Count: 8, WireSize: 128})
+	var buf bytes.Buffer
+	WritePcap(&buf, frames)
+	back, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffers share a slab; appending past one frame's length must reallocate
+	// rather than overwrite its neighbour's bytes.
+	want := append([]byte(nil), back[1].Buf...)
+	back[0].Buf = append(back[0].Buf, 0xAA, 0xBB, 0xCC, 0xDD)
+	if !bytes.Equal(back[1].Buf, want) {
+		t.Fatal("append to frame 0's buffer overwrote frame 1's slab bytes")
+	}
+}
+
 func TestPcapCarriesParseableFrames(t *testing.T) {
 	frames, _ := Generate(GenerateOpts{Count: 5, Flows: 5})
 	var buf bytes.Buffer

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lvrm/internal/packet"
+	"lvrm/internal/packet/pool"
 	"lvrm/internal/sim"
 )
 
@@ -102,6 +103,10 @@ type UDPSender struct {
 	Poisson bool
 	// Seed feeds the jitter randomness (deterministic replay).
 	Seed uint64
+	// Pool, when non-nil, builds frames into recycled buffers instead of
+	// fresh heap allocations; whoever Emit hands the frame to must Release
+	// it when done.
+	Pool *pool.Pool
 
 	// Emit delivers each generated frame (required): typically the
 	// testbed's ingress link.
@@ -179,12 +184,19 @@ func (s *UDPSender) emitOne() {
 	if s.Flows > 1 {
 		port += uint16(int(s.seq) % s.Flows)
 	}
-	f, err := packet.BuildUDP(packet.UDPBuildOpts{
+	opts := packet.UDPBuildOpts{
 		SrcMAC: s.SrcMAC, DstMAC: s.DstMAC,
 		Src: s.Src, Dst: s.Dst,
 		SrcPort: port, DstPort: s.DstPort,
 		ID: s.seq, WireSize: s.WireSize,
-	})
+	}
+	var f *packet.Frame
+	var err error
+	if s.Pool != nil {
+		f, err = s.Pool.BuildUDP(opts)
+	} else {
+		f, err = packet.BuildUDP(opts)
+	}
 	if err != nil {
 		return // mis-sized configuration; surfaced by Sent staying 0
 	}
