@@ -10,6 +10,13 @@
 //	      [-policy dynamic-fixed:20000] [-queue lockfree] [-burn]
 //	      [-http :8080] [-tracecap 1024] [-udp :9000] [-udp-allow 10.0.0.0/8]
 //	      [-flow-shards 8] [-flow-table 1024] [-frame-pool] [-pool-poison]
+//	      [-drain-timeout 5s]
+//
+// Shutdown (SIGINT, SIGTERM, or -duration elapsing) is a graceful drain: the
+// generator stops, the monitor switches to relay-only mode, and lvrmd waits
+// up to -drain-timeout for every in-flight frame to settle before printing a
+// frame-conservation report. Exit code 0 means a clean drain (every frame
+// accounted); 3 means the deadline passed and the residue was force-released.
 //
 // With -http, lvrmd serves the operator endpoints (see OBSERVABILITY.md):
 //
@@ -28,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"lvrm/internal/alloc"
@@ -42,7 +50,12 @@ import (
 	"lvrm/internal/vr"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body; returning an exit code (instead of calling os.Exit)
+// lets the adapter and runtime defers fire on every path. Codes: 0 clean
+// shutdown, 1 startup failure, 2 bad flags, 3 forced (dirty) shutdown.
+func run() int {
 	var (
 		nVRs     = flag.Int("vrs", 2, "number of hosted virtual routers")
 		rate     = flag.Float64("rate", 50000, "aggregate generated frame rate (fps)")
@@ -60,6 +73,7 @@ func main() {
 		usePool  = flag.Bool("frame-pool", true, "recycle frame buffers through the size-classed pool (zero allocations per frame at steady state); false reverts to per-frame heap allocation")
 		poison   = flag.Bool("pool-poison", false, "fill released pool buffers with a sentinel and panic on use-after-release (debugging; costs a memset per frame)")
 		udpAllow = flag.String("udp-allow", "", "comma-separated source CIDRs/addresses the UDP adapter accepts (empty = accept all)")
+		drainTO  = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown bound: how long to wait for in-flight frames to drain before force-releasing the residue and exiting 3")
 	)
 	flag.Parse()
 
@@ -72,7 +86,7 @@ func main() {
 	case "lockfree":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown queue kind %q\n", *queue)
-		os.Exit(2)
+		return 2
 	}
 
 	// The frame pool: on by default; -frame-pool=false reverts every path to
@@ -91,14 +105,14 @@ func main() {
 		allow, err := netio.ParseAllowList(*udpAllow)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		ua, err := netio.NewUDPAdapterConfig(netio.UDPConfig{
 			Listen: *udpAddr, Depth: 8192, Pool: framePool, Allow: allow,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer ua.Close()
 		fmt.Printf("receiving frames on udp://%s\n", ua.LocalAddr())
@@ -126,7 +140,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	rt := core.NewRuntime(lvrm)
 	rt.BurnCost = *burn
@@ -134,19 +148,19 @@ func main() {
 	routes, err := route.LoadMapFile(strings.NewReader("10.2.0.0/16 if1\n0.0.0.0/0 if0\n"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	for i := 0; i < *nVRs; i++ {
 		prefix := packet.IPv4(10, 1, byte(i), 0)
 		bal, err := balance.NewByName(*balName, uint64(i+1))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		pol, err := alloc.NewByName(*polName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		_, err = lvrm.AddVR(core.VRConfig{
 			Name:      fmt.Sprintf("vr%d", i+1),
@@ -158,7 +172,7 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	rt.Start()
@@ -239,17 +253,125 @@ func main() {
 	}()
 
 	// Drain forwarded frames (the "output NIC"), recycling each buffer back
-	// to the pool; the UDP adapter sends them back to its peer itself.
+	// to the pool; the UDP adapter sends them back to its peer itself. The
+	// stop/done pair lets shutdown join this goroutine and take ownership of
+	// whatever is left on TX.
+	txStop := make(chan struct{})
+	txDone := make(chan struct{})
 	if chanAdapter != nil {
 		go func() {
-			for f := range chanAdapter.TX {
-				f.Release()
+			defer close(txDone)
+			for {
+				select {
+				case f := <-chanAdapter.TX:
+					f.Release()
+				case <-txStop:
+					return
+				}
 			}
 		}()
+	} else {
+		close(txDone)
+	}
+
+	// shutdown is the one exit path: stop the generator, drain the pipeline
+	// within the deadline, settle the adapter channels, and print the
+	// frame-conservation report. Returns the process exit code.
+	shutdown := func() int {
+		close(genStop)
+		start := time.Now()
+		clean := rt.StopWithin(*drainTO)
+		drainTook := time.Since(start)
+
+		// Every goroutine of the runtime is joined; join the TX drainer too,
+		// then this goroutine owns all queues and channels.
+		close(txStop)
+		<-txDone
+		var rxResidue, txResidue int64
+		if chanAdapter != nil {
+			for {
+				select {
+				case f := <-chanAdapter.RX:
+					f.Release()
+					rxResidue++
+					continue
+				case f := <-chanAdapter.TX:
+					f.Release()
+					txResidue++
+					continue
+				default:
+				}
+				break
+			}
+		}
+		// On a forced stop the VRI queues still hold frames: release them
+		// under an explicit count so nothing leaks silently.
+		var forced int64
+		if !clean {
+			for _, v := range lvrm.VRs() {
+				for _, a := range v.VRIs() {
+					for {
+						f, ok := a.Data.In.Dequeue()
+						if !ok {
+							break
+						}
+						f.Release()
+						forced++
+					}
+					for {
+						f, ok := a.Data.Out.Dequeue()
+						if !ok {
+							break
+						}
+						f.Release()
+						forced++
+					}
+				}
+			}
+		}
+
+		st := lvrm.Stats()
+		var inDrops, engDrops, outDrops int64
+		var drain core.DrainStats
+		for _, v := range lvrm.VRs() {
+			inDrops += v.InDrops()
+			d := v.DrainStats()
+			drain.Migrated += d.Migrated
+			drain.Relayed += d.Relayed
+			drain.Dropped += d.Dropped
+			r := v.Retired()
+			engDrops += r.EngineDrops
+			outDrops += r.OutDrops
+			for _, a := range v.VRIs() {
+				engDrops += a.EngineDrops()
+				outDrops += a.OutDrops()
+			}
+		}
+		fmt.Printf("shutdown: received=%d sent=%d send_errors=%d unclassified=%d in_drops=%d engine_drops=%d out_drops=%d drain_migrated=%d drain_dropped=%d vris_retired=%d\n",
+			st.Received, st.Sent, st.SendErrors, st.Unclassified, inDrops,
+			engDrops, outDrops, drain.Migrated, drain.Dropped, st.VRIsRetired)
+		unaccounted := st.Received - (st.Sent + st.SendErrors + st.Unclassified +
+			inDrops + drain.Dropped + engDrops + outDrops + forced)
+		if framePool != nil {
+			ps := framePool.Stats()
+			fmt.Printf("pool: outstanding=%d recycled=%d\n", ps.Outstanding, ps.Recycles)
+		}
+		if !clean {
+			fmt.Fprintf(os.Stderr, "forced shutdown: drain missed the %v deadline; released %d undrained frames\n",
+				*drainTO, forced)
+			return 3
+		}
+		if unaccounted != 0 {
+			fmt.Fprintf(os.Stderr, "forced shutdown: %d frames unaccounted after drain\n", unaccounted)
+			return 3
+		}
+		fmt.Printf("clean shutdown: pipeline drained in %v, every frame accounted\n",
+			drainTook.Round(time.Microsecond))
+		return 0
 	}
 
 	interrupt := make(chan os.Signal, 1)
-	signal.Notify(interrupt, os.Interrupt)
+	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
 	deadline := make(<-chan time.Time)
 	if *duration > 0 {
 		deadline = time.After(*duration)
@@ -270,16 +392,12 @@ func main() {
 				fmt.Printf("  %s: cores=%d rate=%.0ffps", v.Name(), v.Cores(), v.ArrivalRate())
 			}
 			fmt.Println()
-		case <-interrupt:
-			fmt.Println("\ninterrupted")
-			close(genStop)
-			return
+		case sig := <-interrupt:
+			fmt.Printf("\n%v: draining (bounded by -drain-timeout=%v)\n", sig, *drainTO)
+			return shutdown()
 		case <-deadline:
-			close(genStop)
-			st := lvrm.Stats()
-			fmt.Printf("done: received=%d sent=%d unclassified=%d allocations=%d\n",
-				st.Received, st.Sent, st.Unclassified, st.AllocationCount)
-			return
+			fmt.Println("duration elapsed: draining")
+			return shutdown()
 		}
 	}
 }

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lvrm/internal/alloc"
+	"lvrm/internal/obs"
+)
+
+// This file is the VR monitor's core-allocation pass (Figure 3.2): decide
+// per VR whether to grow or shrink, spawn VRIs onto the best free cores, and
+// tear instances down through the lifecycle's drain-then-handoff.
+
+// AllocEvent records one core allocation or deallocation, for the reaction
+// time figures of Experiment 2c.
+type AllocEvent struct {
+	// At is when the decision executed (ns).
+	At int64
+	// VR identifies the VR whose allocation changed.
+	VR int
+	// Grow is true for an allocation, false for a deallocation.
+	Grow bool
+	// Core is the core allocated or released.
+	Core int
+	// Cores is the VR's core count after the event.
+	Cores int
+	// Latency is the modeled reaction time of the reallocation: from the
+	// start of the VR monitor's iteration to the VRI adapter being
+	// created/destroyed.
+	Latency time.Duration
+}
+
+// growVR allocates the best free core and spawns a VRI on it. With
+// AllowSharedLVRMCore, an exhausted machine over-subscribes LVRM's own core
+// instead of failing.
+func (l *LVRM) growVR(v *VR, now int64) (*VRIAdapter, error) {
+	coreID, err := l.allocator.BestCore()
+	shared := false
+	if err != nil {
+		if !l.cfg.AllowSharedLVRMCore {
+			return nil, err
+		}
+		coreID, shared = l.allocator.LVRMCore(), true
+	}
+	if !shared {
+		owner := fmt.Sprintf("%s/%d", v.cfg.Name, v.nextID)
+		if err := l.allocator.Bind(coreID, owner); err != nil {
+			return nil, err
+		}
+	}
+	a, err := v.spawnVRI(coreID, now, l.cfg.QueueKind, l.cfg.DataQueueCap, l.cfg.ControlQueueCap)
+	if err != nil {
+		if !shared {
+			l.allocator.Release(coreID)
+		}
+		return nil, err
+	}
+	l.ins.vriSpawns.Inc()
+	l.ins.tracer.Record(obs.Event{
+		At: now, Kind: obs.KindSpawn, VR: v.ID, VRI: a.ID, Core: a.Core,
+		Note: v.cfg.Name,
+	})
+	if l.OnSpawn != nil {
+		l.OnSpawn(v, a)
+	}
+	return a, nil
+}
+
+// shrinkVR destroys the VRI on the VR's worst bound core and releases the
+// core, via the full lifecycle sequence: detach (Draining, queues closed,
+// off the dispatch list), join the worker through OnDestroy, hand the queue
+// residue to the survivors (drainVRI), release the core, Stopped.
+func (l *LVRM) shrinkVR(v *VR) (*VRIAdapter, error) {
+	worst := -1
+	var worstRank = -1
+	for _, a := range v.vriList() {
+		rank := a.Core
+		if !l.cfg.Topology.SameSocket(a.Core, l.cfg.LVRMCore) {
+			rank += l.cfg.Topology.Total()
+		}
+		if rank > worstRank {
+			worst, worstRank = a.Core, rank
+		}
+	}
+	if worst < 0 {
+		return nil, fmt.Errorf("core: VR %s has no VRIs to shrink", v.cfg.Name)
+	}
+	a, err := v.destroyVRI(worst)
+	if err != nil {
+		return nil, err
+	}
+	// Join the worker before the hand-off: OnDestroy must stop AND wait for
+	// the instance's goroutine, so the monitor becomes the queues' only
+	// remaining consumer (the SPSC/MPSC rings allow exactly one).
+	if l.OnDestroy != nil {
+		l.OnDestroy(v, a)
+	}
+	l.drainVRI(v, a)
+	if worst != l.allocator.LVRMCore() {
+		if err := l.allocator.Release(worst); err != nil {
+			return nil, err
+		}
+	}
+	l.ins.vriDestroys.Inc()
+	l.ins.tracer.Record(obs.Event{
+		At: l.cfg.Clock(), Kind: obs.KindDestroy, VR: v.ID, VRI: a.ID, Core: a.Core,
+		Note: v.cfg.Name,
+	})
+	return a, nil
+}
+
+// MaybeAllocate runs one core-allocation pass if at least AllocPeriod has
+// elapsed since the previous one (Figure 3.2's pacing rule). It returns the
+// allocation events performed.
+func (l *LVRM) MaybeAllocate(now int64) []AllocEvent {
+	if now-l.lastAlloc < int64(l.cfg.AllocPeriod) {
+		return nil
+	}
+	l.lastAlloc = now
+	return l.Allocate(now)
+}
+
+// Allocate runs the VR monitor's allocation pass unconditionally: for each
+// VR, evaluate its policy against the current load snapshot and grow or
+// shrink by at most one core (Figure 3.2's "allocate").
+func (l *LVRM) Allocate(now int64) []AllocEvent {
+	var events []AllocEvent
+	vrs := l.vrList()
+	totalVRIs := 0
+	for _, v := range vrs {
+		totalVRIs += v.Cores()
+	}
+	// Iterating VR monitors and retrieving load estimates costs more with
+	// more VRIs — the effect Experiment 2c measures on reaction latency.
+	iterCost := time.Duration(totalVRIs) * l.cfg.PerVRIMonitorCost
+	for _, v := range vrs {
+		s := alloc.Snapshot{
+			Cores:             v.Cores(),
+			ArrivalRate:       v.arrival.Estimate(),
+			ServiceRatePerVRI: v.ServiceRatePerVRI(),
+			FreeCores:         l.allocator.FreeCount(),
+			MaxCores:          v.cfg.MaxVRIs,
+		}
+		switch v.cfg.Policy.Decide(s) {
+		case alloc.Grow:
+			a, err := l.growVR(v, now)
+			if err != nil {
+				continue // no free core after all: hold
+			}
+			ev := AllocEvent{
+				At: now, VR: v.ID, Grow: true, Core: a.Core, Cores: v.Cores(),
+				Latency: iterCost + l.cfg.SpawnCost,
+			}
+			events = append(events, ev)
+			l.ins.allocGrow.Inc()
+			l.ins.allocReaction.Observe(int64(ev.Latency))
+			l.ins.tracer.Record(obs.Event{
+				At: now, Kind: obs.KindAlloc, VR: v.ID, VRI: a.ID, Core: a.Core,
+				Value: float64(ev.Latency), Note: v.cfg.Name,
+			})
+		case alloc.Shrink:
+			a, err := l.shrinkVR(v)
+			if err != nil {
+				continue
+			}
+			ev := AllocEvent{
+				At: now, VR: v.ID, Grow: false, Core: a.Core, Cores: v.Cores(),
+				Latency: iterCost + l.cfg.DestroyCost,
+			}
+			events = append(events, ev)
+			l.ins.allocShrink.Inc()
+			l.ins.allocReaction.Observe(int64(ev.Latency))
+			l.ins.tracer.Record(obs.Event{
+				At: now, Kind: obs.KindDealloc, VR: v.ID, VRI: a.ID, Core: a.Core,
+				Value: float64(ev.Latency), Note: v.cfg.Name,
+			})
+		}
+	}
+	if len(events) > 0 {
+		l.allocMu.Lock()
+		l.allocEvents = append(l.allocEvents, events...)
+		l.allocMu.Unlock()
+	}
+	return events
+}
+
+// AllocEvents returns a copy of every allocation event since start.
+func (l *LVRM) AllocEvents() []AllocEvent {
+	l.allocMu.Lock()
+	defer l.allocMu.Unlock()
+	out := make([]AllocEvent, len(l.allocEvents))
+	copy(out, l.allocEvents)
+	return out
+}

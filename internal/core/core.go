@@ -19,6 +19,10 @@ import (
 	"lvrm/internal/packet/pool"
 )
 
+// This file is LVRM's construction and configuration surface. The data path
+// lives in dispatch.go, the allocation pass in alloc.go, and the VRI
+// lifecycle (state machine + drain-then-handoff teardown) in lifecycle.go.
+
 // Config configures an LVRM instance.
 type Config struct {
 	// Adapter is the socket adapter (Section 3.1) frames enter and leave
@@ -108,25 +112,6 @@ const (
 	QueueHopCost = 30 * time.Nanosecond
 )
 
-// AllocEvent records one core allocation or deallocation, for the reaction
-// time figures of Experiment 2c.
-type AllocEvent struct {
-	// At is when the decision executed (ns).
-	At int64
-	// VR identifies the VR whose allocation changed.
-	VR int
-	// Grow is true for an allocation, false for a deallocation.
-	Grow bool
-	// Core is the core allocated or released.
-	Core int
-	// Cores is the VR's core count after the event.
-	Cores int
-	// Latency is the modeled reaction time of the reallocation: from the
-	// start of the VR monitor's iteration to the VRI adapter being
-	// created/destroyed.
-	Latency time.Duration
-}
-
 // LVRM is the load-aware virtual router monitor.
 type LVRM struct {
 	cfg       Config
@@ -163,8 +148,13 @@ type LVRM struct {
 	recvBuf  []*packet.Frame
 	relayBuf []*packet.Frame
 
-	// OnSpawn/OnDestroy are called whenever a VRI is created/destroyed;
-	// the live runtime uses them to start and stop worker goroutines.
+	// OnSpawn is called whenever a VRI is created; the live runtime uses it
+	// to start the worker goroutine. OnDestroy is called after a VRI is
+	// detached (Draining, queues closed, off the dispatch list) but BEFORE
+	// its queue residue is drained: the hook must stop AND join whatever is
+	// consuming the instance's queues, because the drain takes over as the
+	// sole consumer. The live runtime joins the worker goroutine here; the
+	// single-threaded testbed just unregisters its virtual server.
 	OnSpawn   func(*VR, *VRIAdapter)
 	OnDestroy func(*VR, *VRIAdapter)
 }
@@ -291,373 +281,6 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// growVR allocates the best free core and spawns a VRI on it. With
-// AllowSharedLVRMCore, an exhausted machine over-subscribes LVRM's own core
-// instead of failing.
-func (l *LVRM) growVR(v *VR, now int64) (*VRIAdapter, error) {
-	coreID, err := l.allocator.BestCore()
-	shared := false
-	if err != nil {
-		if !l.cfg.AllowSharedLVRMCore {
-			return nil, err
-		}
-		coreID, shared = l.allocator.LVRMCore(), true
-	}
-	if !shared {
-		owner := fmt.Sprintf("%s/%d", v.cfg.Name, v.nextID)
-		if err := l.allocator.Bind(coreID, owner); err != nil {
-			return nil, err
-		}
-	}
-	a, err := v.spawnVRI(coreID, now, l.cfg.QueueKind, l.cfg.DataQueueCap, l.cfg.ControlQueueCap)
-	if err != nil {
-		if !shared {
-			l.allocator.Release(coreID)
-		}
-		return nil, err
-	}
-	l.ins.vriSpawns.Inc()
-	l.ins.tracer.Record(obs.Event{
-		At: now, Kind: obs.KindSpawn, VR: v.ID, VRI: a.ID, Core: a.Core,
-		Note: v.cfg.Name,
-	})
-	if l.OnSpawn != nil {
-		l.OnSpawn(v, a)
-	}
-	return a, nil
-}
-
-// shrinkVR destroys the VRI on the VR's worst bound core and releases it.
-func (l *LVRM) shrinkVR(v *VR) (*VRIAdapter, error) {
-	worst := -1
-	var worstRank = -1
-	for _, a := range v.vriList() {
-		rank := a.Core
-		if !l.cfg.Topology.SameSocket(a.Core, l.cfg.LVRMCore) {
-			rank += l.cfg.Topology.Total()
-		}
-		if rank > worstRank {
-			worst, worstRank = a.Core, rank
-		}
-	}
-	if worst < 0 {
-		return nil, fmt.Errorf("core: VR %s has no VRIs to shrink", v.cfg.Name)
-	}
-	a, err := v.destroyVRI(worst)
-	if err != nil {
-		return nil, err
-	}
-	if worst != l.allocator.LVRMCore() {
-		if err := l.allocator.Release(worst); err != nil {
-			return nil, err
-		}
-	}
-	l.ins.vriDestroys.Inc()
-	l.ins.tracer.Record(obs.Event{
-		At: l.cfg.Clock(), Kind: obs.KindDestroy, VR: v.ID, VRI: a.ID, Core: a.Core,
-		Note: v.cfg.Name,
-	})
-	if l.OnDestroy != nil {
-		l.OnDestroy(v, a)
-	}
-	return a, nil
-}
-
-// Classify returns the VR that should process the frame, per the source-IP
-// rule of Chapter 2 (first matching VR wins).
-func (l *LVRM) Classify(f *packet.Frame) (*VR, bool) {
-	for _, v := range l.vrList() {
-		if v.match(f) {
-			return v, true
-		}
-	}
-	return nil, false
-}
-
-// RecvAndDispatch polls the socket adapter for one frame and dispatches it
-// to the owning VR's chosen VRI. It returns whether a frame was received.
-// After dispatching, it runs the core allocation check, matching Figure
-// 3.2's "called upon receipt of a packet after 1s or more from previous
-// core allocation".
-func (l *LVRM) RecvAndDispatch() (received bool) {
-	f, ok := l.cfg.Adapter.Recv()
-	if !ok {
-		return false
-	}
-	l.dispatchFrame(f)
-	return true
-}
-
-// dispatchFrame stamps, classifies and dispatches one captured frame, then
-// runs the paced allocation check — the per-frame half of RecvAndDispatch,
-// shared with the batched receive path so batch size 1 behaves identically.
-func (l *LVRM) dispatchFrame(f *packet.Frame) {
-	now := l.cfg.Clock()
-	f.Timestamp = now
-	l.received.Add(1)
-	if v, ok := l.Classify(f); ok {
-		_ = v.dispatch(f, now) // drops are counted by the VR, which releases f
-	} else {
-		l.unclassified.Add(1)
-		f.Release()
-	}
-	l.MaybeAllocate(now)
-}
-
-// Dispatch stamps, classifies and dispatches one externally captured frame,
-// reporting whether a VR accepted it. Unlike RecvAndDispatch it performs no
-// allocation check — lastAlloc and the allocator stay monitor-owned — so with
-// flow dispatch enabled (Config.FlowShards > 0) any number of ingest
-// goroutines may call it concurrently alongside the monitor loop.
-func (l *LVRM) Dispatch(f *packet.Frame) bool {
-	now := l.cfg.Clock()
-	f.Timestamp = now
-	l.received.Add(1)
-	v, ok := l.Classify(f)
-	if !ok {
-		l.unclassified.Add(1)
-		f.Release()
-		return false
-	}
-	return v.dispatch(f, now) == nil
-}
-
-// RecvDispatchBatch drains up to budget frames (<= 0 = until the adapter is
-// empty) from the socket adapter in Config.RecvBatch-sized bursts (one
-// adapter poll per burst instead of one per frame) and dispatches each. It
-// returns how many frames it received.
-func (l *LVRM) RecvDispatchBatch(budget int) int {
-	total := 0
-	for budget <= 0 || total < budget {
-		want := l.cfg.RecvBatch
-		if budget > 0 {
-			if r := budget - total; want > r {
-				want = r
-			}
-		}
-		buf := l.recvBuf[:want]
-		n := netio.RecvBatch(l.cfg.Adapter, buf)
-		for i := 0; i < n; i++ {
-			f := buf[i]
-			buf[i] = nil
-			l.dispatchFrame(f)
-		}
-		total += n
-		if n < want {
-			break // adapter drained
-		}
-	}
-	return total
-}
-
-// relayScratch returns the relay scratch buffer grown to at least n slots.
-// Monitor goroutine only.
-func (l *LVRM) relayScratch(n int) []*packet.Frame {
-	if cap(l.relayBuf) < n {
-		l.relayBuf = make([]*packet.Frame, n)
-	}
-	return l.relayBuf[:n]
-}
-
-// sendBatch forwards buf[:n] to the socket adapter, counting successes in
-// sent and failures in sendErrs — a frame that dequeued but failed to send
-// is lost, and the loss must be visible in Stats rather than silent. It
-// returns how many frames were sent successfully.
-func (l *LVRM) sendBatch(buf []*packet.Frame, n int) int {
-	ok := 0
-	for i := 0; i < n; i++ {
-		f := buf[i]
-		buf[i] = nil
-		if err := l.cfg.Adapter.Send(f); err != nil {
-			l.sendErrs.Add(1)
-			f.Release() // Send consumes only on success; the loss is ours
-			continue
-		}
-		l.sent.Add(1)
-		ok++
-	}
-	return ok
-}
-
-// RelayOut drains up to budget frames from every VRI's outgoing data queue
-// into the socket adapter and returns how many were sent. Frames move in
-// Config.RelayBatch-sized bursts — one cursor acquire/release per burst on
-// the lock-free rings — and send failures are counted, never silently
-// swallowed.
-func (l *LVRM) RelayOut(budget int) int {
-	sent := 0
-	for _, v := range l.vrList() {
-		for _, a := range v.vriList() {
-			for budget <= 0 || sent < budget {
-				want := l.cfg.RelayBatch
-				if budget > 0 {
-					if r := budget - sent; want > r {
-						want = r
-					}
-				}
-				buf := l.relayScratch(want)
-				n := ipc.DequeueBatch(a.Data.Out, buf)
-				if n == 0 {
-					break
-				}
-				sent += l.sendBatch(buf, n)
-				if n < want {
-					break // queue drained
-				}
-			}
-		}
-	}
-	return sent
-}
-
-// RelayFrom drains up to max frames from the given VRI's outgoing data queue
-// into the socket adapter and returns how many frames were consumed from the
-// queue (sent or lost to a counted send failure).
-func (l *LVRM) RelayFrom(a *VRIAdapter, max int) int {
-	if max < 1 {
-		max = 1
-	}
-	buf := l.relayScratch(max)
-	n := ipc.DequeueBatch(a.Data.Out, buf)
-	if n > 0 {
-		l.sendBatch(buf, n)
-	}
-	return n
-}
-
-// RelayOneFrom drains exactly one frame from the given VRI's outgoing data
-// queue into the socket adapter, reporting whether a frame was consumed. The
-// testbed uses it so each VRI's completions relay that VRI's own output
-// (a global scan would starve later VRIs whenever an earlier one is busy).
-// A frame that dequeues but fails to send still counts as consumed — it is
-// gone from the queue — with the loss recorded in Stats.SendErrors.
-func (l *LVRM) RelayOneFrom(a *VRIAdapter) bool {
-	return l.RelayFrom(a, 1) == 1
-}
-
-// RelayControl moves pending control events from every VRI's outgoing
-// control queue to their destinations' incoming control queues. Events to
-// unknown destinations are dropped and counted.
-func (l *LVRM) RelayControl() int {
-	moved := 0
-	for _, v := range l.vrList() {
-		for _, a := range v.vriList() {
-			for {
-				ev, ok := a.Control.Out.Dequeue()
-				if !ok {
-					break
-				}
-				if l.deliverControl(ev) {
-					moved++
-				} else {
-					l.ctlDropped.Add(1)
-				}
-			}
-		}
-	}
-	return moved
-}
-
-func (l *LVRM) deliverControl(ev *ControlEvent) bool {
-	vrs := l.vrList()
-	if ev.DstVR < 0 || ev.DstVR >= len(vrs) {
-		return false
-	}
-	dst, ok := vrs[ev.DstVR].vriByID(ev.DstVRI)
-	if !ok {
-		return false
-	}
-	if !dst.Control.In.Enqueue(ev) {
-		return false
-	}
-	l.ctlRelayed.Add(1)
-	return true
-}
-
-// MaybeAllocate runs one core-allocation pass if at least AllocPeriod has
-// elapsed since the previous one (Figure 3.2's pacing rule). It returns the
-// allocation events performed.
-func (l *LVRM) MaybeAllocate(now int64) []AllocEvent {
-	if now-l.lastAlloc < int64(l.cfg.AllocPeriod) {
-		return nil
-	}
-	l.lastAlloc = now
-	return l.Allocate(now)
-}
-
-// Allocate runs the VR monitor's allocation pass unconditionally: for each
-// VR, evaluate its policy against the current load snapshot and grow or
-// shrink by at most one core (Figure 3.2's "allocate").
-func (l *LVRM) Allocate(now int64) []AllocEvent {
-	var events []AllocEvent
-	vrs := l.vrList()
-	totalVRIs := 0
-	for _, v := range vrs {
-		totalVRIs += v.Cores()
-	}
-	// Iterating VR monitors and retrieving load estimates costs more with
-	// more VRIs — the effect Experiment 2c measures on reaction latency.
-	iterCost := time.Duration(totalVRIs) * l.cfg.PerVRIMonitorCost
-	for _, v := range vrs {
-		s := alloc.Snapshot{
-			Cores:             v.Cores(),
-			ArrivalRate:       v.arrival.Estimate(),
-			ServiceRatePerVRI: v.ServiceRatePerVRI(),
-			FreeCores:         l.allocator.FreeCount(),
-			MaxCores:          v.cfg.MaxVRIs,
-		}
-		switch v.cfg.Policy.Decide(s) {
-		case alloc.Grow:
-			a, err := l.growVR(v, now)
-			if err != nil {
-				continue // no free core after all: hold
-			}
-			ev := AllocEvent{
-				At: now, VR: v.ID, Grow: true, Core: a.Core, Cores: v.Cores(),
-				Latency: iterCost + l.cfg.SpawnCost,
-			}
-			events = append(events, ev)
-			l.ins.allocGrow.Inc()
-			l.ins.allocReaction.Observe(int64(ev.Latency))
-			l.ins.tracer.Record(obs.Event{
-				At: now, Kind: obs.KindAlloc, VR: v.ID, VRI: a.ID, Core: a.Core,
-				Value: float64(ev.Latency), Note: v.cfg.Name,
-			})
-		case alloc.Shrink:
-			a, err := l.shrinkVR(v)
-			if err != nil {
-				continue
-			}
-			ev := AllocEvent{
-				At: now, VR: v.ID, Grow: false, Core: a.Core, Cores: v.Cores(),
-				Latency: iterCost + l.cfg.DestroyCost,
-			}
-			events = append(events, ev)
-			l.ins.allocShrink.Inc()
-			l.ins.allocReaction.Observe(int64(ev.Latency))
-			l.ins.tracer.Record(obs.Event{
-				At: now, Kind: obs.KindDealloc, VR: v.ID, VRI: a.ID, Core: a.Core,
-				Value: float64(ev.Latency), Note: v.cfg.Name,
-			})
-		}
-	}
-	if len(events) > 0 {
-		l.allocMu.Lock()
-		l.allocEvents = append(l.allocEvents, events...)
-		l.allocMu.Unlock()
-	}
-	return events
-}
-
-// AllocEvents returns a copy of every allocation event since start.
-func (l *LVRM) AllocEvents() []AllocEvent {
-	l.allocMu.Lock()
-	defer l.allocMu.Unlock()
-	out := make([]AllocEvent, len(l.allocEvents))
-	copy(out, l.allocEvents)
-	return out
-}
-
 // Stats summarizes LVRM-level counters.
 type Stats struct {
 	Received        int64 // frames captured from the adapter
@@ -667,6 +290,10 @@ type Stats struct {
 	ControlRelayed  int64
 	ControlDropped  int64
 	VRIsLive        int
+	VRIsRetired     int64 // VRIs destroyed through the drain lifecycle
+	DrainMigrated   int64 // data-in residue handed to surviving VRIs at teardown
+	DrainRelayed    int64 // data-out residue relayed to the adapter at teardown
+	DrainDropped    int64 // teardown residue released with no survivor to take it
 	AllocationCount int
 }
 
@@ -674,8 +301,13 @@ type Stats struct {
 // from any goroutine while the runtime processes traffic.
 func (l *LVRM) Stats() Stats {
 	live := 0
+	var retired, migrated, relayed, dropped int64
 	for _, v := range l.vrList() {
 		live += v.Cores()
+		retired += v.retiredVRIs.Load()
+		migrated += v.drainMigrated.Load()
+		relayed += v.drainRelayed.Load()
+		dropped += v.drainDropped.Load()
 	}
 	l.allocMu.Lock()
 	allocs := len(l.allocEvents)
@@ -688,23 +320,10 @@ func (l *LVRM) Stats() Stats {
 		ControlRelayed:  l.ctlRelayed.Load(),
 		ControlDropped:  l.ctlDropped.Load(),
 		VRIsLive:        live,
+		VRIsRetired:     retired,
+		DrainMigrated:   migrated,
+		DrainRelayed:    relayed,
+		DrainDropped:    dropped,
 		AllocationCount: allocs,
 	}
-}
-
-// PollOnce performs one monitor iteration: relay control, receive+dispatch
-// up to rxBudget frames, relay outgoing frames. It reports whether any work
-// was done, letting callers back off when idle.
-func (l *LVRM) PollOnce(rxBudget int) bool {
-	work := false
-	if l.RelayControl() > 0 {
-		work = true
-	}
-	if l.RecvDispatchBatch(rxBudget) > 0 {
-		work = true
-	}
-	if l.RelayOut(0) > 0 {
-		work = true
-	}
-	return work
 }

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"lvrm/internal/ipc"
+	"lvrm/internal/netio"
+	"lvrm/internal/packet"
+)
+
+// This file is LVRM's data path: classify captured frames to a VR, dispatch
+// them into the VR's VRIs, and relay the VRIs' output (data and control)
+// back through the socket adapter. Everything here runs on the monitor
+// goroutine, except Dispatch, which is safe for concurrent ingest once flow
+// dispatch is enabled.
+
+// Classify returns the VR that should process the frame, per the source-IP
+// rule of Chapter 2 (first matching VR wins).
+func (l *LVRM) Classify(f *packet.Frame) (*VR, bool) {
+	for _, v := range l.vrList() {
+		if v.match(f) {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// RecvAndDispatch polls the socket adapter for one frame and dispatches it
+// to the owning VR's chosen VRI. It returns whether a frame was received.
+// After dispatching, it runs the core allocation check, matching Figure
+// 3.2's "called upon receipt of a packet after 1s or more from previous
+// core allocation".
+func (l *LVRM) RecvAndDispatch() (received bool) {
+	f, ok := l.cfg.Adapter.Recv()
+	if !ok {
+		return false
+	}
+	l.dispatchFrame(f)
+	return true
+}
+
+// dispatchFrame stamps, classifies and dispatches one captured frame, then
+// runs the paced allocation check — the per-frame half of RecvAndDispatch,
+// shared with the batched receive path so batch size 1 behaves identically.
+func (l *LVRM) dispatchFrame(f *packet.Frame) {
+	now := l.cfg.Clock()
+	f.Timestamp = now
+	l.received.Add(1)
+	if v, ok := l.Classify(f); ok {
+		_ = v.dispatch(f, now) // drops are counted by the VR, which releases f
+	} else {
+		l.unclassified.Add(1)
+		f.Release()
+	}
+	l.MaybeAllocate(now)
+}
+
+// Dispatch stamps, classifies and dispatches one externally captured frame,
+// reporting whether a VR accepted it. Unlike RecvAndDispatch it performs no
+// allocation check — lastAlloc and the allocator stay monitor-owned — so with
+// flow dispatch enabled (Config.FlowShards > 0) any number of ingest
+// goroutines may call it concurrently alongside the monitor loop.
+func (l *LVRM) Dispatch(f *packet.Frame) bool {
+	now := l.cfg.Clock()
+	f.Timestamp = now
+	l.received.Add(1)
+	v, ok := l.Classify(f)
+	if !ok {
+		l.unclassified.Add(1)
+		f.Release()
+		return false
+	}
+	return v.dispatch(f, now) == nil
+}
+
+// RecvDispatchBatch drains up to budget frames (<= 0 = until the adapter is
+// empty) from the socket adapter in Config.RecvBatch-sized bursts (one
+// adapter poll per burst instead of one per frame) and dispatches each. It
+// returns how many frames it received.
+func (l *LVRM) RecvDispatchBatch(budget int) int {
+	total := 0
+	for budget <= 0 || total < budget {
+		want := l.cfg.RecvBatch
+		if budget > 0 {
+			if r := budget - total; want > r {
+				want = r
+			}
+		}
+		buf := l.recvBuf[:want]
+		n := netio.RecvBatch(l.cfg.Adapter, buf)
+		for i := 0; i < n; i++ {
+			f := buf[i]
+			buf[i] = nil
+			l.dispatchFrame(f)
+		}
+		total += n
+		if n < want {
+			break // adapter drained
+		}
+	}
+	return total
+}
+
+// relayScratch returns the relay scratch buffer grown to at least n slots.
+// Monitor goroutine only.
+func (l *LVRM) relayScratch(n int) []*packet.Frame {
+	if cap(l.relayBuf) < n {
+		l.relayBuf = make([]*packet.Frame, n)
+	}
+	return l.relayBuf[:n]
+}
+
+// sendBatch forwards buf[:n] to the socket adapter, counting successes in
+// sent and failures in sendErrs — a frame that dequeued but failed to send
+// is lost, and the loss must be visible in Stats rather than silent. It
+// returns how many frames were sent successfully.
+func (l *LVRM) sendBatch(buf []*packet.Frame, n int) int {
+	ok := 0
+	for i := 0; i < n; i++ {
+		f := buf[i]
+		buf[i] = nil
+		if err := l.cfg.Adapter.Send(f); err != nil {
+			l.sendErrs.Add(1)
+			f.Release() // Send consumes only on success; the loss is ours
+			continue
+		}
+		l.sent.Add(1)
+		ok++
+	}
+	return ok
+}
+
+// RelayOut drains up to budget frames from every VRI's outgoing data queue
+// into the socket adapter and returns how many were sent. Frames move in
+// Config.RelayBatch-sized bursts — one cursor acquire/release per burst on
+// the lock-free rings — and send failures are counted, never silently
+// swallowed.
+func (l *LVRM) RelayOut(budget int) int {
+	sent := 0
+	for _, v := range l.vrList() {
+		for _, a := range v.vriList() {
+			for budget <= 0 || sent < budget {
+				want := l.cfg.RelayBatch
+				if budget > 0 {
+					if r := budget - sent; want > r {
+						want = r
+					}
+				}
+				buf := l.relayScratch(want)
+				n := ipc.DequeueBatch(a.Data.Out, buf)
+				if n == 0 {
+					break
+				}
+				sent += l.sendBatch(buf, n)
+				if n < want {
+					break // queue drained
+				}
+			}
+		}
+	}
+	return sent
+}
+
+// RelayFrom drains up to max frames from the given VRI's outgoing data queue
+// into the socket adapter and returns how many frames were consumed from the
+// queue (sent or lost to a counted send failure).
+func (l *LVRM) RelayFrom(a *VRIAdapter, max int) int {
+	if max < 1 {
+		max = 1
+	}
+	buf := l.relayScratch(max)
+	n := ipc.DequeueBatch(a.Data.Out, buf)
+	if n > 0 {
+		l.sendBatch(buf, n)
+	}
+	return n
+}
+
+// RelayOneFrom drains exactly one frame from the given VRI's outgoing data
+// queue into the socket adapter, reporting whether a frame was consumed. The
+// testbed uses it so each VRI's completions relay that VRI's own output
+// (a global scan would starve later VRIs whenever an earlier one is busy).
+// A frame that dequeues but fails to send still counts as consumed — it is
+// gone from the queue — with the loss recorded in Stats.SendErrors.
+func (l *LVRM) RelayOneFrom(a *VRIAdapter) bool {
+	return l.RelayFrom(a, 1) == 1
+}
+
+// RelayControl moves pending control events from every VRI's outgoing
+// control queue to their destinations' incoming control queues. Events to
+// unknown destinations are dropped and counted.
+func (l *LVRM) RelayControl() int {
+	moved := 0
+	for _, v := range l.vrList() {
+		for _, a := range v.vriList() {
+			for {
+				ev, ok := a.Control.Out.Dequeue()
+				if !ok {
+					break
+				}
+				if l.deliverControl(ev) {
+					moved++
+				} else {
+					l.ctlDropped.Add(1)
+				}
+			}
+		}
+	}
+	return moved
+}
+
+func (l *LVRM) deliverControl(ev *ControlEvent) bool {
+	vrs := l.vrList()
+	if ev.DstVR < 0 || ev.DstVR >= len(vrs) {
+		return false
+	}
+	dst, ok := vrs[ev.DstVR].vriByID(ev.DstVRI)
+	if !ok {
+		return false
+	}
+	if !dst.Control.In.Enqueue(ev) {
+		return false
+	}
+	l.ctlRelayed.Add(1)
+	return true
+}
+
+// PollOnce performs one monitor iteration: relay control, receive+dispatch
+// up to rxBudget frames, relay outgoing frames. It reports whether any work
+// was done, letting callers back off when idle.
+func (l *LVRM) PollOnce(rxBudget int) bool {
+	work := false
+	if l.RelayControl() > 0 {
+		work = true
+	}
+	if l.RecvDispatchBatch(rxBudget) > 0 {
+		work = true
+	}
+	if l.RelayOut(0) > 0 {
+		work = true
+	}
+	return work
+}
+
+// DrainPollOnce performs one relay-only monitor iteration — control first,
+// then outgoing data, with no ingest and no allocation pass. The graceful
+// shutdown path (Runtime.StopWithin) runs this instead of PollOnce so the
+// pipeline empties monotonically: the VRIs keep consuming their queued
+// frames while nothing new is admitted. It reports whether any work was
+// done.
+func (l *LVRM) DrainPollOnce() bool {
+	work := false
+	if l.RelayControl() > 0 {
+		work = true
+	}
+	if l.RelayOut(0) > 0 {
+		work = true
+	}
+	return work
+}

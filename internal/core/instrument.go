@@ -28,6 +28,7 @@ type instruments struct {
 	allocReaction *obs.Histogram
 	vriSpawns     *obs.Counter
 	vriDestroys   *obs.Counter
+	drainDur      *obs.Histogram
 
 	// Live runtime loop health.
 	monitorPolls *obs.Counter
@@ -56,6 +57,8 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 		"VRI adapters created (initial spawns plus allocation growth).")
 	l.ins.vriDestroys = reg.Counter("lvrm_vri_destroy_total",
 		"VRI adapters destroyed by allocation shrink.")
+	l.ins.drainDur = reg.Histogram("lvrm_drain_duration_nanoseconds",
+		"Wall time of one VRI teardown's drain-then-handoff (detach to Stopped).", nil)
 	l.ins.monitorPolls = reg.Counter("lvrm_monitor_polls_total",
 		"Monitor loop iterations in the live runtime.")
 	l.ins.monitorIdle = reg.Counter("lvrm_monitor_idle_total",
@@ -129,8 +132,57 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 		obs.TypeGauge, func(v *VR) float64 { return v.ServiceRatePerVRI() })
 	perVR("lvrm_vr_dispatched_total", "Frames dispatched into the VR's VRIs.",
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.dispatched.Load()) })
-	perVR("lvrm_vr_in_drops_total", "Frames lost to full VRI input queues.",
+	perVR("lvrm_vr_in_drops_total", "Frames lost to full (or closing) VRI input queues.",
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.inDrops.Load()) })
+
+	// VRI lifecycle states (lifecycle.go). Running/draining are instantaneous
+	// counts over the live list; stopped is the cumulative retired total, so
+	// churn is visible even though stopped adapters leave the list.
+	reg.Collect("lvrm_vri_state",
+		"VRIs per lifecycle state (running/draining are live counts, stopped is cumulative).",
+		obs.TypeGauge, func(emit func(obs.Sample)) {
+			for _, v := range l.vrList() {
+				running, draining := 0, 0
+				for _, a := range v.vriList() {
+					switch a.State() {
+					case VRIDraining:
+						draining++
+					default:
+						running++
+					}
+				}
+				states := []struct {
+					name string
+					n    float64
+				}{
+					{VRIRunning.String(), float64(running)},
+					{VRIDraining.String(), float64(draining)},
+					{VRIStopped.String(), float64(v.retiredVRIs.Load())},
+				}
+				for _, s := range states {
+					emit(obs.Sample{
+						Labels: []obs.Label{obs.L("vr", v.cfg.Name), obs.L("state", s.name)},
+						Value:  s.n,
+					})
+				}
+			}
+		})
+
+	// Drain accounting: where destroyed VRIs' queue residue went. Every
+	// teardown frame appears in exactly one of migrated/relayed/dropped, so
+	// the operator can prove conservation from the scrape alone.
+	perVR("lvrm_drain_migrated_total", "Data-in residue handed to surviving VRIs at teardown.",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.drainMigrated.Load()) })
+	perVR("lvrm_drain_relayed_total", "Data-out residue relayed to the socket adapter at teardown.",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.drainRelayed.Load()) })
+	perVR("lvrm_drain_dropped_total", "Teardown residue released because no survivor could take it.",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.drainDropped.Load()) })
+	perVR("lvrm_drain_ctl_moved_total", "Control-out residue delivered to its destinations at teardown.",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.drainCtlMoved.Load()) })
+	perVR("lvrm_drain_ctl_dropped_total", "Control residue dropped at teardown (addressed to the dead VRI or undeliverable).",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.drainCtlDropped.Load()) })
+	perVR("lvrm_drain_pins_total", "Flow-table pins eagerly re-pinned or unpinned at teardown.",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.drainPins.Load()) })
 
 	// Flow-affinity table outcomes and occupancy. Registered unconditionally
 	// but emitting only for VRs with flow dispatch enabled, so the families
@@ -158,6 +210,8 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 		func(s flow.Stats) int64 { return s.Rebalances })
 	flowStat("lvrm_flow_evictions_total", "Flows evicted from a full shard probe window (stalest first).",
 		func(s flow.Stats) int64 { return s.Evictions })
+	flowStat("lvrm_flow_unpinned_total", "Pins deleted by the eager teardown sweep with no survivor to take the flow.",
+		func(s flow.Stats) int64 { return s.Unpinned })
 	reg.Collect("lvrm_flow_shard_occupancy",
 		"Pinned flows per affinity-table shard.", obs.TypeGauge,
 		func(emit func(obs.Sample)) {
@@ -282,7 +336,7 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 			obs.TypeCounter, func(s pool.Stats) int64 { return s.Steals })
 		poolStat("lvrm_pool_recycles_total", "Frames returned to the pool by the final Release.",
 			obs.TypeCounter, func(s pool.Stats) int64 { return s.Recycles })
-		poolStat("lvrm_pool_outstanding", "Pooled frames currently held by the pipeline (gets minus recycles; drifts up if frames leak to VRI teardown).",
+		poolStat("lvrm_pool_outstanding", "Pooled frames currently held by the pipeline (gets minus recycles). Returns to zero at quiesce: VRI teardown hands queued frames off or releases them under a drain counter, so a persistent nonzero value is a leak bug.",
 			obs.TypeGauge, func(s pool.Stats) int64 { return s.Outstanding })
 	}
 

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,12 +29,25 @@ type Runtime struct {
 	// demonstrate load-aware allocation live).
 	BurnCost bool
 
+	// draining flips the monitor loop into relay-only mode during
+	// StopWithin: no ingest, no allocation pass, so the pipeline empties
+	// monotonically while the workers keep consuming.
+	draining atomic.Bool
+
 	mu       sync.Mutex
-	stops    map[*VRIAdapter]chan struct{}
+	workers  map[*VRIAdapter]vriWorker
 	stopped  chan struct{}
 	wg       sync.WaitGroup
 	started  bool
 	stopping bool
+}
+
+// vriWorker tracks one VRI goroutine: stop asks it to exit, done closes when
+// it has. The done channel is what lets teardown JOIN the worker before the
+// monitor drains the instance's queues — the rings allow only one consumer.
+type vriWorker struct {
+	stop chan struct{}
+	done chan struct{}
 }
 
 // NewRuntime wraps an LVRM instance. It installs spawn/destroy hooks, so it
@@ -42,7 +56,7 @@ type Runtime struct {
 func NewRuntime(l *LVRM) *Runtime {
 	r := &Runtime{
 		lvrm:    l,
-		stops:   make(map[*VRIAdapter]chan struct{}),
+		workers: make(map[*VRIAdapter]vriWorker),
 		stopped: make(chan struct{}),
 	}
 	l.OnSpawn = func(v *VR, a *VRIAdapter) { r.startVRI(v, a) }
@@ -78,20 +92,21 @@ func (r *Runtime) Start() {
 	go r.monitorLoop(stopped)
 }
 
-// Stop halts the monitor and all VRI goroutines and waits for them. The
-// runtime can be started again afterwards; Stop on a stopped runtime is a
-// no-op.
+// Stop halts the monitor and all VRI goroutines and waits for them. It does
+// not drain: frames still queued stay queued (the VRIs remain Running, so a
+// later Start resumes them). Use StopWithin for a graceful drain. Stop on a
+// stopped runtime — or concurrently with another Stop — is a no-op.
 func (r *Runtime) Stop() {
 	r.mu.Lock()
-	if !r.started {
+	if !r.started || r.stopping {
 		r.mu.Unlock()
 		return
 	}
 	r.stopping = true
 	close(r.stopped)
-	for a, ch := range r.stops {
-		close(ch)
-		delete(r.stops, a)
+	for a, w := range r.workers {
+		close(w.stop)
+		delete(r.workers, a)
 	}
 	r.mu.Unlock()
 	// Wait outside the lock: the monitor goroutine's allocation pass can
@@ -103,8 +118,95 @@ func (r *Runtime) Stop() {
 	r.mu.Unlock()
 }
 
+// StopWithin gracefully drains the pipeline and then stops the runtime,
+// bounded by the deadline d. It reports whether the drain completed cleanly:
+// true means every VRI queue (data and control, both directions) was
+// observed empty — no frame was abandoned in flight.
+//
+// The sequence: flip the monitor to relay-only mode (ingest stops, workers
+// keep consuming), poll until the queues quiesce or the deadline passes,
+// halt all goroutines, and — on the clean path — run one final
+// single-threaded sweep to settle anything that was mid-step when the
+// monitor halted. The VRIs stay Running throughout, so Start can resume the
+// runtime afterwards. On timeout the residue stays queued, and the caller
+// decides (lvrmd force-releases it and exits non-zero).
+func (r *Runtime) StopWithin(d time.Duration) bool {
+	r.mu.Lock()
+	if !r.started || r.stopping {
+		r.mu.Unlock()
+		return true // nothing is flowing; trivially clean
+	}
+	r.mu.Unlock()
+
+	r.draining.Store(true)
+	deadline := time.Now().Add(d)
+	clean := false
+	for {
+		if r.quiesced() {
+			clean = true
+			break
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	r.Stop()
+	r.draining.Store(false)
+	if !clean {
+		return false
+	}
+	// Post-stop settle: every goroutine is joined, so this caller owns all
+	// queues. A worker that was mid-step when quiesced() sampled the queues
+	// may have published one last output after the monitor's final relay
+	// pass — sweep until nothing moves, then re-judge.
+	for r.sweepOnce() {
+	}
+	return r.quiesced()
+}
+
+// quiesced reports whether every VRI queue (data and control, both
+// directions) is empty. Advisory under concurrency — StopWithin re-checks
+// after the goroutines are joined, when the answer is exact.
+func (r *Runtime) quiesced() bool {
+	for _, v := range r.lvrm.VRs() {
+		for _, a := range v.VRIs() {
+			if a.Data.In.Len() != 0 || a.Data.Out.Len() != 0 ||
+				a.Control.In.Len() != 0 || a.Control.Out.Len() != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sweepOnce single-threadedly steps every VRI and relays the results once,
+// reporting whether any work was done. Only safe after Stop has joined all
+// goroutines: the caller is then the sole producer and consumer everywhere.
+func (r *Runtime) sweepOnce() bool {
+	work := false
+	l := r.lvrm
+	for _, v := range l.VRs() {
+		for _, a := range v.VRIs() {
+			onControl := func(ev *ControlEvent) {
+				if r.ControlHandler != nil {
+					r.ControlHandler(v, a, ev)
+				}
+			}
+			if res := a.StepBatch(l.cfg.Clock(), l.cfg.VRIBatch, onControl); res.Did() {
+				work = true
+			}
+		}
+	}
+	if l.DrainPollOnce() {
+		work = true
+	}
+	return work
+}
+
 // monitorLoop is the LVRM process: poll the socket adapter, dispatch,
-// relay, and run the periodic allocation pass.
+// relay, and run the periodic allocation pass. While draining it relays
+// only — nothing new is admitted and the allocator holds still.
 func (r *Runtime) monitorLoop(stopped chan struct{}) {
 	defer r.wg.Done()
 	idle := 0
@@ -115,13 +217,20 @@ func (r *Runtime) monitorLoop(stopped chan struct{}) {
 		default:
 		}
 		r.lvrm.ins.monitorPolls.Inc()
-		if r.lvrm.PollOnce(64) {
+		if r.draining.Load() {
+			if r.lvrm.DrainPollOnce() {
+				idle = 0
+				continue
+			}
+		} else if r.lvrm.PollOnce(64) {
 			idle = 0
 			continue
+		} else {
+			// Allocation must still run while traffic is quiet so that idle
+			// VRs give their cores back — but never during a drain, which
+			// must not spawn or destroy instances under the shutdown.
+			r.lvrm.MaybeAllocate(r.lvrm.cfg.Clock())
 		}
-		// Allocation must still run while traffic is quiet so that idle
-		// VRs give their cores back.
-		r.lvrm.MaybeAllocate(r.lvrm.cfg.Clock())
 		r.lvrm.ins.monitorIdle.Inc()
 		idle++
 		if idle > 64 {
@@ -139,31 +248,42 @@ func (r *Runtime) startVRI(v *VR, a *VRIAdapter) {
 	if !r.started {
 		return // Start will launch it
 	}
-	if _, dup := r.stops[a]; dup {
+	if _, dup := r.workers[a]; dup {
 		return
 	}
-	stop := make(chan struct{})
-	r.stops[a] = stop
+	w := vriWorker{stop: make(chan struct{}), done: make(chan struct{})}
+	r.workers[a] = w
 	r.wg.Add(1)
-	go r.vriLoop(v, a, stop, r.stopped)
+	go r.vriLoop(v, a, w, r.stopped)
 }
 
-// stopVRI signals a VRI goroutine to exit.
+// stopVRI signals a VRI goroutine to exit and JOINS it. Called as the
+// OnDestroy hook, after the instance is detached but before its residue is
+// drained: when stopVRI returns, the monitor is the instance's only
+// remaining consumer, which is what makes the drain's dequeues legal on the
+// single-consumer rings. The wait happens outside r.mu so the exiting worker
+// never deadlocks against a concurrent start/stop.
 func (r *Runtime) stopVRI(a *VRIAdapter) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if ch, ok := r.stops[a]; ok {
-		close(ch)
-		delete(r.stops, a)
+	w, ok := r.workers[a]
+	if ok {
+		delete(r.workers, a)
 	}
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	close(w.stop)
+	<-w.done
 }
 
 // vriLoop is one VRI process: drain control events first, then data frames.
 // With Config.VRIBatch > 1 each wakeup runs StepBatch, amortizing one cursor
 // publication per batch on the SPSC rings; at 1 it keeps the seed's exact
 // one-item-per-step semantics.
-func (r *Runtime) vriLoop(v *VR, a *VRIAdapter, stop, stopped chan struct{}) {
+func (r *Runtime) vriLoop(v *VR, a *VRIAdapter, w vriWorker, stopped chan struct{}) {
 	defer r.wg.Done()
+	defer close(w.done)
 	onControl := func(ev *ControlEvent) {
 		if r.ControlHandler != nil {
 			r.ControlHandler(v, a, ev)
@@ -173,7 +293,7 @@ func (r *Runtime) vriLoop(v *VR, a *VRIAdapter, stop, stopped chan struct{}) {
 	idle := 0
 	for {
 		select {
-		case <-stop:
+		case <-w.stop:
 			return
 		case <-stopped:
 			return

@@ -55,13 +55,20 @@ type VRStatus struct {
 	// DispatchWait summarizes the dispatch-to-dequeue wait histogram
 	// (zero-valued when observability is disabled).
 	DispatchWait LatencySummary `json:"dispatch_wait_ns"`
-	VRIs         []VRIStatus    `json:"vris"`
+	// Drain is the VR's cumulative teardown accounting: where destroyed
+	// VRIs' queue residue went.
+	Drain DrainStats `json:"drain"`
+	// Retired sums the counters of VRIs this VR has destroyed, so totals
+	// over "all VRIs ever" stay visible after the adapters are gone.
+	Retired RetiredStats `json:"retired"`
+	VRIs    []VRIStatus  `json:"vris"`
 }
 
 // VRIStatus snapshots one VR instance.
 type VRIStatus struct {
 	ID              int     `json:"id"`
 	Core            int     `json:"core"`
+	State           string  `json:"state"`
 	Processed       int64   `json:"processed"`
 	EngineDrops     int64   `json:"engine_drops"`
 	OutDrops        int64   `json:"out_drops"`
@@ -93,11 +100,14 @@ func (l *LVRM) Status() Status {
 			Balancer:            v.Balancer().Name(),
 			QueueDepthHighWater: v.depthHWM.Value(),
 			DispatchWait:        summarize(v.waitHist),
+			Drain:               v.DrainStats(),
+			Retired:             v.Retired(),
 		}
 		for _, a := range v.VRIs() {
 			vs.VRIs = append(vs.VRIs, VRIStatus{
 				ID:              a.ID,
 				Core:            a.Core,
+				State:           a.State().String(),
 				Processed:       a.Processed(),
 				EngineDrops:     a.EngineDrops(),
 				OutDrops:        a.OutDrops(),

@@ -70,7 +70,25 @@ type VR struct {
 	flows *flow.Table
 
 	dispatched atomic.Int64
-	inDrops    atomic.Int64 // frames lost to full VRI input queues
+	inDrops    atomic.Int64 // frames lost to full (or closing) VRI input queues
+
+	// Drain accounting: where destroyed VRIs' queue residue went, summed
+	// over every teardown (see lifecycle.go's DrainStats).
+	drainMigrated   atomic.Int64
+	drainRelayed    atomic.Int64
+	drainDropped    atomic.Int64
+	drainCtlMoved   atomic.Int64
+	drainCtlDropped atomic.Int64
+	drainPins       atomic.Int64
+
+	// Retired totals: destroyed VRIs' counters folded in at drain time, so
+	// conservation sums over "all VRIs ever" stay computable from live
+	// state after the adapters are dropped from the list.
+	retiredVRIs      atomic.Int64
+	retiredProcessed atomic.Int64
+	retiredEngDrops  atomic.Int64
+	retiredOutDrops  atomic.Int64
+	retiredCtl       atomic.Int64
 
 	// Observability handles, wired by LVRM at AddVR; all nil-safe.
 	depthHWM *obs.Gauge     // high-water mark of any VRI's input queue
@@ -367,7 +385,9 @@ func (v *VR) spawnVRI(core int, now int64, queueKind ipc.Kind, dataCap, ctlCap i
 	}
 	a.waitHist = v.waitHist
 	a.loadFn = a.Load // bound once; dispatch reuses it allocation-free
-	a.state.Store(int32(VRIRunning))
+	// Starting→Running before the COW insert: the instance is never visible
+	// to dispatch in any state but Running.
+	a.markRunning()
 	v.mu.Lock()
 	v.nextID++
 	cur := v.vriList()
@@ -384,29 +404,3 @@ func (v *VR) spawnVRI(core int, now int64, queueKind ipc.Kind, dataCap, ctlCap i
 	return a, nil
 }
 
-// destroyVRI removes the VRI bound to core (Figure 3.2's "destroy VRI
-// adapter"): mark it stopped and drop it from the list. Frames still in its
-// queues are lost, as when the paper kill()s the process — pooled frames
-// among them leak to the GC (the pool's Outstanding gauge drifts up by that
-// many), which is safe: the buffers are simply never recycled.
-func (v *VR) destroyVRI(core int) (*VRIAdapter, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cur := v.vriList()
-	for i, a := range cur {
-		if a.Core == core {
-			a.state.Store(int32(VRIStopped))
-			next := make([]*VRIAdapter, 0, len(cur)-1)
-			next = append(next, cur[:i]...)
-			next = append(next, cur[i+1:]...)
-			v.vris.Store(&next)
-			if v.flows != nil {
-				// Flows pinned to the dead VRI lazily re-balance on their
-				// next frame; teardown never sweeps the table.
-				v.flows.BumpEpoch()
-			}
-			return a, nil
-		}
-	}
-	return nil, fmt.Errorf("core: VR %s has no VRI on core %d", v.cfg.Name, core)
-}

@@ -44,16 +44,6 @@ type ControlEvent struct {
 	SentAt int64
 }
 
-// VRIState describes a VRI's lifecycle.
-type VRIState int
-
-const (
-	// VRIRunning means the VRI processes frames.
-	VRIRunning VRIState = iota
-	// VRIStopped means the VRI was destroyed (core deallocated).
-	VRIStopped
-)
-
 // VRIAdapter is the per-VRI state LVRM keeps (Section 3.4): the queue pairs
 // that attach the VRI to LVRM, the load estimator it reports to the VRI
 // monitor, and the engine that does the packet processing. In the paper a
@@ -89,8 +79,9 @@ type VRIAdapter struct {
 	// the estimate-freshness ablation (experiment "a2"); leave false.
 	FreezeLoadOnRead bool
 
-	state atomic.Int32 // VRIState; atomic because the live runtime's
-	// VRI goroutine polls it while the monitor goroutine stops the VRI
+	// state is the VRIState machine (see lifecycle.go); atomic because the
+	// live runtime's VRI goroutine polls it while the monitor drains it.
+	state atomic.Int32
 	processed  atomic.Int64
 	engDrops   atomic.Int64
 	outDrops   atomic.Int64

@@ -90,6 +90,7 @@ type Stats struct {
 	Refreshes  int64
 	Rebalances int64
 	Evictions  int64
+	Unpinned   int64
 }
 
 // Table is the sharded flow-affinity map. All methods are safe for
@@ -104,6 +105,7 @@ type Table struct {
 	refreshes  atomic.Int64
 	rebalances atomic.Int64
 	evictions  atomic.Int64
+	unpinned   atomic.Int64
 }
 
 // NewTable builds a table with the given shard count and per-shard slot
@@ -212,6 +214,47 @@ func (t *Table) Assign(key uint64, now int64, keep func(vri int) bool, pick func
 	return vri, Miss
 }
 
+// Evict sweeps every shard and removes or re-pins all flows assigned to the
+// given VRI. It is the eager counterpart of the lazy epoch re-validation:
+// VRI teardown calls it after the dying instance's queue is closed, so no
+// later Assign can hand a frame to a VRI that will never service it.
+//
+// For each pin on vri, repick() chooses a surviving VRI while the shard lock
+// is held (keep it cheap). A non-negative result re-pins the flow there,
+// stamped with now and counted as a rebalance; a negative result deletes the
+// pin, counted in Stats.Unpinned, and the flow re-enters through the miss
+// path on its next frame. Evict returns how many pins it touched.
+func (t *Table) Evict(vri int, now int64, repick func() int) int {
+	touched := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		epoch := s.epoch.Load()
+		for idx := range s.keys {
+			if s.keys[idx] == 0 || int(s.vris[idx]) != vri {
+				continue
+			}
+			touched++
+			next := repick()
+			if next >= 0 && next != vri {
+				s.vris[idx] = int32(next)
+				s.epochs[idx] = epoch
+				s.stamps[idx] = now
+				t.rebalances.Add(1)
+				continue
+			}
+			s.keys[idx] = 0
+			s.vris[idx] = 0
+			s.epochs[idx] = 0
+			s.stamps[idx] = 0
+			s.n--
+			t.unpinned.Add(1)
+		}
+		s.mu.Unlock()
+	}
+	return touched
+}
+
 // BumpEpoch marks every pin in the table stale. Called when a VRI is spawned
 // or destroyed: existing flows re-validate lazily on their next frame instead
 // of the lifecycle event sweeping the table.
@@ -229,6 +272,7 @@ func (t *Table) Stats() Stats {
 		Refreshes:  t.refreshes.Load(),
 		Rebalances: t.rebalances.Load(),
 		Evictions:  t.evictions.Load(),
+		Unpinned:   t.unpinned.Load(),
 	}
 }
 

@@ -215,3 +215,108 @@ func TestKeyOfStableAndNonzero(t *testing.T) {
 		t.Fatal("fallback key ignores length")
 	}
 }
+
+func TestEvictRepinsToSurvivor(t *testing.T) {
+	tb := NewTable(2, 64)
+	// Pin ten flows to VRI 5 and five flows to VRI 2.
+	for k := uint64(1); k <= 10; k++ {
+		tb.Assign(k<<32|k, 1, keepAlways, pickConst(5))
+	}
+	for k := uint64(11); k <= 15; k++ {
+		tb.Assign(k<<32|k, 1, keepAlways, pickConst(2))
+	}
+
+	touched := tb.Evict(5, 2, pickConst(2))
+	if touched != 10 {
+		t.Fatalf("evict touched %d pins, want 10", touched)
+	}
+	if tb.Len() != 15 {
+		t.Fatalf("len = %d, want 15 (re-pin must not delete)", tb.Len())
+	}
+	st := tb.Stats()
+	if st.Rebalances != 10 {
+		t.Fatalf("rebalances = %d, want 10", st.Rebalances)
+	}
+	if st.Unpinned != 0 {
+		t.Fatalf("unpinned = %d, want 0", st.Unpinned)
+	}
+
+	// Every evicted flow must now hit on the survivor; pick must not run.
+	for k := uint64(1); k <= 10; k++ {
+		vri, out := tb.Assign(k<<32|k, 3, keepAlways, func() int {
+			t.Fatalf("pick ran for re-pinned flow %d", k)
+			return -1
+		})
+		if vri != 2 || out != Hit {
+			t.Fatalf("flow %d after evict = %d,%v, want 2,hit", k, vri, out)
+		}
+	}
+}
+
+func TestEvictDeletesWithoutSurvivor(t *testing.T) {
+	tb := NewTable(2, 64)
+	for k := uint64(1); k <= 6; k++ {
+		tb.Assign(k<<32|k, 1, keepAlways, pickConst(7))
+	}
+
+	touched := tb.Evict(7, 2, pickConst(-1))
+	if touched != 6 {
+		t.Fatalf("evict touched %d pins, want 6", touched)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("len = %d, want 0 after deleting all pins", tb.Len())
+	}
+	if st := tb.Stats(); st.Unpinned != 6 {
+		t.Fatalf("unpinned = %d, want 6", st.Unpinned)
+	}
+
+	// Deleted flows re-enter through the miss path.
+	vri, out := tb.Assign(1<<32|1, 3, keepAlways, pickConst(4))
+	if vri != 4 || out != Miss {
+		t.Fatalf("assign after delete = %d,%v, want 4,miss", vri, out)
+	}
+}
+
+func TestEvictRepickReturningSameVRIDeletes(t *testing.T) {
+	// A repick that hands back the dying VRI itself must be treated as a
+	// refusal — re-pinning a flow to the VRI being torn down would undo the
+	// eviction.
+	tb := NewTable(1, 64)
+	tb.Assign(9<<32|9, 1, keepAlways, pickConst(3))
+	tb.Evict(3, 2, pickConst(3))
+	if tb.Len() != 0 {
+		t.Fatalf("len = %d, want 0", tb.Len())
+	}
+	if st := tb.Stats(); st.Unpinned != 1 {
+		t.Fatalf("unpinned = %d, want 1", st.Unpinned)
+	}
+}
+
+func TestEvictConcurrentWithAssign(t *testing.T) {
+	tb := NewTable(8, 256)
+	const flows = 512
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for k := uint64(1); k <= flows; k++ {
+			tb.Assign(k*2654435761, int64(k), keepAlways, pickConst(int(k%4)))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 16; i++ {
+			tb.Evict(i%4, int64(i), pickConst((i+1)%4))
+		}
+	}()
+	wg.Wait()
+	// No pin may reference an evicted-then-unrevived VRI inconsistently; the
+	// table must stay internally consistent (Len equals occupied slots).
+	total := 0
+	for i := 0; i < tb.Shards(); i++ {
+		total += tb.ShardOccupancy(i)
+	}
+	if total != tb.Len() {
+		t.Fatalf("occupancy %d != len %d", total, tb.Len())
+	}
+}

@@ -21,9 +21,10 @@ type FastForward[T any] struct {
 	_     [cacheLine - 8]byte
 	tail  uint64 // producer-local index
 	_     [cacheLine - 8]byte
-	mask  uint64
-	buf   []atomic.Pointer[T]
-	drops atomic.Int64
+	mask   uint64
+	buf    []atomic.Pointer[T]
+	drops  atomic.Int64
+	closed atomic.Bool
 }
 
 // NewFastForward returns an empty FastForward queue with capacity rounded
@@ -37,6 +38,10 @@ func NewFastForward[T any](capacity int) *FastForward[T] {
 // A nil v is rejected (nil is the empty marker).
 func (q *FastForward[T]) Enqueue(v *T) bool {
 	if v == nil {
+		return false
+	}
+	if q.closed.Load() {
+		q.drops.Add(1)
 		return false
 	}
 	slot := &q.buf[q.tail&q.mask]
@@ -80,8 +85,16 @@ func (q *FastForward[T]) Len() int {
 // Cap reports the fixed capacity.
 func (q *FastForward[T]) Cap() int { return len(q.buf) }
 
-// Drops reports how many enqueues were rejected because the ring was full.
+// Drops reports how many enqueues were rejected because the ring was full
+// or closed.
 func (q *FastForward[T]) Drops() int64 { return q.drops.Load() }
+
+// Close stops admissions: subsequent enqueues fail fast while dequeues drain
+// the residue.
+func (q *FastForward[T]) Close() { q.closed.Store(true) }
+
+// Closed reports whether the queue has been closed for enqueue.
+func (q *FastForward[T]) Closed() bool { return q.closed.Load() }
 
 // ffAdapter adapts FastForward's pointer-element API to Queue[*T].
 type ffAdapter[T any] struct {
@@ -99,3 +112,5 @@ func (a ffAdapter[T]) Dequeue() (*T, bool) { return a.q.Dequeue() }
 func (a ffAdapter[T]) Len() int            { return a.q.Len() }
 func (a ffAdapter[T]) Cap() int            { return a.q.Cap() }
 func (a ffAdapter[T]) Drops() int64        { return a.q.Drops() }
+func (a ffAdapter[T]) Close()              { a.q.Close() }
+func (a ffAdapter[T]) Closed() bool        { return a.q.Closed() }

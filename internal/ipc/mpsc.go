@@ -20,9 +20,10 @@ type MPSC[T any] struct {
 	deqPos atomic.Uint64 // next sequence to consume; written by consumer only
 	_      [cacheLine - 8]byte
 
-	mask  uint64
-	buf   []mpscSlot[T]
-	drops atomic.Int64 // rejected enqueues; off the fast path, scraped by obs
+	mask   uint64
+	buf    []mpscSlot[T]
+	drops  atomic.Int64 // rejected enqueues; off the fast path, scraped by obs
+	closed atomic.Bool  // set by Close: enqueues fail fast, dequeues drain residue
 }
 
 // mpscSlot pairs an element with its ownership sequence: seq == pos means the
@@ -45,8 +46,13 @@ func NewMPSC[T any](capacity int) *MPSC[T] {
 }
 
 // Enqueue appends v and reports whether there was room. Safe for concurrent
-// producers.
+// producers. After Close it rejects unconditionally (counted as a drop); the
+// caller keeps ownership of v.
 func (q *MPSC[T]) Enqueue(v T) bool {
+	if q.closed.Load() {
+		q.drops.Add(1)
+		return false
+	}
 	pos := q.enqPos.Load()
 	for {
 		s := &q.buf[pos&q.mask]
@@ -100,12 +106,16 @@ func (q *MPSC[T]) Peek() (T, bool) {
 }
 
 // EnqueueBatch appends the longest prefix of vs that fits and returns how
-// many elements were accepted. Producers cannot publish a multi-slot run with
-// one cursor move (slots are claimed one CAS at a time), so the batch is a
-// scalar loop that stops at the first rejection, like the generic fallback.
+// many elements were accepted; the rest count as drops, matching the SPSC
+// batch contract. Producers cannot publish a multi-slot run with one cursor
+// move (slots are claimed one CAS at a time), so the batch is a scalar loop
+// that stops at the first rejection.
 func (q *MPSC[T]) EnqueueBatch(vs []T) int {
 	for i, v := range vs {
 		if !q.Enqueue(v) {
+			// The failed Enqueue counted itself; the untried tail of the
+			// batch is rejected wholesale and counted here.
+			q.drops.Add(int64(len(vs) - i - 1))
 			return i
 		}
 	}
@@ -152,10 +162,21 @@ func (q *MPSC[T]) Len() int {
 // Cap reports the fixed capacity.
 func (q *MPSC[T]) Cap() int { return len(q.buf) }
 
-// Drops reports how many enqueues were rejected because the ring was full.
+// Drops reports how many enqueues were rejected because the ring was full
+// or closed.
 func (q *MPSC[T]) Drops() int64 { return q.drops.Load() }
+
+// Close stops admissions: subsequent enqueues fail fast while the consumer
+// drains the residue. Safe from any goroutine; a producer that claimed its
+// slot before observing the close still publishes, and its element becomes
+// part of the residue.
+func (q *MPSC[T]) Close() { q.closed.Store(true) }
+
+// Closed reports whether the queue has been closed for enqueue.
+func (q *MPSC[T]) Closed() bool { return q.closed.Load() }
 
 var (
 	_ Queue[int]      = (*MPSC[int])(nil)
 	_ BatchQueue[int] = (*MPSC[int])(nil)
+	_ Closer          = (*MPSC[int])(nil)
 )

@@ -38,6 +38,44 @@ type DropCounter interface {
 	Drops() int64
 }
 
+// Closer is implemented by queues that support drain semantics for VRI
+// teardown (the lifecycle's Draining state): Close stops admissions so the
+// consumer can drain the residue and take ownership of whatever remains.
+//
+//   - Enqueue after Close fails fast and counts into Drops; the caller keeps
+//     ownership of the rejected element (for frames: it must Release).
+//   - Dequeue after Close still drains every element enqueued before the
+//     close — residue is handed over, never lost.
+//
+// Close only publishes a flag; an enqueue racing with the Close may still
+// land, and is part of the residue. Every shipped queue implements Closer.
+type Closer interface {
+	// Close marks the queue closed for enqueue. Safe to call from any
+	// goroutine, idempotent.
+	Close()
+	// Closed reports whether Close has been called.
+	Closed() bool
+}
+
+// Close closes q for enqueue if it supports drain semantics, reporting
+// whether it did.
+func Close[T any](q Queue[T]) bool {
+	if c, ok := q.(Closer); ok {
+		c.Close()
+		return true
+	}
+	return false
+}
+
+// IsClosed reports whether q has been closed for enqueue (false for queues
+// without drain semantics).
+func IsClosed[T any](q Queue[T]) bool {
+	if c, ok := q.(Closer); ok {
+		return c.Closed()
+	}
+	return false
+}
+
 // DropsOf returns q's enqueue-full drop count, or 0 if q does not count.
 func DropsOf[T any](q Queue[T]) int64 {
 	if d, ok := q.(DropCounter); ok {

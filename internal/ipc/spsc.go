@@ -32,9 +32,10 @@ type SPSC[T any] struct {
 	cachedTail uint64 // consumer-local snapshot of tail
 	_          [cacheLine - 8]byte
 
-	mask  uint64
-	buf   []T
-	drops atomic.Int64 // rejected enqueues; off the fast path, scraped by obs
+	mask   uint64
+	buf    []T
+	drops  atomic.Int64 // rejected enqueues; off the fast path, scraped by obs
+	closed atomic.Bool  // set by Close: enqueues fail fast, dequeues drain residue
 }
 
 // NewSPSC returns an empty lock-free SPSC queue with capacity rounded up to a
@@ -45,7 +46,13 @@ func NewSPSC[T any](capacity int) *SPSC[T] {
 }
 
 // Enqueue appends v and reports whether there was room. Producer-side only.
+// After Close it rejects unconditionally (counted as a drop); the caller
+// keeps ownership of v.
 func (q *SPSC[T]) Enqueue(v T) bool {
+	if q.closed.Load() {
+		q.drops.Add(1)
+		return false
+	}
 	tail := q.tail.Load()
 	if tail-q.cachedHead > q.mask {
 		q.cachedHead = q.head.Load()
@@ -84,6 +91,10 @@ func (q *SPSC[T]) Dequeue() (T, bool) {
 // instead of once per frame.
 func (q *SPSC[T]) EnqueueBatch(vs []T) int {
 	if len(vs) == 0 {
+		return 0
+	}
+	if q.closed.Load() {
+		q.drops.Add(int64(len(vs)))
 		return 0
 	}
 	tail := q.tail.Load()
@@ -153,10 +164,20 @@ func (q *SPSC[T]) Len() int {
 // Cap reports the fixed capacity.
 func (q *SPSC[T]) Cap() int { return len(q.buf) }
 
-// Drops reports how many enqueues were rejected because the ring was full.
+// Drops reports how many enqueues were rejected because the ring was full
+// or closed.
 func (q *SPSC[T]) Drops() int64 { return q.drops.Load() }
+
+// Close stops admissions: subsequent enqueues fail fast while dequeues drain
+// the residue. Safe from any goroutine; an enqueue racing with the close may
+// still land and becomes part of the residue.
+func (q *SPSC[T]) Close() { q.closed.Store(true) }
+
+// Closed reports whether the queue has been closed for enqueue.
+func (q *SPSC[T]) Closed() bool { return q.closed.Load() }
 
 var (
 	_ Queue[int]      = (*SPSC[int])(nil)
 	_ BatchQueue[int] = (*SPSC[int])(nil)
+	_ Closer          = (*SPSC[int])(nil)
 )

@@ -9,12 +9,13 @@ import (
 // baseline of Section 3.5, in which only one process can access the queue at
 // a time. It is safe for any number of producers and consumers.
 type MutexQueue[T any] struct {
-	mu    sync.Mutex
-	buf   []T
-	head  uint64
-	tail  uint64
-	mask  uint64
-	drops int64
+	mu     sync.Mutex
+	buf    []T
+	head   uint64
+	tail   uint64
+	mask   uint64
+	drops  int64
+	closed bool
 }
 
 // NewMutexQueue returns an empty lock-based queue with capacity rounded up to
@@ -24,11 +25,12 @@ func NewMutexQueue[T any](capacity int) *MutexQueue[T] {
 	return &MutexQueue[T]{buf: make([]T, n), mask: uint64(n - 1)}
 }
 
-// Enqueue appends v and reports whether there was room.
+// Enqueue appends v and reports whether there was room. After Close it
+// rejects unconditionally (counted as a drop).
 func (q *MutexQueue[T]) Enqueue(v T) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.tail-q.head > q.mask {
+	if q.closed || q.tail-q.head > q.mask {
 		q.drops++
 		return false
 	}
@@ -62,19 +64,36 @@ func (q *MutexQueue[T]) Len() int {
 // Cap reports the fixed capacity.
 func (q *MutexQueue[T]) Cap() int { return len(q.buf) }
 
-// Drops reports how many enqueues were rejected because the ring was full.
+// Drops reports how many enqueues were rejected because the ring was full
+// or closed.
 func (q *MutexQueue[T]) Drops() int64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.drops
 }
 
+// Close stops admissions: subsequent enqueues fail fast while dequeues drain
+// the residue.
+func (q *MutexQueue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+}
+
+// Closed reports whether the queue has been closed for enqueue.
+func (q *MutexQueue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
 // ChanQueue adapts a buffered Go channel to the Queue interface. It exists to
 // show the extensibility seam and to benchmark the runtime's native queue
 // against the hand-rolled rings.
 type ChanQueue[T any] struct {
-	ch    chan T
-	drops atomic.Int64
+	ch     chan T
+	drops  atomic.Int64
+	closed atomic.Bool
 }
 
 // NewChanQueue returns an empty channel-backed queue. The capacity is used
@@ -86,8 +105,14 @@ func NewChanQueue[T any](capacity int) *ChanQueue[T] {
 	return &ChanQueue[T]{ch: make(chan T, capacity)}
 }
 
-// Enqueue appends v and reports whether there was room.
+// Enqueue appends v and reports whether there was room. After Close it
+// rejects unconditionally (counted as a drop). The underlying channel is
+// never close()d — Dequeue keeps draining the residue.
 func (q *ChanQueue[T]) Enqueue(v T) bool {
+	if q.closed.Load() {
+		q.drops.Add(1)
+		return false
+	}
 	select {
 	case q.ch <- v:
 		return true
@@ -114,10 +139,20 @@ func (q *ChanQueue[T]) Len() int { return len(q.ch) }
 // Cap reports the fixed capacity.
 func (q *ChanQueue[T]) Cap() int { return cap(q.ch) }
 
-// Drops reports how many enqueues were rejected because the channel was full.
+// Drops reports how many enqueues were rejected because the channel was full
+// or the queue closed.
 func (q *ChanQueue[T]) Drops() int64 { return q.drops.Load() }
+
+// Close stops admissions: subsequent enqueues fail fast while dequeues drain
+// the residue.
+func (q *ChanQueue[T]) Close() { q.closed.Store(true) }
+
+// Closed reports whether the queue has been closed for enqueue.
+func (q *ChanQueue[T]) Closed() bool { return q.closed.Load() }
 
 var (
 	_ Queue[int] = (*MutexQueue[int])(nil)
 	_ Queue[int] = (*ChanQueue[int])(nil)
+	_ Closer     = (*MutexQueue[int])(nil)
+	_ Closer     = (*ChanQueue[int])(nil)
 )

@@ -401,10 +401,13 @@ func (c *ChanAdapter) Send(f *packet.Frame) error {
 	if c.closed {
 		return ErrClosed
 	}
+	// Size the frame before the handoff: ownership transfers at the channel
+	// send, and the receiver may release the buffer immediately.
+	n := int64(len(f.Buf))
 	select {
 	case c.TX <- f:
 		c.txFrames.Add(1)
-		c.txBytes.Add(int64(len(f.Buf)))
+		c.txBytes.Add(n)
 	default: // saturated transmit queue: tail drop
 		c.txDropped.Add(1)
 		f.Release()

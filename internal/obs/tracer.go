@@ -23,6 +23,9 @@ const (
 	// KindFlow is a sampled flow-affinity dispatch (every Nth dispatch on
 	// the sharded path); Note carries the table outcome (hit, miss, ...).
 	KindFlow Kind = "flow"
+	// KindDrain is a VRI teardown's drain-then-handoff completing; Note
+	// carries the residue accounting (migrated/relayed/dropped counts).
+	KindDrain Kind = "drain"
 )
 
 // Event is one traced occurrence on the data or control path.

@@ -62,8 +62,10 @@ type Stats struct {
 	// Recycles counts frames returned by Release reaching refcount zero.
 	Recycles int64
 	// Outstanding is Gets minus Recycles: frames currently held by the
-	// pipeline. It drifts upward if frames leak (e.g. queued frames lost to
-	// VRI teardown, which the GC reclaims but the pool never sees again).
+	// pipeline. Every teardown path accounts for its frames (VRI drain
+	// migrates or releases queue residue under named counters), so this
+	// returns to zero when the pipeline quiesces; a persistent nonzero
+	// value is a leak bug, not expected drift.
 	Outstanding int64
 }
 
