@@ -1,0 +1,212 @@
+// Command doccheck is the offline markdown link checker behind the docs CI
+// job. It walks every *.md file under the given roots (default: the current
+// directory) and verifies:
+//
+//   - relative links point at files that exist in the checkout;
+//   - intra-document and cross-document #anchors resolve to a real heading
+//     (GitHub's slug rules: lowercased, punctuation stripped, spaces to
+//     hyphens, duplicate slugs suffixed -1, -2, ...);
+//   - absolute http(s) URLs are syntactically valid (scheme + host). They
+//     are deliberately NOT fetched — CI must not depend on the network.
+//
+// Links inside fenced code blocks and inline code spans are ignored.
+//
+// Usage:
+//
+//	doccheck [-q] [root ...]
+//
+// Exits non-zero if any markdown link is broken.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "only print problems")
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == ".git" || name == "node_modules" || name == "vendor" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.EqualFold(filepath.Ext(path), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(files)
+
+	// First pass: collect every file's heading anchors so cross-document
+	// anchor links can be resolved in any order.
+	anchors := map[string]map[string]bool{}
+	contents := map[string]string{}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		text := stripCode(string(data))
+		contents[f] = text
+		anchors[f] = headingAnchors(text)
+	}
+
+	broken := 0
+	checked := 0
+	for _, f := range files {
+		for _, l := range findLinks(contents[f]) {
+			checked++
+			if problem := checkLink(f, l, anchors); problem != "" {
+				broken++
+				fmt.Printf("%s: broken link (%s): %s\n", f, l, problem)
+			}
+		}
+	}
+	if !*quiet {
+		fmt.Printf("doccheck: %d files, %d links, %d broken\n", len(files), checked, broken)
+	}
+	if broken > 0 {
+		os.Exit(1)
+	}
+}
+
+var (
+	fencedRe = regexp.MustCompile("(?ms)^[ \t]*```.*?^[ \t]*```[ \t]*$")
+	inlineRe = regexp.MustCompile("`[^`\n]*`")
+	linkRe   = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+)
+
+// stripCode blanks out fenced code blocks and inline code spans so example
+// markdown inside them is not link-checked. Offsets are preserved.
+func stripCode(text string) string {
+	blank := func(s string) string {
+		b := []byte(s)
+		for i, c := range b {
+			if c != '\n' {
+				b[i] = ' '
+			}
+		}
+		return string(b)
+	}
+	text = fencedRe.ReplaceAllStringFunc(text, blank)
+	return inlineRe.ReplaceAllStringFunc(text, blank)
+}
+
+// findLinks extracts inline markdown link targets.
+func findLinks(text string) []string {
+	var out []string
+	for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+		out = append(out, m[1])
+	}
+	return out
+}
+
+// headingAnchors returns the GitHub anchor slugs of every ATX heading.
+func headingAnchors(text string) map[string]bool {
+	out := map[string]bool{}
+	seen := map[string]int{}
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimLeft(line, " \t")
+		if !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		title := strings.TrimLeft(trimmed, "#")
+		if title == trimmed || (title != "" && title[0] != ' ' && title[0] != '\t') {
+			continue // not an ATX heading (e.g. a #hashtag)
+		}
+		slug := githubSlug(strings.TrimSpace(title))
+		if n := seen[slug]; n > 0 {
+			out[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			out[slug] = true
+		}
+		seen[slug]++
+	}
+	return out
+}
+
+// githubSlug applies GitHub's heading-to-anchor transformation.
+func githubSlug(title string) string {
+	title = strings.ReplaceAll(title, "`", "")
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_':
+			b.WriteRune(r)
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r > 127:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// checkLink validates one link target found in file; returns "" when fine.
+func checkLink(file, target string, anchors map[string]map[string]bool) string {
+	switch {
+	case strings.HasPrefix(target, "mailto:"):
+		return ""
+	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"):
+		u, err := url.Parse(target)
+		if err != nil || u.Host == "" {
+			return "malformed URL"
+		}
+		return ""
+	case strings.Contains(target, "://"):
+		return "unsupported URL scheme"
+	}
+
+	path, frag, _ := strings.Cut(target, "#")
+	dest := file
+	if path != "" {
+		dest = filepath.Join(filepath.Dir(file), path)
+		info, err := os.Stat(dest)
+		if err != nil {
+			return "no such file"
+		}
+		if frag == "" {
+			return ""
+		}
+		if info.IsDir() || !strings.EqualFold(filepath.Ext(dest), ".md") {
+			return "anchor into a non-markdown target"
+		}
+	}
+	hs, ok := anchors[filepath.Clean(dest)]
+	if !ok {
+		// The destination exists but was outside the scanned roots; accept
+		// the file link and leave the anchor unverified.
+		return ""
+	}
+	if !hs[frag] {
+		return fmt.Sprintf("no heading with anchor #%s", frag)
+	}
+	return ""
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGithubSlug(t *testing.T) {
+	cases := map[string]string{
+		"Adding a scenario":         "adding-a-scenario",
+		"The `BENCH_*.json` schema": "the-bench_json-schema",
+		"Quick vs. full mode":       "quick-vs-full-mode",
+		"What's measured (and why)": "whats-measured-and-why",
+	}
+	for in, want := range cases {
+		if got := githubSlug(in); got != want {
+			t.Errorf("githubSlug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHeadingAnchorsDedup(t *testing.T) {
+	hs := headingAnchors("# Setup\n## Setup\ntext\n### Other\n")
+	for _, want := range []string{"setup", "setup-1", "other"} {
+		if !hs[want] {
+			t.Errorf("missing anchor %q in %v", want, hs)
+		}
+	}
+}
+
+func TestStripCodeHidesFencedLinks(t *testing.T) {
+	text := "see [real](x.md)\n```\n[fake](missing.md)\n```\nand `[also fake](nope.md)` end\n"
+	links := findLinks(stripCode(text))
+	if len(links) != 1 || links[0] != "x.md" {
+		t.Fatalf("links = %v, want [x.md]", links)
+	}
+}
+
+func TestCheckLink(t *testing.T) {
+	dir := t.TempDir()
+	readme := filepath.Join(dir, "README.md")
+	other := filepath.Join(dir, "OTHER.md")
+	os.WriteFile(readme, []byte("# Top\nsee [o](OTHER.md#details)\n"), 0o644)
+	os.WriteFile(other, []byte("# Details\n"), 0o644)
+	anchors := map[string]map[string]bool{
+		readme: headingAnchors("# Top\n"),
+		other:  headingAnchors("# Details\n"),
+	}
+	if p := checkLink(readme, "OTHER.md#details", anchors); p != "" {
+		t.Errorf("valid cross-doc anchor rejected: %s", p)
+	}
+	if p := checkLink(readme, "OTHER.md#nope", anchors); p == "" {
+		t.Error("bogus anchor accepted")
+	}
+	if p := checkLink(readme, "MISSING.md", anchors); p == "" {
+		t.Error("missing file accepted")
+	}
+	if p := checkLink(readme, "#top", anchors); p != "" {
+		t.Errorf("same-file anchor rejected: %s", p)
+	}
+	if p := checkLink(readme, "https://example.com/x", anchors); p != "" {
+		t.Errorf("valid absolute URL rejected: %s", p)
+	}
+	if p := checkLink(readme, "https://", anchors); p == "" {
+		t.Error("hostless URL accepted")
+	}
+}

@@ -1,44 +1,83 @@
-// Command lvrmbench reproduces the paper's evaluation: it runs the
-// registered experiments (one per table/figure of Chapter 4) and prints
-// their result tables as markdown.
+// Command lvrmbench reproduces the paper's evaluation and runs the
+// statistically sound trials harness.
 //
-// Usage:
+// Paper-reproduction mode runs the registered experiments (one per
+// table/figure of Chapter 4) and prints their result tables as markdown:
 //
 //	lvrmbench -list
-//	lvrmbench [-full] [-seed N] [-run 1a,2c,...|all] [-o results.md]
+//	lvrmbench [-full] [-seed N] [-run 1a,2c,...|all] [-o results.md] [-csv dir]
+//
+// Trials mode runs the adversarial scenario matrix (internal/bench), each
+// scenario as N independently seeded trials, and writes schema-versioned
+// BENCH_<scenario>.json reports with bootstrap confidence intervals and a
+// stability verdict:
+//
+//	lvrmbench -trials [-full] [-n 10] [-seed N] [-scenario name,...|all]
+//	          [-bench-dir dir] [-baseline dir] [-gate] [-tolerance 0.10]
+//	lvrmbench -trials -scenario flash-crowd -replay 1234
+//	lvrmbench -validate BENCH_x.json [BENCH_y.json ...]
 //
 // Quick mode (the default) scales durations (and, for the allocation
 // timelines, rates and thresholds together) so the whole suite finishes in
-// minutes; -full uses paper-scale parameters.
+// minutes; -full uses paper-scale parameters. BENCHMARKS.md documents the
+// trials methodology and the report schema.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
+	"lvrm/internal/bench"
 	"lvrm/internal/experiments"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list the available experiments and exit")
+		list = flag.Bool("list", false, "list the available experiments and scenarios, then exit")
 		full = flag.Bool("full", false, "run at paper scale (slower)")
-		seed = flag.Uint64("seed", 1, "seed for all stochastic components")
+		seed = flag.Uint64("seed", 1, "seed for all stochastic components (trials mode: base seed of trial 0)")
 		runF = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 		out  = flag.String("o", "", "also write the tables to this markdown file")
 		csvD = flag.String("csv", "", "also write one CSV per experiment into this directory")
+
+		trials   = flag.Bool("trials", false, "run the multi-trial adversarial scenario matrix instead of the paper experiments")
+		nTrials  = flag.Int("n", bench.DefaultTrials, "trials mode: independent trials per scenario")
+		scenF    = flag.String("scenario", "all", "trials mode: comma-separated scenario names, or 'all'")
+		benchDir = flag.String("bench-dir", "bench", "trials mode: directory for BENCH_*.json reports")
+		baseDir  = flag.String("baseline", "", "trials mode: baseline directory to compare against (e.g. bench/baseline)")
+		gate     = flag.Bool("gate", false, "trials mode: exit non-zero on a regression against -baseline")
+		tol      = flag.Float64("tolerance", bench.DefaultRegressionTolerance, "trials mode: relative regression tolerance for -gate")
+		replay   = flag.Int64("replay", -1, "trials mode: replay a single trial with this exact seed and print its metrics")
+		validate = flag.Bool("validate", false, "validate the BENCH_*.json files given as arguments and exit")
 	)
 	flag.Parse()
 
+	if *validate {
+		os.Exit(validateFiles(flag.Args()))
+	}
 	if *list {
+		fmt.Println("experiments (paper reproduction):")
 		for _, s := range experiments.All() {
-			fmt.Printf("%-8s %-10s %s\n", s.ID, s.Figure, s.Title)
+			fmt.Printf("  %-8s %-10s %s\n", s.ID, s.Figure, s.Title)
+		}
+		fmt.Println("scenarios (-trials mode):")
+		for _, s := range bench.All() {
+			fmt.Printf("  %-18s %s\n", s.Name, s.Title)
 		}
 		return
+	}
+	if *trials {
+		os.Exit(runTrials(trialsOpts{
+			full: *full, seed: *seed, n: *nTrials, scenarios: *scenF,
+			dir: *benchDir, baseline: *baseDir, gate: *gate, tol: *tol,
+			replay: *replay,
+		}))
 	}
 
 	var ids []string
@@ -94,6 +133,154 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+type trialsOpts struct {
+	full      bool
+	seed      uint64
+	n         int
+	scenarios string
+	dir       string
+	baseline  string
+	gate      bool
+	tol       float64
+	replay    int64
+}
+
+// runTrials is the -trials entry point; returns the process exit code.
+func runTrials(o trialsOpts) int {
+	var scens []bench.Scenario
+	if o.scenarios == "all" {
+		scens = bench.All()
+	} else {
+		for _, name := range strings.Split(o.scenarios, ",") {
+			s, err := bench.Find(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			scens = append(scens, s)
+		}
+	}
+
+	// -replay: run exactly one trial of one scenario with the given seed and
+	// dump its metrics — the debugging path for a trial flagged unstable.
+	if o.replay >= 0 {
+		if len(scens) != 1 {
+			fmt.Fprintln(os.Stderr, "-replay needs exactly one -scenario")
+			return 1
+		}
+		s := scens[0]
+		m, err := s.Run(bench.Config{Seed: uint64(o.replay), Full: o.full})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replay %s seed %d: %v\n", s.Name, o.replay, err)
+			return 1
+		}
+		fmt.Printf("scenario %s, seed %d:\n", s.Name, o.replay)
+		for _, k := range sortedKeys(m) {
+			fmt.Printf("  %-24s %.6g\n", k, m[k])
+		}
+		return 0
+	}
+
+	sha := gitSHA()
+	start := time.Now()
+	gateFailed := false
+	for _, s := range scens {
+		fmt.Fprintf(os.Stderr, "trials %s (%d trials)...\n", s.Name, o.n)
+		r, err := bench.RunTrials(s, bench.TrialOpts{
+			Trials: o.n, BaseSeed: o.seed, Full: o.full, GitSHA: sha,
+			Progress: func(trial int, seed uint64, m bench.Metrics) {
+				fmt.Fprintf(os.Stderr, "  trial %2d seed %-8d %s=%.6g\n", trial, seed, s.Primary, m[s.Primary])
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		path, err := r.WriteFile(o.dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		p := r.Summaries[r.Primary]
+		verdict := "stable"
+		if !r.Stable {
+			verdict = "UNSTABLE: " + r.UnstableReason
+		}
+		fmt.Printf("%-18s %s median %.6g  p95 %.6g  p99 %.6g  CI [%.6g, %.6g]  (%s) -> %s\n",
+			s.Name, r.Primary, p.Median, p.P95, p.P99, p.CILow, p.CIHigh, verdict, path)
+
+		if o.baseline != "" {
+			basePath := filepath.Join(o.baseline, bench.FileName(s.Name))
+			base, err := bench.Load(basePath)
+			if err != nil {
+				if os.IsNotExist(err) {
+					fmt.Printf("  no baseline at %s — skipping comparison\n", basePath)
+					continue
+				}
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			v, pass, err := bench.Compare(base, r, o.tol)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Printf("  %s\n", v)
+			if !pass && o.gate {
+				gateFailed = true
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(start).Round(time.Millisecond))
+	if gateFailed {
+		fmt.Fprintln(os.Stderr, "regression gate FAILED")
+		return 1
+	}
+	return 0
+}
+
+// validateFiles checks every given BENCH_*.json against the schema; returns
+// the process exit code.
+func validateFiles(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "-validate needs at least one BENCH_*.json path")
+		return 1
+	}
+	bad := 0
+	for _, p := range paths {
+		r, err := bench.Load(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "INVALID %s: %v\n", p, err)
+			bad++
+			continue
+		}
+		fmt.Printf("ok %s (%s, %d trials, stable=%v)\n", p, r.Scenario, len(r.Trials), r.Stable)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// gitSHA best-effort resolves HEAD for stamping reports; empty outside a
+// checkout or without git on PATH.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func sortedKeys(m bench.Metrics) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // writeCSV writes one experiment's rows as <dir>/<stem>.csv.

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Config parameterizes one trial of a scenario.
+type Config struct {
+	// Seed drives every stochastic component of the trial. The same seed
+	// replays the trial bit-for-bit — the property the harness leans on to
+	// make flagged-unstable trials debuggable.
+	Seed uint64
+	// Full selects paper-scale durations; quick (the default) shrinks them
+	// so the whole matrix runs in CI.
+	Full bool
+}
+
+// Duration returns the per-trial measurement window.
+func (c Config) Duration() time.Duration {
+	if c.Full {
+		return 2 * time.Second
+	}
+	return 200 * time.Millisecond
+}
+
+// Metrics is one trial's named samples. Keys are stable identifiers
+// ("delivered_kfps"); values are already in the unit the name states.
+type Metrics map[string]float64
+
+// Scenario is one registered adversarial workload.
+type Scenario struct {
+	// Name is the registry key and the BENCH_<name>.json stem.
+	Name string
+	// Title is a one-line description for listings and reports.
+	Title string
+	// Primary names the metric the stability verdict and regression gate
+	// apply to; Better is "higher" or "lower".
+	Primary string
+	Better  string
+	// Configure reports the scenario's effective knobs for the report's
+	// config block (rates in fps, durations in seconds, counts).
+	Configure func(c Config) map[string]float64
+	// Run executes one independent trial: it must build a fresh testbed
+	// from c.Seed, drive the workload, and return every measured metric.
+	Run func(c Config) (Metrics, error)
+}
+
+var registry []Scenario
+
+// register adds a scenario at package init.
+func register(s Scenario) {
+	registry = append(registry, s)
+}
+
+// All returns the registered scenarios sorted by name.
+func All() []Scenario {
+	out := append([]Scenario(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Find returns the scenario with the given name.
+func Find(name string) (Scenario, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	known := make([]string, 0, len(registry))
+	for _, s := range All() {
+		known = append(known, s.Name)
+	}
+	return Scenario{}, fmt.Errorf("bench: unknown scenario %q (known: %v)", name, known)
+}
+
+// TrialOpts configure a multi-trial run.
+type TrialOpts struct {
+	// Trials is the number of independent trials (default DefaultTrials).
+	Trials int
+	// BaseSeed seeds trial 0; trial i runs with BaseSeed+i. Defaults to 1.
+	BaseSeed uint64
+	// Full selects paper-scale trials.
+	Full bool
+	// GitSHA is stamped into the report when non-empty.
+	GitSHA string
+	// Progress, when non-nil, is called after each trial completes.
+	Progress func(trial int, seed uint64, m Metrics)
+}
+
+// DefaultTrials is the default trial count: ten independent runs, the floor
+// PASTRAMI-style methodology needs for a meaningful dispersion estimate.
+const DefaultTrials = 10
+
+// RunTrials executes the scenario opts.Trials times with consecutive seeds
+// and assembles the validated report: per-trial samples, per-metric
+// summaries, and the stability verdict on the primary metric.
+func RunTrials(s Scenario, opts TrialOpts) (*Report, error) {
+	if opts.Trials <= 0 {
+		opts.Trials = DefaultTrials
+	}
+	if opts.BaseSeed == 0 {
+		opts.BaseSeed = 1
+	}
+	mode := "quick"
+	if opts.Full {
+		mode = "full"
+	}
+	r := &Report{
+		Schema:   SchemaVersion,
+		Scenario: s.Name,
+		Title:    s.Title,
+		Mode:     mode,
+		GitSHA:   opts.GitSHA,
+		BaseSeed: opts.BaseSeed,
+		Primary:  s.Primary,
+		Better:   s.Better,
+	}
+	if s.Configure != nil {
+		r.Config = s.Configure(Config{Seed: opts.BaseSeed, Full: opts.Full})
+	}
+	if r.Config == nil {
+		r.Config = map[string]float64{}
+	}
+	r.Config["trials"] = float64(opts.Trials)
+	samples := map[string][]float64{}
+	for i := 0; i < opts.Trials; i++ {
+		seed := opts.BaseSeed + uint64(i)
+		m, err := s.Run(Config{Seed: seed, Full: opts.Full})
+		if err != nil {
+			return nil, fmt.Errorf("bench: scenario %s trial %d (seed %d): %w", s.Name, i, seed, err)
+		}
+		if _, ok := m[s.Primary]; !ok {
+			return nil, fmt.Errorf("bench: scenario %s trial %d returned no primary metric %q", s.Name, i, s.Primary)
+		}
+		r.Trials = append(r.Trials, Trial{Seed: seed, Metrics: m})
+		for k, v := range m {
+			samples[k] = append(samples[k], v)
+		}
+		if opts.Progress != nil {
+			opts.Progress(i, seed, m)
+		}
+	}
+	r.Summaries = make(map[string]Summary, len(samples))
+	for k, vs := range samples {
+		r.Summaries[k] = Summarize(vs, opts.BaseSeed)
+	}
+	r.Stable, r.UnstableReason = stableVerdict(r.Summaries[s.Primary])
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: scenario %s produced an invalid report: %w", s.Name, err)
+	}
+	return r, nil
+}
+
+func stableVerdict(s Summary) (bool, string) {
+	ok, reason := s.Stable()
+	return ok, reason
+}

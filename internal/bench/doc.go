@@ -1,0 +1,27 @@
+// Package bench is the statistically sound benchmark harness behind
+// `lvrmbench -trials`. PASTRAMI-style methodology: a single run of a
+// software router says nothing — every named scenario is executed as N
+// independent trials (fresh testbed per trial, per-trial seeds logged so any
+// trial replays bit-for-bit), and the summary layer reports median/p95/p99
+// with bootstrap confidence intervals and an explicit stability verdict.
+// Results with a confidence interval or dispersion wider than the documented
+// thresholds are flagged unstable rather than silently averaged.
+//
+// The scenario registry (see scenarios.go) is deliberately adversarial: it
+// covers workloads the paper's experiments do not — elephant/mice flow
+// mixes, a flash crowd of sudden 100× peer fan-in, a malformed-frame flood
+// against the decoder, and VRI spawn/destroy churn under sustained load.
+// Scenarios run on the same discrete-event testbed as internal/experiments
+// (testbed.NewRig), so their numbers are directly comparable with the
+// paper-reproduction figures.
+//
+// Each run is serialized as a schema-versioned BENCH_<scenario>.json report
+// (report.go): scenario, configuration, per-trial seeds and samples, summary
+// statistics, stability verdict, and the git SHA it was measured at.
+// Committed baselines under bench/baseline/ give CI a regression gate:
+// Compare fails the build when a stable current median regresses beyond
+// tolerance against a stable baseline, and abstains (with a warning) when
+// either side is unstable — an unstable measurement is a finding, not a
+// gate. BENCHMARKS.md documents the methodology, the JSON schema, and how
+// to add a scenario.
+package bench

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump it on any breaking
+// change to Report's shape; readers reject versions they do not know.
+const SchemaVersion = "lvrm-bench/v1"
+
+// DefaultRegressionTolerance is the gate's slack: a stable current median
+// may trail a stable baseline median by up to this fraction before the gate
+// fails. Wide enough to absorb seed-to-seed spread of a stable scenario,
+// tight enough to catch a real regression.
+const DefaultRegressionTolerance = 0.10
+
+// Trial records one independent run of a scenario: the seed it ran under
+// (sufficient to replay it bit-for-bit with `lvrmbench -trials -replay`)
+// and every metric it measured.
+type Trial struct {
+	Seed    uint64             `json:"seed"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the machine-readable result of one multi-trial scenario run,
+// serialized as BENCH_<scenario>.json.
+type Report struct {
+	// Schema is SchemaVersion.
+	Schema string `json:"schema"`
+	// Scenario and Title identify the workload.
+	Scenario string `json:"scenario"`
+	Title    string `json:"title"`
+	// Mode is "quick" or "full".
+	Mode string `json:"mode"`
+	// GitSHA records the commit the measurement was taken at (empty when
+	// unknown, e.g. outside a git checkout).
+	GitSHA string `json:"git_sha,omitempty"`
+	// Config echoes the scenario's effective knobs (trial count, base
+	// seed, durations/rates) so a report is self-describing.
+	Config map[string]float64 `json:"config"`
+	// BaseSeed is the first trial's seed; trial i ran with BaseSeed+i.
+	BaseSeed uint64 `json:"base_seed"`
+	// Primary names the metric the stability verdict and the regression
+	// gate apply to; Better says which direction is an improvement
+	// ("higher" or "lower").
+	Primary string `json:"primary_metric"`
+	Better  string `json:"better"`
+	// Trials holds every per-trial sample, seeds included.
+	Trials []Trial `json:"trials"`
+	// Summaries holds the distribution statistics per metric.
+	Summaries map[string]Summary `json:"summaries"`
+	// Stable is the verdict on the primary metric; UnstableReason says
+	// which criterion tripped when false.
+	Stable         bool   `json:"stable"`
+	UnstableReason string `json:"unstable_reason,omitempty"`
+}
+
+// FileName returns the canonical report file name for a scenario.
+func FileName(scenario string) string {
+	return "BENCH_" + strings.ReplaceAll(scenario, "-", "_") + ".json"
+}
+
+// Validate checks the report's structural invariants — the schema contract
+// CI enforces on every committed baseline and freshly emitted report.
+func (r *Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("bench: unknown schema %q (want %q)", r.Schema, SchemaVersion)
+	}
+	if r.Scenario == "" {
+		return fmt.Errorf("bench: report has no scenario name")
+	}
+	if r.Mode != "quick" && r.Mode != "full" {
+		return fmt.Errorf("bench: mode %q is not quick|full", r.Mode)
+	}
+	if r.Better != "higher" && r.Better != "lower" {
+		return fmt.Errorf("bench: better %q is not higher|lower", r.Better)
+	}
+	if len(r.Trials) == 0 {
+		return fmt.Errorf("bench: report has no trials")
+	}
+	if r.Primary == "" {
+		return fmt.Errorf("bench: report names no primary metric")
+	}
+	for i, tr := range r.Trials {
+		if tr.Seed != r.BaseSeed+uint64(i) {
+			return fmt.Errorf("bench: trial %d seed %d breaks the base_seed+%d convention", i, tr.Seed, i)
+		}
+		if _, ok := tr.Metrics[r.Primary]; !ok {
+			return fmt.Errorf("bench: trial %d lacks primary metric %q", i, r.Primary)
+		}
+	}
+	ps, ok := r.Summaries[r.Primary]
+	if !ok {
+		return fmt.Errorf("bench: no summary for primary metric %q", r.Primary)
+	}
+	if ps.N != len(r.Trials) {
+		return fmt.Errorf("bench: primary summary over %d samples but %d trials", ps.N, len(r.Trials))
+	}
+	if ps.CILow > ps.Median || ps.Median > ps.CIHigh {
+		return fmt.Errorf("bench: primary CI [%g, %g] does not bracket median %g", ps.CILow, ps.CIHigh, ps.Median)
+	}
+	for name, s := range r.Summaries {
+		if s.N == 0 {
+			return fmt.Errorf("bench: summary %q has no samples", name)
+		}
+	}
+	return nil
+}
+
+// ValidateJSON parses and validates raw report bytes.
+func ValidateJSON(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Load reads and validates a report file.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ValidateJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// WriteFile serializes the report as indented JSON into dir under its
+// canonical name and returns the path.
+func (r *Report) WriteFile(dir string) (string, error) {
+	if err := r.Validate(); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, FileName(r.Scenario))
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MetricNames returns the report's metric names, sorted.
+func (r *Report) MetricNames() []string {
+	names := make([]string, 0, len(r.Summaries))
+	for n := range r.Summaries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Compare gates the current report against a baseline. The verdict string is
+// always human-readable; pass is false only for an actionable regression:
+//
+//   - both stable and the current median regressed beyond tol → fail;
+//   - either side unstable → abstain with a warning (PASTRAMI: an unstable
+//     number cannot support a regression claim — rerun or investigate);
+//   - different scenarios or modes → error (the gate compared apples to
+//     oranges, which is a harness bug, not a perf result).
+func Compare(baseline, cur *Report, tol float64) (verdict string, pass bool, err error) {
+	if baseline.Scenario != cur.Scenario {
+		return "", false, fmt.Errorf("bench: comparing scenario %q against baseline %q", cur.Scenario, baseline.Scenario)
+	}
+	if baseline.Mode != cur.Mode {
+		return "", false, fmt.Errorf("bench: comparing %s-mode run against %s-mode baseline", cur.Mode, baseline.Mode)
+	}
+	if baseline.Primary != cur.Primary || baseline.Better != cur.Better {
+		return "", false, fmt.Errorf("bench: primary metric changed (%s/%s vs %s/%s) — regenerate the baseline",
+			cur.Primary, cur.Better, baseline.Primary, baseline.Better)
+	}
+	if tol <= 0 {
+		tol = DefaultRegressionTolerance
+	}
+	base := baseline.Summaries[baseline.Primary]
+	now := cur.Summaries[cur.Primary]
+	delta := 0.0
+	if base.Median != 0 {
+		delta = (now.Median - base.Median) / base.Median
+	}
+	label := fmt.Sprintf("%s %s: median %.4g vs baseline %.4g (%+.1f%%)",
+		cur.Scenario, cur.Primary, now.Median, base.Median, 100*delta)
+	if !baseline.Stable || !cur.Stable {
+		which := "baseline"
+		reason := baseline.UnstableReason
+		if !cur.Stable {
+			which = "current run"
+			reason = cur.UnstableReason
+		}
+		return fmt.Sprintf("SKIP %s — %s unstable (%s)", label, which, reason), true, nil
+	}
+	regressed := delta < -tol
+	if cur.Better == "lower" {
+		regressed = delta > tol
+	}
+	if regressed {
+		return fmt.Sprintf("FAIL %s exceeds the %.0f%% tolerance", label, 100*tol), false, nil
+	}
+	return fmt.Sprintf("OK   %s", label), true, nil
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeReport builds a valid report from primary-metric samples.
+func fakeReport(scenario string, samples []float64) *Report {
+	r := &Report{
+		Schema:   SchemaVersion,
+		Scenario: scenario,
+		Title:    "test",
+		Mode:     "quick",
+		Config:   map[string]float64{"trials": float64(len(samples))},
+		BaseSeed: 1,
+		Primary:  "delivered_kfps",
+		Better:   "higher",
+	}
+	for i, v := range samples {
+		r.Trials = append(r.Trials, Trial{
+			Seed:    r.BaseSeed + uint64(i),
+			Metrics: map[string]float64{"delivered_kfps": v},
+		})
+	}
+	r.Summaries = map[string]Summary{"delivered_kfps": Summarize(samples, r.BaseSeed)}
+	r.Stable, r.UnstableReason = r.Summaries[r.Primary].Stable()
+	return r
+}
+
+func steady(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v + 0.01*float64(i%2)
+	}
+	return out
+}
+
+func TestReportValidate(t *testing.T) {
+	r := fakeReport("x", steady(100, 10))
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		break_ func(*Report)
+		want   string
+	}{
+		{"schema", func(r *Report) { r.Schema = "lvrm-bench/v0" }, "schema"},
+		{"mode", func(r *Report) { r.Mode = "medium" }, "quick|full"},
+		{"better", func(r *Report) { r.Better = "sideways" }, "higher|lower"},
+		{"seed convention", func(r *Report) { r.Trials[3].Seed = 999 }, "convention"},
+		{"missing primary", func(r *Report) { delete(r.Trials[0].Metrics, "delivered_kfps") }, "primary"},
+		{"summary count", func(r *Report) { r.Trials = r.Trials[:5] }, "trials"},
+	}
+	for _, c := range cases {
+		r := fakeReport("x", steady(100, 10))
+		c.break_(r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: corrupted report passed validation", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := fakeReport("round-trip", steady(88, 10))
+	path, err := r.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, "BENCH_round_trip.json") {
+		t.Fatalf("unexpected file name %s", path)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario != r.Scenario || got.Summaries[got.Primary] != r.Summaries[r.Primary] {
+		t.Fatalf("round trip changed the report")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := fakeReport("g", steady(100, 10))
+
+	ok := fakeReport("g", steady(97, 10))
+	if v, pass, err := Compare(base, ok, 0.10); err != nil || !pass || !strings.HasPrefix(v, "OK") {
+		t.Fatalf("3%% dip inside tolerance: verdict %q pass=%v err=%v", v, pass, err)
+	}
+
+	bad := fakeReport("g", steady(80, 10))
+	if v, pass, err := Compare(base, bad, 0.10); err != nil || pass || !strings.HasPrefix(v, "FAIL") {
+		t.Fatalf("20%% regression must fail: verdict %q pass=%v err=%v", v, pass, err)
+	}
+
+	better := fakeReport("g", steady(130, 10))
+	if _, pass, err := Compare(base, better, 0.10); err != nil || !pass {
+		t.Fatalf("improvement must pass: pass=%v err=%v", pass, err)
+	}
+
+	unstable := fakeReport("g", []float64{10, 200, 15, 180, 12, 190, 11, 175, 14, 185})
+	if unstable.Stable {
+		t.Fatal("dispersed fake report unexpectedly stable")
+	}
+	if v, pass, err := Compare(base, unstable, 0.10); err != nil || !pass || !strings.HasPrefix(v, "SKIP") {
+		t.Fatalf("unstable current run must abstain: verdict %q pass=%v err=%v", v, pass, err)
+	}
+
+	other := fakeReport("h", steady(100, 10))
+	if _, _, err := Compare(base, other, 0.10); err == nil {
+		t.Fatal("cross-scenario comparison must error")
+	}
+
+	lower := fakeReport("g", steady(100, 10))
+	lower.Better = "lower"
+	if _, _, err := Compare(base, lower, 0.10); err == nil {
+		t.Fatal("changed primary direction must error")
+	}
+}
+
+func TestValidateJSONRejectsGarbage(t *testing.T) {
+	if _, err := ValidateJSON([]byte("{not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ValidateJSON([]byte(`{"schema":"wrong"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"churn-under-load", "elephant-mice", "flash-crowd", "malformed-flood"}
+	got := []string{}
+	for _, s := range All() {
+		got = append(got, s.Name)
+		if s.Primary == "" || (s.Better != "higher" && s.Better != "lower") {
+			t.Errorf("%s: incomplete primary-metric declaration", s.Name)
+		}
+		if s.Run == nil || s.Configure == nil {
+			t.Errorf("%s: missing Run or Configure", s.Name)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("registered scenarios %v, want %v", got, want)
+	}
+	if _, err := Find("elephant-mice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("Find accepted an unknown scenario")
+	}
+}
+
+// TestScenariosSmoke runs every registered scenario for a couple of quick
+// trials end to end and checks the report contract.
+func TestScenariosSmoke(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			r, err := RunTrials(s, TrialOpts{Trials: 3, BaseSeed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			p := r.Summaries[r.Primary]
+			if p.Median <= 0 {
+				t.Fatalf("primary %s median %g — scenario delivered nothing", r.Primary, p.Median)
+			}
+			for i, tr := range r.Trials {
+				if tr.Seed != 11+uint64(i) {
+					t.Fatalf("trial %d seed %d breaks the convention", i, tr.Seed)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioTrialReplay is the replayability guarantee: re-running a trial
+// with its logged seed reproduces every metric exactly.
+func TestScenarioTrialReplay(t *testing.T) {
+	for _, name := range []string{"elephant-mice", "malformed-flood"} {
+		s, err := Find(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := s.Run(Config{Seed: 1234})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Run(Config{Seed: 1234})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed diverged:\n%v\n%v", name, a, b)
+		}
+		c, err := s.Run(Config{Seed: 4321})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a, c) {
+			t.Fatalf("%s: different seeds produced identical metrics — no per-trial variance", name)
+		}
+	}
+}
+
+func TestMalformedFloodForwardsNoJunk(t *testing.T) {
+	s, err := Find("malformed-flood")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run(Config{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["junk_forwarded"] != 0 {
+		t.Fatalf("%v malformed frames were forwarded to receivers", m["junk_forwarded"])
+	}
+	if m["junk_dropped_ratio"] < 0.9 {
+		t.Fatalf("only %.0f%% of junk accounted as unclassified", 100*m["junk_dropped_ratio"])
+	}
+	if m["good_delivered_ratio"] < 0.8 {
+		t.Fatalf("good traffic collapsed under the flood: delivered ratio %.2f", m["good_delivered_ratio"])
+	}
+}
+
+func TestChurnScenarioRetiresVRIs(t *testing.T) {
+	s, err := Find("churn-under-load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["retired_vris"] < 2 {
+		t.Fatalf("staircase retired only %v VRIs — no churn exercised", m["retired_vris"])
+	}
+	if m["alloc_events"] < 4 {
+		t.Fatalf("only %v allocation events", m["alloc_events"])
+	}
+	if m["delivered_ratio"] < 0.5 {
+		t.Fatalf("delivered ratio %.2f — churn destroyed most traffic", m["delivered_ratio"])
+	}
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lvrm/internal/sim"
+)
+
+// Stability thresholds and bootstrap parameters, documented in
+// BENCHMARKS.md. A scenario result is flagged unstable when the relative
+// 95% confidence-interval width of the median, or the relative interquartile
+// range, exceeds these bounds — the PASTRAMI instability criteria adapted to
+// a deterministic simulation whose per-trial variation comes from seeded
+// burstiness.
+const (
+	// BootstrapResamples is the number of bootstrap resamples used for the
+	// median's confidence interval.
+	BootstrapResamples = 1000
+	// MaxRelCIWidth is the stability bound on (CIHigh-CILow)/|median|.
+	MaxRelCIWidth = 0.10
+	// MaxRelIQR is the stability bound on IQR/|median|.
+	MaxRelIQR = 0.25
+)
+
+// Summary holds the distribution statistics of one metric across trials.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+	// IQR is the interquartile range (p75 - p25), the dispersion measure
+	// the stability verdict uses alongside the CI width.
+	IQR float64 `json:"iqr"`
+	// CILow/CIHigh bound the 95% bootstrap confidence interval of the
+	// median (percentile method, BootstrapResamples resamples, seeded).
+	CILow  float64 `json:"ci_low"`
+	CIHigh float64 `json:"ci_high"`
+	// RelCIWidth is (CIHigh-CILow)/|Median| (0 when the median is 0).
+	RelCIWidth float64 `json:"rel_ci_width"`
+	// RelIQR is IQR/|Median| (0 when the median is 0).
+	RelIQR float64 `json:"rel_iqr"`
+}
+
+// Summarize computes the Summary of samples. The bootstrap resampling is
+// seeded, so the confidence interval — like everything else in this
+// repository — is reproducible from the report's base seed.
+func Summarize(samples []float64, seed uint64) Summary {
+	var s Summary
+	s.N = len(samples)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(s.N)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	s.Median = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
+	s.IQR = percentile(sorted, 0.75) - percentile(sorted, 0.25)
+	s.CILow, s.CIHigh = bootstrapMedianCI(sorted, seed)
+	if m := math.Abs(s.Median); m > 0 {
+		s.RelCIWidth = (s.CIHigh - s.CILow) / m
+		s.RelIQR = s.IQR / m
+	}
+	return s
+}
+
+// Stable reports the verdict for the summary and, when unstable, why.
+func (s Summary) Stable() (bool, string) {
+	switch {
+	case s.N < 2:
+		return false, fmt.Sprintf("only %d trial(s): no dispersion estimate", s.N)
+	case s.RelCIWidth > MaxRelCIWidth:
+		return false, fmt.Sprintf("median CI width %.1f%% of median exceeds %.0f%%",
+			100*s.RelCIWidth, 100*MaxRelCIWidth)
+	case s.RelIQR > MaxRelIQR:
+		return false, fmt.Sprintf("IQR %.1f%% of median exceeds %.0f%%",
+			100*s.RelIQR, 100*MaxRelIQR)
+	}
+	return true, ""
+}
+
+// percentile interpolates the p-quantile (p in [0,1]) of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// bootstrapMedianCI returns the percentile-method 95% confidence interval of
+// the median: resample with replacement BootstrapResamples times, take each
+// resample's median, and read the 2.5th and 97.5th percentiles of those.
+func bootstrapMedianCI(sorted []float64, seed uint64) (lo, hi float64) {
+	n := len(sorted)
+	if n < 2 {
+		if n == 1 {
+			return sorted[0], sorted[0]
+		}
+		return 0, 0
+	}
+	rng := sim.NewRand(seed ^ 0xb007)
+	medians := make([]float64, BootstrapResamples)
+	resample := make([]float64, n)
+	for b := range medians {
+		for i := range resample {
+			resample[i] = sorted[rng.Intn(n)]
+		}
+		sort.Float64s(resample)
+		medians[b] = percentile(resample, 0.50)
+	}
+	sort.Float64s(medians)
+	return percentile(medians, 0.025), percentile(medians, 0.975)
+}

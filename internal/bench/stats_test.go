@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	samples := []float64{5, 1, 4, 2, 3}
+	s := Summarize(samples, 42)
+	if s.N != 5 {
+		t.Fatalf("N = %d, want 5", s.N)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Fatalf("min/max = %g/%g, want 1/5", s.Min, s.Max)
+	}
+	if s.Median != 3 {
+		t.Fatalf("median = %g, want 3", s.Median)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("mean = %g, want 3", s.Mean)
+	}
+	if s.IQR != 2 { // p75=4, p25=2 under linear interpolation
+		t.Fatalf("IQR = %g, want 2", s.IQR)
+	}
+	if s.CILow > s.Median || s.Median > s.CIHigh {
+		t.Fatalf("CI [%g, %g] does not bracket median %g", s.CILow, s.CIHigh, s.Median)
+	}
+}
+
+func TestSummarizeDeterministicBootstrap(t *testing.T) {
+	samples := []float64{10, 11, 9, 10.5, 9.5, 10.2, 10.1, 9.8, 10.3, 9.9}
+	a := Summarize(samples, 7)
+	b := Summarize(samples, 7)
+	if a != b {
+		t.Fatalf("same seed gave different summaries:\n%+v\n%+v", a, b)
+	}
+	c := Summarize(samples, 8)
+	if a.CILow == c.CILow && a.CIHigh == c.CIHigh {
+		t.Fatalf("different seeds gave identical bootstrap CIs [%g, %g]", a.CILow, a.CIHigh)
+	}
+	// The point statistics must not depend on the bootstrap seed.
+	if a.Median != c.Median || a.P95 != c.P95 || a.IQR != c.IQR {
+		t.Fatalf("point statistics changed with the bootstrap seed")
+	}
+}
+
+func TestStableVerdicts(t *testing.T) {
+	tight := make([]float64, 12)
+	for i := range tight {
+		tight[i] = 100 + 0.1*float64(i%3)
+	}
+	if ok, reason := Summarize(tight, 1).Stable(); !ok {
+		t.Fatalf("tight cluster flagged unstable: %s", reason)
+	}
+	wide := []float64{10, 200, 15, 180, 12, 190, 11, 175, 14, 185}
+	if ok, _ := Summarize(wide, 1).Stable(); ok {
+		t.Fatalf("wildly dispersed samples passed the stability check")
+	}
+	if ok, _ := Summarize([]float64{42}, 1).Stable(); ok {
+		t.Fatalf("a single trial must never be called stable")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}

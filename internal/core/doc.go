@@ -1,0 +1,37 @@
+// Package core implements LVRM itself: the user-space load-aware virtual
+// router monitor of Chapters 2 and 3. LVRM is organized exactly as the
+// paper's hierarchy (Figure 3.1):
+//
+//	LVRM
+//	├── socket adapter              (internal/netio)
+//	└── VR monitor                  — core allocation across VRs
+//	    └── VRI monitor (per VR)    — load balancing among the VR's VRIs
+//	        └── VRI adapter (per VRI) — load estimation + IPC queues
+//	            └── VRI             — the packet engine (internal/vr)
+//
+// The components are engine-agnostic: the discrete-event testbed drives them
+// step by step under virtual time (charging every action's CPU cost to a
+// simulated core), and the live Runtime drives the same components with real
+// goroutines over the lock-free queues.
+//
+// Three subsystems grown beyond the paper's text deserve a map:
+//
+// Dispatch (dispatch.go) has two shapes. The classic per-frame path asks
+// the VR's balancer for a VRI. The flow-aware path (FlowShards > 0) hashes
+// each frame's 5-tuple onto a sharded affinity table (internal/flow) so a
+// flow sticks to one VRI — per-flow ordering without a global lock — with
+// multi-producer MPSC queues carrying the sharded ingest into each VRI.
+//
+// Frame lifetime (internal/packet/pool) is pooled and refcounted: the
+// adapter leases buffers, Retain/Release move ownership through dispatch,
+// relay and send, and a drained monitor reports any outstanding buffer as a
+// leak. Release on an unpooled frame is a no-op, so heap frames flow
+// through the same code paths in tests and examples.
+//
+// VRI lifecycle (lifecycle.go) is an explicit state machine —
+// Starting → Running → Draining → Stopped — so destroying an instance under
+// live traffic is a drain, not an abort: admissions close first, then the
+// queue residue is migrated to surviving VRIs, relayed, or counted as
+// dropped (DrainStats); Stats.VRIsRetired and the drain counters make the
+// accounting visible, and frame-conservation tests hold the monitor to it.
+package core

@@ -403,4 +403,3 @@ func (v *VR) spawnVRI(core int, now int64, queueKind ipc.Kind, dataCap, ctlCap i
 	}
 	return a, nil
 }
-

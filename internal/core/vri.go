@@ -1,18 +1,3 @@
-// Package core implements LVRM itself: the user-space load-aware virtual
-// router monitor of Chapters 2 and 3. LVRM is organized exactly as the
-// paper's hierarchy (Figure 3.1):
-//
-//	LVRM
-//	├── socket adapter              (internal/netio)
-//	└── VR monitor                  — core allocation across VRs
-//	    └── VRI monitor (per VR)    — load balancing among the VR's VRIs
-//	        └── VRI adapter (per VRI) — load estimation + IPC queues
-//	            └── VRI             — the packet engine (internal/vr)
-//
-// The components are engine-agnostic: the discrete-event testbed drives them
-// step by step under virtual time (charging every action's CPU cost to a
-// simulated core), and the live Runtime drives the same components with real
-// goroutines over the lock-free queues.
 package core
 
 import (
@@ -81,7 +66,7 @@ type VRIAdapter struct {
 
 	// state is the VRIState machine (see lifecycle.go); atomic because the
 	// live runtime's VRI goroutine polls it while the monitor drains it.
-	state atomic.Int32
+	state      atomic.Int32
 	processed  atomic.Int64
 	engDrops   atomic.Int64
 	outDrops   atomic.Int64

@@ -101,82 +101,67 @@ type rig struct {
 	lgw  *testbed.LVRMGateway // nil for simple gateways
 }
 
-// buildLVRMRig assembles the Fig 4.1 topology around an LVRM gateway.
+// buildLVRMRig assembles the Fig 4.1 topology around an LVRM gateway, via
+// the shared testbed.NewRig assembly (also used by internal/bench).
 func buildLVRMRig(o lvrmOpts) (*rig, error) {
-	eng := sim.New()
-	r := &rig{eng: eng}
-	topo, err := testbed.NewTopology(eng, testbed.TopologyConfig{QueueLimit: o.queueLimit}, func(out func(*packet.Frame, int)) (testbed.Gateway, error) {
-		gw, err := testbed.NewLVRMGateway(testbed.LVRMGatewayConfig{
-			Eng:                 eng,
-			Mechanism:           o.mech,
-			Affinity:            o.affinity,
-			ExtraDispatchCost:   o.extraCost,
-			AllocPeriod:         o.allocPer,
-			AllowSharedLVRMCore: o.oversub,
-			Seed:                o.seed,
-			Out:                 out,
-			OnControl:           o.onControl,
-		})
-		if err != nil {
-			return nil, err
+	initial := o.initial
+	if initial < 1 {
+		initial = 1
+	}
+	mkVR := func(name string, classify func(*packet.Frame) bool, dummy time.Duration) core.VRConfig {
+		cfg := core.VRConfig{
+			Name:        name,
+			Classify:    classify,
+			Engine:      engineFactory(o.vrKind, dummy),
+			InitialVRIs: initial,
+			MaxVRIs:     o.maxVRIs,
 		}
-		r.lgw = gw
-		initial := o.initial
-		if initial < 1 {
-			initial = 1
+		if o.balancer != nil {
+			cfg.Balancer = o.balancer()
 		}
-		mkVR := func(name string, classify func(*packet.Frame) bool, dummy time.Duration) error {
-			cfg := core.VRConfig{
-				Name:        name,
-				Classify:    classify,
-				Engine:      engineFactory(o.vrKind, dummy),
-				InitialVRIs: initial,
-				MaxVRIs:     o.maxVRIs,
-			}
-			if o.balancer != nil {
-				cfg.Balancer = o.balancer()
-			}
-			if o.policy != nil {
-				cfg.Policy = o.policy()
-			}
-			_, err := gw.AddVR(cfg)
-			return err
+		if o.policy != nil {
+			cfg.Policy = o.policy()
 		}
-		if !o.secondVR {
-			if err := mkVR("vr1", func(*packet.Frame) bool { return true }, o.dummy); err != nil {
-				return nil, err
-			}
-		} else {
-			dummy2 := o.dummy2
-			if dummy2 == 0 {
-				dummy2 = o.dummy
-			}
-			bySrc := func(ip packet.IP) func(*packet.Frame) bool {
-				return func(f *packet.Frame) bool {
-					h, _, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:])
-					if err != nil {
-						return false
-					}
-					// Forward direction keys on the source host;
-					// reverse direction (replies) on the destination.
-					return h.Src == ip || h.Dst == ip
+		return cfg
+	}
+	var vrs []core.VRConfig
+	if !o.secondVR {
+		vrs = append(vrs, mkVR("vr1", func(*packet.Frame) bool { return true }, o.dummy))
+	} else {
+		dummy2 := o.dummy2
+		if dummy2 == 0 {
+			dummy2 = o.dummy
+		}
+		bySrc := func(ip packet.IP) func(*packet.Frame) bool {
+			return func(f *packet.Frame) bool {
+				h, _, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:])
+				if err != nil {
+					return false
 				}
-			}
-			if err := mkVR("vr1", bySrc(senderIP1), o.dummy); err != nil {
-				return nil, err
-			}
-			if err := mkVR("vr2", bySrc(senderIP2), dummy2); err != nil {
-				return nil, err
+				// Forward direction keys on the source host;
+				// reverse direction (replies) on the destination.
+				return h.Src == ip || h.Dst == ip
 			}
 		}
-		return gw, nil
+		vrs = append(vrs,
+			mkVR("vr1", bySrc(senderIP1), o.dummy),
+			mkVR("vr2", bySrc(senderIP2), dummy2))
+	}
+	tr, err := testbed.NewRig(testbed.RigOpts{
+		Mechanism:           o.mech,
+		Affinity:            o.affinity,
+		ExtraDispatchCost:   o.extraCost,
+		AllocPeriod:         o.allocPer,
+		AllowSharedLVRMCore: o.oversub,
+		QueueLimit:          o.queueLimit,
+		Seed:                o.seed,
+		OnControl:           o.onControl,
+		VRs:                 vrs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	r.topo = topo
-	r.gw = topo.GW
-	return r, nil
+	return &rig{eng: tr.Eng, topo: tr.Topo, gw: tr.Topo.GW, lgw: tr.GW}, nil
 }
 
 // bareLVRM is an LVRM gateway with no network attached: frames go straight

@@ -16,11 +16,11 @@ import "sync/atomic"
 // The element type is constrained to pointers because nil is the in-band
 // "empty" marker.
 type FastForward[T any] struct {
-	_     [cacheLine]byte
-	head  uint64 // consumer-local index
-	_     [cacheLine - 8]byte
-	tail  uint64 // producer-local index
-	_     [cacheLine - 8]byte
+	_      [cacheLine]byte
+	head   uint64 // consumer-local index
+	_      [cacheLine - 8]byte
+	tail   uint64 // producer-local index
+	_      [cacheLine - 8]byte
 	mask   uint64
 	buf    []atomic.Pointer[T]
 	drops  atomic.Int64

@@ -7,9 +7,18 @@
 // The default implementation is a lock-free single-producer/single-consumer
 // ring buffer in the style of Lamport (1977): producer and consumer may run
 // concurrently as long as they never touch the same entry, coordinated only
-// through two atomic cursors. A mutex-based queue and a channel-based queue
-// are provided as interchangeable variants, mirroring the paper's extensible
-// design where improved queue implementations can be dropped in.
+// through two atomic cursors. A FastForward-style cache-friendly ring, a
+// mutex-based queue and a channel-based queue are provided as
+// interchangeable variants, mirroring the paper's extensible design where
+// improved queue implementations can be dropped in. MPSC is the
+// multi-producer/single-consumer ring the flow-sharded dispatch path uses:
+// several ingest shards enqueue to one VRI, coordinated by a CAS on the
+// producer cursor, with full-queue rejections counted in Drops.
+//
+// Queues are closeable for graceful shutdown: Close makes further Enqueues
+// fail fast (and be counted) while Dequeue keeps draining the residue, so a
+// VRI being destroyed can flush in-flight frames without accepting new
+// work — the drain step of the core lifecycle state machine.
 package ipc
 
 // Queue is the minimal FIFO contract shared by all IPC queue variants.

@@ -6,6 +6,7 @@
 package traffic
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -94,6 +95,13 @@ type UDPSender struct {
 	// Flows cycles the source port over this many values so flow-based
 	// balancing sees multiple flows (default 1).
 	Flows int
+	// Peers cycles the source IP over this many consecutive addresses
+	// starting at Src, modeling distinct sender hosts behind the switch
+	// (default 1). A flash crowd is a sender whose Peers is suddenly large:
+	// every frame appears to come from another host, multiplying the
+	// distinct flow keys and peer-accounting entries downstream. Keep
+	// Src+Peers inside the classified subnet.
+	Peers int
 	// Jitter perturbs inter-frame gaps by a uniform factor in [1-J, 1+J],
 	// modeling the microbursts of a real kernel-scheduled sender. Zero
 	// keeps the paper's smooth constant-departure model.
@@ -133,6 +141,9 @@ func (s *UDPSender) Start(eng *sim.Engine) error {
 	}
 	if s.Flows < 1 {
 		s.Flows = 1
+	}
+	if s.Peers < 1 {
+		s.Peers = 1
 	}
 	if s.Jitter > 0 || s.Poisson {
 		s.rng = sim.NewRand(s.Seed + 0x5eed)
@@ -184,9 +195,15 @@ func (s *UDPSender) emitOne() {
 	if s.Flows > 1 {
 		port += uint16(int(s.seq) % s.Flows)
 	}
+	src := s.Src
+	if s.Peers > 1 {
+		// Round-robin over the peer block; combined with the port cycle
+		// this yields Flows×Peers distinct 5-tuples.
+		src += packet.IP((int(s.seq) / s.Flows) % s.Peers)
+	}
 	opts := packet.UDPBuildOpts{
 		SrcMAC: s.SrcMAC, DstMAC: s.DstMAC,
-		Src: s.Src, Dst: s.Dst,
+		Src: src, Dst: s.Dst,
 		SrcPort: port, DstPort: s.DstPort,
 		ID: s.seq, WireSize: s.WireSize,
 	}
@@ -203,6 +220,114 @@ func (s *UDPSender) emitOne() {
 	s.seq++
 	s.sent++
 	s.Emit(f)
+}
+
+// JunkSender floods malformed frames at a constant rate: the adversarial
+// input a hardened decoder must shrug off (the corpus FuzzFrameDecode
+// hardens against, arriving at line rate). Every frame is built from a
+// seeded corruption mode, so a flood replays bit-for-bit from its seed:
+//
+//   - pure garbage bytes with a random EtherType,
+//   - an IPv4 EtherType over a truncated IP header,
+//   - a wrong IP version or IHL,
+//   - a corrupted header checksum, and
+//   - a TotalLen that lies past the end of the buffer.
+//
+// None of these parse as IPv4, so a subnet-classified LVRM must count every
+// one as unclassified and drop it without forwarding or crashing; good
+// traffic sharing the ingress link is what the flood actually taxes.
+type JunkSender struct {
+	// Name labels the sender.
+	Name string
+	// FPS is the flood rate (required).
+	FPS float64
+	// MaxSize bounds the junk frame buffer length (default 256 bytes;
+	// minimum junk size is 1 byte — runts are part of the attack).
+	MaxSize int
+	// Seed makes the corruption sequence reproducible (required for
+	// replay; two senders with the same seed emit identical floods).
+	Seed uint64
+	// Emit delivers each generated frame (required).
+	Emit func(*packet.Frame)
+
+	sent  int64
+	timer *sim.Timer
+	rng   *sim.Rand
+}
+
+// Start schedules the flood on the engine.
+func (s *JunkSender) Start(eng *sim.Engine) error {
+	if s.Emit == nil {
+		return fmt.Errorf("traffic: junk sender %s has no Emit", s.Name)
+	}
+	if s.FPS <= 0 {
+		return fmt.Errorf("traffic: junk sender %s has no rate", s.Name)
+	}
+	if s.MaxSize <= 0 {
+		s.MaxSize = 256
+	}
+	s.rng = sim.NewRand(s.Seed + 0xbad)
+	gap := time.Duration(float64(time.Second) / s.FPS)
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	var tick func()
+	tick = func() {
+		s.Emit(s.makeJunk())
+		s.sent++
+		s.timer = eng.Schedule(gap, tick)
+	}
+	tick()
+	return nil
+}
+
+// Stop halts the flood.
+func (s *JunkSender) Stop() {
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+}
+
+// Sent returns the number of junk frames generated.
+func (s *JunkSender) Sent() int64 { return s.sent }
+
+// makeJunk builds one malformed frame from the next corruption mode.
+func (s *JunkSender) makeJunk() *packet.Frame {
+	mode := s.rng.Intn(5)
+	n := 1 + s.rng.Intn(s.MaxSize)
+	if mode != 0 && n < packet.EthHeaderLen+4 {
+		// Structured modes need room for an Ethernet header plus a few
+		// bytes of broken payload; mode 0 keeps the true runts.
+		n = packet.EthHeaderLen + 4 + s.rng.Intn(s.MaxSize-packet.EthHeaderLen-4+1)
+	}
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(s.rng.Uint64())
+	}
+	if mode != 0 {
+		// A plausible Ethernet header carrying a broken IPv4 packet.
+		binary.BigEndian.PutUint16(buf[12:14], packet.EtherTypeIPv4)
+		ip := buf[packet.EthHeaderLen:]
+		switch mode {
+		case 1: // truncated IP header: random bytes already there, length < 20
+			if len(ip) > packet.IPv4HeaderLen-1 {
+				buf = buf[:packet.EthHeaderLen+s.rng.Intn(packet.IPv4HeaderLen)]
+			}
+		case 2: // wrong version or IHL
+			ip[0] = byte(s.rng.Intn(4)) << 4 // version 0-3
+		case 3: // right version/IHL, corrupted checksum
+			if len(ip) >= packet.IPv4HeaderLen {
+				ip[0] = 0x45
+				ip[10], ip[11] = 0xde, 0xad
+			}
+		case 4: // TotalLen lies beyond the buffer
+			if len(ip) >= packet.IPv4HeaderLen {
+				ip[0] = 0x45
+				binary.BigEndian.PutUint16(ip[2:4], uint16(len(ip)+1+s.rng.Intn(1000)))
+			}
+		}
+	}
+	return &packet.Frame{Buf: buf, Out: -1}
 }
 
 // Pinger generates ICMP echo requests at a fixed rate and matches replies

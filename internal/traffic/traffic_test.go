@@ -1,6 +1,8 @@
 package traffic
 
 import (
+	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 	"time"
@@ -298,5 +300,92 @@ func TestJitterSenderBounded(t *testing.T) {
 		if float64(g) < nominal*0.79 || float64(g) > nominal*1.21 {
 			t.Fatalf("gap %d = %d outside ±20%% of %v", i, g, nominal)
 		}
+	}
+}
+
+func TestSenderPeerFanIn(t *testing.T) {
+	eng := sim.New()
+	srcs := map[packet.IP]int{}
+	ports := map[uint16]int{}
+	s := &UDPSender{
+		Src: packet.IPv4(10, 1, 1, 0), Dst: packet.IPv4(10, 2, 0, 1),
+		SrcPort: 5000, Flows: 4, Peers: 100,
+		Profile: ConstantProfile(50000),
+		Emit: func(f *packet.Frame) {
+			h, _, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:])
+			if err != nil {
+				t.Fatalf("sender emitted unparseable frame: %v", err)
+			}
+			srcs[h.Src]++
+			ports[binary.BigEndian.Uint16(f.Buf[packet.EthHeaderLen+packet.IPv4HeaderLen:])]++
+		},
+	}
+	if err := s.Start(eng); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(100 * time.Millisecond)
+	if len(srcs) != 100 {
+		t.Errorf("distinct source IPs = %d, want 100", len(srcs))
+	}
+	if len(ports) != 4 {
+		t.Errorf("distinct source ports = %d, want 4", len(ports))
+	}
+	base := uint32(packet.IPv4(10, 1, 1, 0))
+	for ip := range srcs {
+		if uint32(ip) < base || uint32(ip) >= base+100 {
+			t.Errorf("source %v outside the peer block", ip)
+		}
+	}
+}
+
+func TestJunkSenderAllMalformed(t *testing.T) {
+	eng := sim.New()
+	var frames []*packet.Frame
+	s := &JunkSender{
+		Name: "J1", FPS: 10000, Seed: 7,
+		Emit: func(f *packet.Frame) { frames = append(frames, f) },
+	}
+	if err := s.Start(eng); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(100 * time.Millisecond)
+	if len(frames) < 900 {
+		t.Fatalf("junk sender emitted %d frames, want ~1000", len(frames))
+	}
+	for i, f := range frames {
+		if f.EtherType() != packet.EtherTypeIPv4 {
+			continue // garbage EtherType: already unclassifiable
+		}
+		if len(f.Buf) < packet.EthHeaderLen+packet.IPv4HeaderLen {
+			continue // truncated: already unclassifiable
+		}
+		if _, _, err := packet.ParseIPv4(f.Buf[packet.EthHeaderLen:]); err == nil {
+			t.Fatalf("junk frame %d parsed as valid IPv4", i)
+		}
+	}
+}
+
+func TestJunkSenderReplaysFromSeed(t *testing.T) {
+	flood := func(seed uint64) [][]byte {
+		eng := sim.New()
+		var out [][]byte
+		s := &JunkSender{FPS: 10000, Seed: seed, Emit: func(f *packet.Frame) { out = append(out, f.Buf) }}
+		if err := s.Start(eng); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(10 * time.Millisecond)
+		return out
+	}
+	a, b := flood(42), flood(42)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("frame %d differs between identically seeded floods", i)
+		}
+	}
+	if c := flood(43); len(c) > 0 && bytes.Equal(a[0], c[0]) && bytes.Equal(a[len(a)-1], c[len(c)-1]) {
+		t.Error("different seeds produced an identical flood")
 	}
 }
