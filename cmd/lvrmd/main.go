@@ -9,8 +9,8 @@
 //	lvrmd [-vrs 2] [-rate 50000] [-duration 10s] [-balancer jsq]
 //	      [-policy dynamic-fixed:20000] [-queue lockfree] [-burn]
 //	      [-http :8080] [-tracecap 1024] [-udp :9000] [-udp-allow 10.0.0.0/8]
-//	      [-flow-shards 8] [-flow-table 1024] [-frame-pool] [-pool-poison]
-//	      [-drain-timeout 5s]
+//	      [-flow-shards 8] [-flow-table 1024] [-flow-admit 256]
+//	      [-frame-pool] [-pool-poison] [-drain-timeout 5s]
 //
 // Shutdown (SIGINT, SIGTERM, or -duration elapsing) is a graceful drain: the
 // generator stops, the monitor switches to relay-only mode, and lvrmd waits
@@ -57,23 +57,24 @@ func main() { os.Exit(run()) }
 // shutdown, 1 startup failure, 2 bad flags, 3 forced (dirty) shutdown.
 func run() int {
 	var (
-		nVRs     = flag.Int("vrs", 2, "number of hosted virtual routers")
-		rate     = flag.Float64("rate", 50000, "aggregate generated frame rate (fps)")
-		duration = flag.Duration("duration", 10*time.Second, "how long to run (0 = until interrupt)")
-		balName  = flag.String("balancer", "jsq", "load balancer: jsq, rr, random")
-		polName  = flag.String("policy", "dynamic-fixed:20000", "core allocation policy: fixed:<n>, dynamic-fixed:<fps>, dynamic-service")
-		queue    = flag.String("queue", "lockfree", "IPC queue kind: lockfree, locked, channel")
-		burn     = flag.Bool("burn", false, "busy-spin each frame's simulated cost (real CPU load)")
-		httpAddr = flag.String("http", "", "serve /status, /metrics, /trace, /debug/vars and /debug/pprof at this address (e.g. :8080)")
-		traceCap = flag.Int("tracecap", 1024, "event tracer ring capacity (allocation, lifecycle, sampled balancer events)")
-		udpAddr  = flag.String("udp", "", "receive frames as UDP datagrams on this address instead of the built-in generator")
-		batch    = flag.Int("batch", 16, "frames moved per queue operation on the receive, VRI and relay paths (1 = per-frame)")
-		flowSh   = flag.Int("flow-shards", 0, "flow-affinity table shards per VR; > 0 replaces the per-VR balancer lock with flow-sharded dispatch (0 = classic locked path)")
-		flowCap  = flag.Int("flow-table", 1024, "total pinned flows per VR across shards (stalest flows evicted beyond this)")
-		usePool  = flag.Bool("frame-pool", true, "recycle frame buffers through the size-classed pool (zero allocations per frame at steady state); false reverts to per-frame heap allocation")
-		poison   = flag.Bool("pool-poison", false, "fill released pool buffers with a sentinel and panic on use-after-release (debugging; costs a memset per frame)")
-		udpAllow = flag.String("udp-allow", "", "comma-separated source CIDRs/addresses the UDP adapter accepts (empty = accept all)")
-		drainTO  = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown bound: how long to wait for in-flight frames to drain before force-releasing the residue and exiting 3")
+		nVRs      = flag.Int("vrs", 2, "number of hosted virtual routers")
+		rate      = flag.Float64("rate", 50000, "aggregate generated frame rate (fps)")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to run (0 = until interrupt)")
+		balName   = flag.String("balancer", "jsq", "load balancer: jsq, rr, random")
+		polName   = flag.String("policy", "dynamic-fixed:20000", "core allocation policy: fixed:<n>, dynamic-fixed:<fps>, dynamic-service")
+		queue     = flag.String("queue", "lockfree", "IPC queue kind: lockfree, locked, channel")
+		burn      = flag.Bool("burn", false, "busy-spin each frame's simulated cost (real CPU load)")
+		httpAddr  = flag.String("http", "", "serve /status, /metrics, /trace, /debug/vars and /debug/pprof at this address (e.g. :8080)")
+		traceCap  = flag.Int("tracecap", 1024, "event tracer ring capacity (allocation, lifecycle, sampled balancer events)")
+		udpAddr   = flag.String("udp", "", "receive frames as UDP datagrams on this address instead of the built-in generator")
+		batch     = flag.Int("batch", 16, "frames moved per queue operation on the receive, VRI and relay paths (1 = per-frame)")
+		flowSh    = flag.Int("flow-shards", 0, "flow-affinity table shards per VR; > 0 replaces the per-VR balancer lock with flow-sharded dispatch (0 = classic locked path)")
+		flowCap   = flag.Int("flow-table", 1024, "total pinned-flow capacity per VR across shards; rounded up per shard to a power of two of at least one probe window, so the effective capacity (logged at startup) can exceed this")
+		flowAdmit = flag.Int("flow-admit", 0, "load-aware admission depth: > 0 with -flow-shards sheds new flows (counted drop) when every VRI's input queue is at least this deep; established flows are never shed (0 = admit everything)")
+		usePool   = flag.Bool("frame-pool", true, "recycle frame buffers through the size-classed pool (zero allocations per frame at steady state); false reverts to per-frame heap allocation")
+		poison    = flag.Bool("pool-poison", false, "fill released pool buffers with a sentinel and panic on use-after-release (debugging; costs a memset per frame)")
+		udpAllow  = flag.String("udp-allow", "", "comma-separated source CIDRs/addresses the UDP adapter accepts (empty = accept all)")
+		drainTO   = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown bound: how long to wait for in-flight frames to drain before force-releasing the residue and exiting 3")
 	)
 	flag.Parse()
 
@@ -125,18 +126,19 @@ func run() int {
 	tracer := obs.NewTracer(*traceCap)
 	obs.RegisterGoRuntime(registry)
 	lvrm, err := core.New(core.Config{
-		Adapter:      sock,
-		QueueKind:    kind,
-		Clock:        core.WallClock,
-		AllocPeriod:  time.Second,
-		Obs:          registry,
-		Trace:        tracer,
-		FramePool:    framePool,
-		RecvBatch:    *batch,
-		VRIBatch:     *batch,
-		RelayBatch:   *batch,
-		FlowShards:   *flowSh,
-		FlowTableCap: *flowCap,
+		Adapter:        sock,
+		QueueKind:      kind,
+		Clock:          core.WallClock,
+		AllocPeriod:    time.Second,
+		Obs:            registry,
+		Trace:          tracer,
+		FramePool:      framePool,
+		RecvBatch:      *batch,
+		VRIBatch:       *batch,
+		RelayBatch:     *batch,
+		FlowShards:     *flowSh,
+		FlowTableCap:   *flowCap,
+		FlowAdmitDepth: *flowAdmit,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -173,6 +175,17 @@ func run() int {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
+		}
+	}
+	// Surface the flow table's effective geometry: NewTable rounds shard count
+	// and per-shard capacity up to powers of two (at least one probe window per
+	// shard), so the table an operator gets can be bigger than -flow-table.
+	if *flowSh > 0 {
+		if vrs := lvrm.VRs(); len(vrs) > 0 {
+			if tbl := vrs[0].FlowTable(); tbl != nil {
+				fmt.Printf("flow table (per VR): shards=%d shard_cap=%d effective_cap=%d (requested %d) admit_depth=%d\n",
+					tbl.Shards(), tbl.ShardCap(), tbl.Shards()*tbl.ShardCap(), *flowCap, *flowAdmit)
+			}
 		}
 	}
 	rt.Start()
@@ -347,11 +360,11 @@ func run() int {
 				outDrops += a.OutDrops()
 			}
 		}
-		fmt.Printf("shutdown: received=%d sent=%d send_errors=%d unclassified=%d in_drops=%d engine_drops=%d out_drops=%d drain_migrated=%d drain_dropped=%d vris_retired=%d\n",
+		fmt.Printf("shutdown: received=%d sent=%d send_errors=%d unclassified=%d in_drops=%d admit_shed=%d engine_drops=%d out_drops=%d drain_migrated=%d drain_dropped=%d vris_retired=%d\n",
 			st.Received, st.Sent, st.SendErrors, st.Unclassified, inDrops,
-			engDrops, outDrops, drain.Migrated, drain.Dropped, st.VRIsRetired)
+			st.FlowAdmitShed, engDrops, outDrops, drain.Migrated, drain.Dropped, st.VRIsRetired)
 		unaccounted := st.Received - (st.Sent + st.SendErrors + st.Unclassified +
-			inDrops + drain.Dropped + engDrops + outDrops + forced)
+			inDrops + st.FlowAdmitShed + drain.Dropped + engDrops + outDrops + forced)
 		if framePool != nil {
 			ps := framePool.Stats()
 			fmt.Printf("pool: outstanding=%d recycled=%d\n", ps.Outstanding, ps.Recycles)

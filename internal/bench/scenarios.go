@@ -2,11 +2,13 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
 	"lvrm/internal/alloc"
 	"lvrm/internal/core"
+	"lvrm/internal/flow"
 	"lvrm/internal/netio"
 	"lvrm/internal/packet"
 	"lvrm/internal/route"
@@ -106,6 +108,7 @@ func init() {
 	register(flashCrowd())
 	register(malformedFlood())
 	register(churnUnderLoad())
+	register(flowScale())
 }
 
 // elephantMice runs one un-splittable elephant flow slightly above a single
@@ -185,8 +188,9 @@ func elephantMice() Scenario {
 // flashCrowd holds a steady single-peer baseline while 100 new peers switch
 // on at once mid-run — a 100× fan-in spike multiplying the distinct flow
 // keys far past the affinity table's capacity. The crowd must be absorbed
-// and, crucially, the steady customer's delivery must survive the eviction
-// thrash it causes.
+// and, crucially, the steady customer's delivery must survive the squeeze:
+// with the arena table the excess crowd flows run unpinned (Overflow) while
+// every established pin — the steady customer's flows above all — stays put.
 func flashCrowd() Scenario {
 	const (
 		steadyFPS    = 30000
@@ -267,6 +271,7 @@ func flashCrowd() Scenario {
 			}
 			if fs, ok := v.FlowStats(); ok {
 				m["flow_evictions"] = float64(fs.Evictions)
+				m["flow_overflows"] = float64(fs.Overflows)
 				m["flow_rebalances"] = float64(fs.Rebalances)
 			}
 			return m, nil
@@ -425,4 +430,118 @@ func churnScale(c Config) (perCoreFPS float64, dwell time.Duration) {
 		return perVRIFPS, 400 * time.Millisecond
 	}
 	return perVRIFPS / 10, 100 * time.Millisecond
+}
+
+// flowScale sweeps the flow-affinity table from 10k to 1M concurrent flows
+// and verifies the arena rebuild's contract at each step: every flow installs
+// and stays pinned (growth instead of eviction — the scenario errors on a
+// single eviction or a lost pin), the incremental resize keeps amortized
+// assign cost flat, and the steady-state hit path allocates nothing. The
+// primary metric is pinned_kflows — deterministically 1000 while the table
+// holds its capacity promise, so the CI gate trips on any future change that
+// stops the table short of a million flows; throughput and allocation figures
+// ride along as secondary metrics.
+func flowScale() Scenario {
+	const (
+		shards   = 64
+		shardCap = 1 << 16 // 64 shards × 64Ki slots: 1M flows is 25% load
+		vris     = 4
+	)
+	scales := []int{10_000, 100_000, 1_000_000}
+	return Scenario{
+		Name:    "flowscale",
+		Title:   "10k to 1M concurrent flows through the arena-backed affinity table",
+		Primary: "pinned_kflows",
+		Better:  "higher",
+		Configure: func(c Config) map[string]float64 {
+			return map[string]float64{
+				"shards":     shards,
+				"shard_cap":  shardCap,
+				"max_flows":  float64(scales[len(scales)-1]),
+				"hit_ops":    float64(flowScaleHitOps(c)),
+				"sweep_vris": vris,
+			}
+		},
+		Run: func(c Config) (Metrics, error) {
+			maxFlows := scales[len(scales)-1]
+			tb := flow.NewTable(shards, shardCap)
+			keepAlways := func(int) bool { return true }
+			next := int(c.Seed)
+			pick := func() int { next++; return next % vris }
+
+			// Distinct nonzero keys from the trial seed (splitmix64), so every
+			// trial exercises a different slab layout.
+			keys := make([]uint64, maxFlows)
+			x := c.Seed
+			for i := range keys {
+				x += 0x9e3779b97f4a7c15
+				z := x
+				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+				z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+				z ^= z >> 31
+				if z == 0 {
+					z = 1
+				}
+				keys[i] = z
+			}
+
+			m := Metrics{}
+			installed := 0
+			var installDur time.Duration
+			for _, scale := range scales {
+				start := time.Now()
+				for ; installed < scale; installed++ {
+					if _, out := tb.Assign(keys[installed], int64(installed), keepAlways, pick); out != flow.Miss {
+						return nil, fmt.Errorf("bench: flowscale flow %d installed as %v, want miss", installed, out)
+					}
+				}
+				installDur += time.Since(start)
+				if got := tb.Len(); got != scale {
+					return nil, fmt.Errorf("bench: flowscale pinned %d flows at the %d step", got, scale)
+				}
+			}
+
+			// Steady state: hammer the hit path over the established flows and
+			// meter heap allocations across it — the hot path must not touch
+			// the heap at a million live flows any more than it does at ten.
+			hitOps := flowScaleHitOps(c)
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			hitStart := time.Now()
+			idx := int(c.Seed)
+			for i := 0; i < hitOps; i++ {
+				idx = (idx + 40503) % maxFlows // odd stride covers the key set
+				if _, out := tb.Assign(keys[idx], int64(i), keepAlways, pick); out != flow.Hit {
+					return nil, fmt.Errorf("bench: flowscale steady-state assign of flow %d = %v, want hit", idx, out)
+				}
+			}
+			hitDur := time.Since(hitStart)
+			runtime.ReadMemStats(&ms1)
+
+			st := tb.Stats()
+			if st.Evictions != 0 {
+				return nil, fmt.Errorf("bench: flowscale evicted %d pinned flows (growth must replace eviction)", st.Evictions)
+			}
+			if st.Overflows != 0 {
+				return nil, fmt.Errorf("bench: flowscale overflowed %d flows below capacity", st.Overflows)
+			}
+			m["pinned_kflows"] = float64(tb.Len()) / 1000
+			m["assign_mops"] = float64(maxFlows) / installDur.Seconds() / 1e6
+			m["hit_mops"] = float64(hitOps) / hitDur.Seconds() / 1e6
+			m["hit_allocs_per_frame"] = float64(ms1.Mallocs-ms0.Mallocs) / float64(hitOps)
+			m["resizes"] = float64(st.Resizes)
+			m["evictions"] = float64(st.Evictions)
+			return m, nil
+		},
+	}
+}
+
+// flowScaleHitOps is the steady-state hit-phase length: long enough in full
+// mode for a clean throughput figure, shorter in quick mode where the CI gate
+// only needs the capacity and allocation checks.
+func flowScaleHitOps(c Config) int {
+	if c.Full {
+		return 2_000_000
+	}
+	return 500_000
 }

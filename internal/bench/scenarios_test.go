@@ -6,7 +6,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"churn-under-load", "elephant-mice", "flash-crowd", "malformed-flood"}
+	want := []string{"churn-under-load", "elephant-mice", "flash-crowd", "flowscale", "malformed-flood"}
 	got := []string{}
 	for _, s := range All() {
 		got = append(got, s.Name)

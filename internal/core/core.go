@@ -55,9 +55,18 @@ type Config struct {
 	// default) keeps the seed single-lock dispatch path exactly.
 	FlowShards int
 	// FlowTableCap bounds the total pinned flows per VR across all shards
-	// (default 1024). When a shard's probe window fills, the stalest flow is
-	// evicted, so the table never grows past this bound.
+	// (default 1024; effective capacity is rounded up — see flow.NewTable).
+	// Shards start small and resize incrementally toward the bound; at the
+	// bound, new flows run unpinned rather than evicting established ones.
 	FlowTableCap int
+	// FlowAdmitDepth, when > 0 with flow dispatch enabled, is the load-aware
+	// admission threshold: a frame of a *new* (unpinned) flow is shed —
+	// counted, never enqueued — whenever even the least-loaded VRI's input
+	// queue holds at least this many frames. Established flows are exempt:
+	// they keep dispatching to their pinned VRI, so overload degrades
+	// admission of newcomers before it degrades per-flow consistency of
+	// traffic already accepted. Zero (the default) admits everything.
+	FlowAdmitDepth int
 	// AllocPeriod is the minimum interval between core re-allocation
 	// passes; the paper uses 1 second.
 	AllocPeriod time.Duration
@@ -203,6 +212,9 @@ func New(cfg Config) (*LVRM, error) {
 	if cfg.FlowTableCap <= 0 {
 		cfg.FlowTableCap = 1024
 	}
+	if cfg.FlowAdmitDepth < 0 {
+		cfg.FlowAdmitDepth = 0
+	}
 	allocator, err := cores.NewAllocator(cfg.Topology, cfg.LVRMCore)
 	if err != nil {
 		return nil, err
@@ -259,6 +271,7 @@ func (l *LVRM) AddVR(cfg VRConfig) (*VR, error) {
 		// to at least one probe window. Must exist before the initial VRIs
 		// spawn so their data-in queues are built multi-producer.
 		v.flows = flow.NewTable(l.cfg.FlowShards, l.cfg.FlowTableCap/l.cfg.FlowShards)
+		v.admitDepth = l.cfg.FlowAdmitDepth
 	}
 	l.initVRObs(v)
 	now := l.cfg.Clock()
@@ -287,6 +300,7 @@ type Stats struct {
 	Sent            int64 // frames forwarded to the adapter
 	SendErrors      int64 // frames consumed from a VRI queue but lost in Adapter.Send
 	Unclassified    int64 // frames no VR claimed
+	FlowAdmitShed   int64 // new-flow frames shed by load-aware admission
 	ControlRelayed  int64
 	ControlDropped  int64
 	VRIsLive        int
@@ -301,13 +315,14 @@ type Stats struct {
 // from any goroutine while the runtime processes traffic.
 func (l *LVRM) Stats() Stats {
 	live := 0
-	var retired, migrated, relayed, dropped int64
+	var retired, migrated, relayed, dropped, shed int64
 	for _, v := range l.vrList() {
 		live += v.Cores()
 		retired += v.retiredVRIs.Load()
 		migrated += v.drainMigrated.Load()
 		relayed += v.drainRelayed.Load()
 		dropped += v.drainDropped.Load()
+		shed += v.admitShed.Load()
 	}
 	l.allocMu.Lock()
 	allocs := len(l.allocEvents)
@@ -317,6 +332,7 @@ func (l *LVRM) Stats() Stats {
 		Sent:            l.sent.Load(),
 		SendErrors:      l.sendErrs.Load(),
 		Unclassified:    l.unclassified.Load(),
+		FlowAdmitShed:   shed,
 		ControlRelayed:  l.ctlRelayed.Load(),
 		ControlDropped:  l.ctlDropped.Load(),
 		VRIsLive:        live,

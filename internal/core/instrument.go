@@ -134,6 +134,8 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.dispatched.Load()) })
 	perVR("lvrm_vr_in_drops_total", "Frames lost to full (or closing) VRI input queues.",
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.inDrops.Load()) })
+	perVR("lvrm_vr_admit_shed_total", "New-flow frames shed by load-aware admission (every VRI backed up past -flow-admit).",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.admitShed.Load()) })
 
 	// VRI lifecycle states (lifecycle.go). Running/draining are instantaneous
 	// counts over the live list; stopped is the cumulative retired total, so
@@ -208,13 +210,18 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 		func(s flow.Stats) int64 { return s.Refreshes })
 	flowStat("lvrm_flow_rebalances_total", "Stale pins re-balanced onto a fresh VRI after a spawn/destroy epoch.",
 		func(s flow.Stats) int64 { return s.Rebalances })
-	flowStat("lvrm_flow_evictions_total", "Flows evicted from a full shard probe window (stalest first).",
+	flowStat("lvrm_flow_refusals_total", "Dispatches where pick declined a VRI (load-aware admission); nothing was installed.",
+		func(s flow.Stats) int64 { return s.Refusals })
+	flowStat("lvrm_flow_overflows_total", "New flows turned away unpinned by a shard at capacity (established pins kept).",
+		func(s flow.Stats) int64 { return s.Overflows })
+	flowStat("lvrm_flow_evictions_total", "Pins lost to a probe-window collision during slab migration (expected ~0).",
 		func(s flow.Stats) int64 { return s.Evictions })
-	flowStat("lvrm_flow_unpinned_total", "Pins deleted by the eager teardown sweep with no survivor to take the flow.",
+	flowStat("lvrm_flow_unpinned_total", "Pins deleted: teardown sweep with no survivor, or stale pin whose repick refused.",
 		func(s flow.Stats) int64 { return s.Unpinned })
-	reg.Collect("lvrm_flow_shard_occupancy",
-		"Pinned flows per affinity-table shard.", obs.TypeGauge,
-		func(emit func(obs.Sample)) {
+	flowStat("lvrm_flow_resizes_total", "Shard slab doublings (incremental resize events).",
+		func(s flow.Stats) int64 { return s.Resizes })
+	perShard := func(name, help string, typ obs.Type, val func(t *flow.Table, i int) float64) {
+		reg.Collect(name, help, typ, func(emit func(obs.Sample)) {
 			for _, v := range l.vrList() {
 				if v.flows == nil {
 					continue
@@ -225,11 +232,21 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 							obs.L("vr", v.cfg.Name),
 							obs.L("shard", strconv.Itoa(i)),
 						},
-						Value: float64(v.flows.ShardOccupancy(i)),
+						Value: val(v.flows, i),
 					})
 				}
 			}
 		})
+	}
+	perShard("lvrm_flow_shard_occupancy",
+		"Pinned flows per affinity-table shard.", obs.TypeGauge,
+		func(t *flow.Table, i int) float64 { return float64(t.ShardOccupancy(i)) })
+	perShard("lvrm_flow_shard_slots",
+		"Allocated slab slots per shard (grows by doubling toward the shard cap).", obs.TypeGauge,
+		func(t *flow.Table, i int) float64 { return float64(t.ShardSlots(i)) })
+	perShard("lvrm_flow_shard_evictions_total",
+		"Migration probe-collision evictions per shard.", obs.TypeCounter,
+		func(t *flow.Table, i int) float64 { return float64(t.ShardEvictions(i)) })
 
 	// Per-VRI series: VRIs spawn and die with core allocation, so these are
 	// collectors too — no register/unregister churn in the allocation pass.

@@ -68,9 +68,13 @@ type VR struct {
 	// the frame to a flow key, pins the flow to a VRI, and enqueues without
 	// taking mu. Nil keeps the seed single-lock path exactly.
 	flows *flow.Table
+	// admitDepth is Config.FlowAdmitDepth: > 0 sheds new flows when every
+	// VRI's input queue is at least this deep (see dispatchFlow).
+	admitDepth int
 
 	dispatched atomic.Int64
 	inDrops    atomic.Int64 // frames lost to full (or closing) VRI input queues
+	admitShed  atomic.Int64 // new-flow frames shed by load-aware admission
 
 	// Drain accounting: where destroyed VRIs' queue residue went, summed
 	// over every teardown (see lifecycle.go's DrainStats).
@@ -122,6 +126,10 @@ func (v *VR) Dispatched() int64 { return v.dispatched.Load() }
 
 // InDrops returns frames lost to full VRI input queues.
 func (v *VR) InDrops() int64 { return v.inDrops.Load() }
+
+// AdmissionShed returns new-flow frames shed by load-aware admission
+// (Config.FlowAdmitDepth) instead of being queued behind a backlog.
+func (v *VR) AdmissionShed() int64 { return v.admitShed.Load() }
 
 // Balancer returns the VR's load balancer.
 func (v *VR) Balancer() balance.Balancer { return v.cfg.Balancer }
@@ -239,12 +247,14 @@ func (v *VR) dispatchFlow(f *packet.Frame, now int64) error {
 	}
 	key := flow.KeyOf(f)
 	var chosen *VRIAdapter
+	established := false
 	// keep decides what to do with a pin from before the last VRI spawn or
 	// destroy. Moving a flow whose frames are still queued on the old VRI
 	// would let the new VRI overtake them, so affinity is kept while the
 	// pinned VRI is alive and backed up; a drained (or dead) flow can move
 	// freely — its frames are all processed (or already lost to teardown).
 	keep := func(id int) bool {
+		established = true
 		a, ok := snapshotByID(vris, id)
 		if !ok || a.Data.In.Len() > 0 {
 			chosen = a // nil when !ok; Assign then consults pick
@@ -254,12 +264,29 @@ func (v *VR) dispatchFlow(f *packet.Frame, now int64) error {
 	}
 	// pick chooses a VRI for an unpinned flow: least instantaneous queue
 	// depth, service rate breaking ties. It runs under the shard lock, so
-	// concurrent misses on the same flow agree on one assignment.
+	// concurrent misses on the same flow agree on one assignment. Load-aware
+	// admission lives here: when even that least-loaded VRI is backed up
+	// past admitDepth, a brand-new flow is refused — shed below as a counted
+	// drop — while a flow that already held a pin (keep ran, so Assign is
+	// re-balancing it) is always placed, preserving the established traffic
+	// the backlog belongs to.
 	pick := func() int {
-		chosen = leastLoaded(vris)
-		return chosen.ID
+		best := leastLoaded(vris)
+		if v.admitDepth > 0 && !established && best.Data.In.Len() >= v.admitDepth {
+			return -1
+		}
+		chosen = best
+		return best.ID
 	}
 	id, outcome := v.flows.Assign(key, now, keep, pick)
+	if id < 0 {
+		// Admission refused the new flow: shed the frame before it joins a
+		// backlog no VRI can clear. The arrival estimator already saw it, so
+		// the VR's offered load (and thus its claim to more cores) is intact.
+		v.admitShed.Add(1)
+		f.Release()
+		return fmt.Errorf("core: VR %d shed new flow under load (admit depth %d)", v.ID, v.admitDepth)
+	}
 	a := chosen
 	if a == nil || a.ID != id {
 		// Hit on a pin whose VRI is not in our snapshot: teardown raced

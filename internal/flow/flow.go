@@ -11,10 +11,18 @@
 // Concurrency model: the table is split into N independent shards. An ingest
 // goroutine hashes its frame's key onto one shard and takes only that shard's
 // mutex, so goroutines working different shards never contend, and the common
-// case (table hit) is one short critical section over a few array slots.
-// Within a shard, entries live in a bounded open-addressing map (linear
-// probing over a fixed window); when the window is full the stalest entry is
-// evicted, bounding memory with no background sweeper.
+// case (table hit) is one short critical section over a few slab slots.
+//
+// Storage model: each shard owns one flat slab of fixed-size entries (no
+// pointers, one allocation), probed linearly over a bounded window. The slab
+// starts small and doubles under load up to the configured per-shard cap,
+// with the old slab migrated into the new one incrementally — a bounded
+// number of slots per table operation — so no single frame ever pays a
+// full-table rehash. Growth replaces the old design's stalest-entry eviction:
+// a pinned flow is never sacrificed to make room for a new one. When a shard
+// is at its cap and the new key's probe window is full, the *new* flow is the
+// one turned away (Outcome Overflow): it is dispatched without a pin and
+// counted, preserving affinity for everything already established.
 //
 // VRI lifecycle is handled with epochs, not synchronization: spawning or
 // destroying a VRI bumps every shard's epoch, marking all pins stale at once.
@@ -28,10 +36,25 @@ import (
 	"sync/atomic"
 )
 
-// probeWindow is how many slots past the home slot a key may land. A full
-// window forces an eviction, so the window bounds both lookup cost and how
-// long a dead flow can occupy a slot.
+// probeWindow is how many slots past the home slot a key may land. It bounds
+// both lookup cost and the clustering a slab tolerates before growing.
 const probeWindow = 16
+
+// MinShardCap is the smallest per-shard slot capacity NewTable accepts: one
+// full probe window. Requests below it are rounded up (and logged by callers
+// that surface effective geometry, e.g. lvrmd's -flow-table startup line).
+const MinShardCap = probeWindow
+
+// initialShardSlots is the slab size a shard starts with; it doubles on
+// demand up to the shard's cap. Kept small so a table configured for
+// millions of flows costs almost nothing until the flows actually arrive.
+const initialShardSlots = 64
+
+// migrateStep is how many old-slab slots one table operation carries across
+// during an incremental resize. The step amortizes a shard's migration over
+// ~slots/migrateStep operations while keeping each operation's worst case
+// bounded.
+const migrateStep = 64
 
 // Outcome says how Assign resolved a key against the table.
 type Outcome int
@@ -45,9 +68,18 @@ const (
 	// Miss: the key was not in the table; pick chose a VRI and the
 	// assignment was installed.
 	Miss
-	// Rebalanced: the pin was stale and the keep callback released it; pick
-	// chose a (possibly different) VRI and the entry was re-installed.
+	// Rebalanced: the pin was stale, the keep callback released it, and pick
+	// chose a (possibly different) VRI that was re-installed.
 	Rebalanced
+	// Refused: pick declined to choose a VRI, so nothing is pinned. For a
+	// stale pin this also deletes the dead pin (counted in Stats.Unpinned)
+	// rather than leaving it to fail again on every later frame.
+	Refused
+	// Overflow: pick chose a VRI but the shard is at its capacity with the
+	// key's probe window full, so the choice was returned without being
+	// pinned — the new flow runs unpinned instead of evicting an
+	// established one.
+	Overflow
 )
 
 // String returns the outcome name as used in traces and metrics.
@@ -61,24 +93,82 @@ func (o Outcome) String() string {
 		return "miss"
 	case Rebalanced:
 		return "rebalanced"
+	case Refused:
+		return "refused"
+	case Overflow:
+		return "overflow"
 	default:
 		return "unknown"
 	}
 }
 
-// shard is one independent slice of the table: a bounded open-addressing map
-// from flow key to VRI ID plus the epoch the pin was made in. All four
-// parallel arrays are guarded by mu. The pad keeps hot shards off each
-// other's cache lines.
+// entry is one pinned flow. Entries live in flat per-shard slabs — no
+// pointers, so a million-entry table adds nothing to GC scan work, extending
+// the frame pool's zero-pressure discipline to the flow layer.
+type entry struct {
+	key   uint64 // 0 = empty slot (KeyOf never returns 0)
+	stamp int64  // last-touch time
+	epoch uint64 // shard epoch the pin was made in
+	vri   int32
+	_     uint32 // pad to 32 bytes
+}
+
+// slab is one open-addressing table: a power-of-two entry array probed
+// linearly over probeWindow slots from the key's home.
+type slab struct {
+	entries []entry
+	mask    uint64
+}
+
+func newSlab(slots int) slab {
+	return slab{entries: make([]entry, slots), mask: uint64(slots - 1)}
+}
+
+// find returns the entry holding key, or nil.
+func (b *slab) find(key uint64) *entry {
+	if b.entries == nil {
+		return nil
+	}
+	home := (key >> 32) & b.mask
+	for i := uint64(0); i < probeWindow; i++ {
+		e := &b.entries[(home+i)&b.mask]
+		if e.key == key {
+			return e
+		}
+	}
+	return nil
+}
+
+// place writes ent into the first free slot of its probe window, reporting
+// whether a slot was available.
+func (b *slab) place(ent entry) bool {
+	home := (ent.key >> 32) & b.mask
+	for i := uint64(0); i < probeWindow; i++ {
+		e := &b.entries[(home+i)&b.mask]
+		if e.key == 0 {
+			*e = ent
+			return true
+		}
+	}
+	return false
+}
+
+// shard is one independent slice of the table. All slab state is guarded by
+// mu. The pad keeps hot shards off each other's cache lines.
 type shard struct {
 	mu    sync.Mutex
 	epoch atomic.Uint64 // bumped lock-free by BumpEpoch, read under mu
 
-	keys   []uint64 // 0 = empty slot (KeyOf never returns 0)
-	vris   []int32
-	epochs []uint64
-	stamps []int64 // last-touch time, drives stalest-entry eviction
-	n      int     // occupied slots
+	cur        slab // live slab; inserts land here
+	old        slab // pre-resize slab being migrated; entries == nil when idle
+	migratePos int  // next old slot to carry across
+	n          int  // occupied slots across cur and old
+	maxSlots   int  // cur never grows past this
+
+	// Per-shard accounting, read by the Shard* accessors under mu.
+	evictions int64 // pins lost to a probe-window collision during migration
+	overflows int64 // new flows turned away at capacity
+	resizes   int64
 
 	_ [64]byte
 }
@@ -86,11 +176,14 @@ type shard struct {
 // Stats is a point-in-time snapshot of the table's outcome counters.
 type Stats struct {
 	Hits       int64
-	Misses     int64
+	Misses     int64 // dispatches that installed a new pin
 	Refreshes  int64
-	Rebalances int64
-	Evictions  int64
-	Unpinned   int64
+	Rebalances int64 // stale pins actually re-installed on a new VRI
+	Refusals   int64 // pick declined; nothing was installed
+	Overflows  int64 // new flows turned away by a full shard at capacity
+	Evictions  int64 // pins lost to migration probe collisions (≈0 in practice)
+	Unpinned   int64 // pins deleted (teardown sweep, or stale pin with refused repick)
+	Resizes    int64 // shard slab doublings
 }
 
 // Table is the sharded flow-affinity map. All methods are safe for
@@ -98,120 +191,192 @@ type Stats struct {
 type Table struct {
 	shards    []shard
 	shardMask uint64
-	slotMask  uint64
 
 	hits       atomic.Int64
 	misses     atomic.Int64
 	refreshes  atomic.Int64
 	rebalances atomic.Int64
+	refusals   atomic.Int64
+	overflows  atomic.Int64
 	evictions  atomic.Int64
 	unpinned   atomic.Int64
+	resizes    atomic.Int64
 }
 
 // NewTable builds a table with the given shard count and per-shard slot
-// capacity, both rounded up to powers of two (minimums 1 shard, probeWindow
-// slots).
+// capacity, both rounded up to powers of two. shardCap below MinShardCap is
+// raised to it — the probe window needs at least one window of slots — so the
+// effective capacity can exceed the request; callers that care (lvrmd's
+// startup log) should report ShardCap() rather than their input. Shards
+// start at initialShardSlots and grow toward shardCap on demand.
 func NewTable(shards, shardCap int) *Table {
 	ns := ceilPow2(shards, 1)
-	nc := ceilPow2(shardCap, probeWindow)
+	nc := ceilPow2(shardCap, MinShardCap)
 	t := &Table{
 		shards:    make([]shard, ns),
 		shardMask: uint64(ns - 1),
-		slotMask:  uint64(nc - 1),
+	}
+	first := initialShardSlots
+	if first > nc {
+		first = nc
 	}
 	for i := range t.shards {
 		s := &t.shards[i]
-		s.keys = make([]uint64, nc)
-		s.vris = make([]int32, nc)
-		s.epochs = make([]uint64, nc)
-		s.stamps = make([]int64, nc)
+		s.maxSlots = nc
+		s.cur = newSlab(first)
 	}
 	return t
 }
 
 // Assign resolves key to a VRI ID, consulting and updating the affinity
-// table. now stamps the entry for eviction ordering. The callbacks run while
-// the key's shard lock is held, which serializes concurrent decisions about
-// the same flow (and its shard neighbours) — keep them cheap:
+// table. now stamps the entry for staleness accounting. The callbacks run
+// while the key's shard lock is held, which serializes concurrent decisions
+// about the same flow (and its shard neighbours) — keep them cheap:
 //
 //   - keep(vri) is consulted only for a stale pin (the shard epoch moved
 //     since the pin was made). Return true to keep the flow where it is —
 //     the caller knows moving it would reorder in-flight frames — or false
 //     to release it for re-balancing.
 //   - pick() chooses a VRI for a flow with no usable pin. It must return a
-//     valid current VRI ID, or a negative value to refuse (nothing is
-//     installed and Assign returns it as-is).
+//     valid current VRI ID, or a negative value to refuse — the load-aware
+//     admission hook: nothing is installed, any stale pin is deleted, and
+//     Assign returns the negative value with Outcome Refused.
+//
+// A miss whose pick succeeds is pinned unless the shard is at capacity with
+// the key's window full, in which case the pick is returned unpinned
+// (Outcome Overflow) — established flows are never evicted to admit new ones.
 func (t *Table) Assign(key uint64, now int64, keep func(vri int) bool, pick func() int) (int, Outcome) {
 	s := &t.shards[key&t.shardMask]
 	s.mu.Lock()
+	s.advanceMigration(t, migrateStep)
 	epoch := s.epoch.Load()
 
-	// Probe the window for the key, remembering the first free slot and the
-	// stalest occupied slot in case we need to install.
-	home := (key >> 32) & t.slotMask
-	free, stalest := -1, -1
-	var stalestStamp int64
-	for i := uint64(0); i < probeWindow; i++ {
-		idx := (home + i) & t.slotMask
-		k := s.keys[idx]
-		if k == key {
-			vri := int(s.vris[idx])
-			if s.epochs[idx] == epoch {
-				s.stamps[idx] = now
-				s.mu.Unlock()
-				t.hits.Add(1)
-				return vri, Hit
-			}
-			// Stale pin: the VRI set changed since this flow was pinned.
-			if keep(vri) {
-				s.epochs[idx] = epoch
-				s.stamps[idx] = now
-				s.mu.Unlock()
-				t.refreshes.Add(1)
-				return vri, Refreshed
-			}
-			next := pick()
-			if next >= 0 {
-				s.vris[idx] = int32(next)
-				s.epochs[idx] = epoch
-				s.stamps[idx] = now
-			}
+	e := s.cur.find(key)
+	if e == nil {
+		e = s.old.find(key)
+	}
+	if e != nil {
+		vri := int(e.vri)
+		if e.epoch == epoch {
+			e.stamp = now
 			s.mu.Unlock()
-			t.rebalances.Add(1)
-			return next, Rebalanced
+			t.hits.Add(1)
+			return vri, Hit
 		}
-		if k == 0 {
-			if free < 0 {
-				free = int(idx)
-			}
-			continue
+		// Stale pin: the VRI set changed since this flow was pinned.
+		if keep(vri) {
+			e.epoch = epoch
+			e.stamp = now
+			s.mu.Unlock()
+			t.refreshes.Add(1)
+			return vri, Refreshed
 		}
-		if stalest < 0 || s.stamps[idx] < stalestStamp {
-			stalest, stalestStamp = int(idx), s.stamps[idx]
+		next := pick()
+		if next < 0 {
+			// The pin points at a VRI the caller released and pick refused a
+			// replacement: delete it. Leaving it would re-run keep/pick under
+			// the shard lock for every later frame of the flow against a
+			// possibly-destroyed VRI (the pre-rebuild stale-pin leak).
+			*e = entry{}
+			s.n--
+			s.mu.Unlock()
+			t.unpinned.Add(1)
+			t.refusals.Add(1)
+			return next, Refused
 		}
+		e.vri = int32(next)
+		e.epoch = epoch
+		e.stamp = now
+		s.mu.Unlock()
+		t.rebalances.Add(1)
+		return next, Rebalanced
 	}
 
 	// Miss: choose a VRI and install the pin.
 	vri := pick()
 	if vri < 0 {
 		s.mu.Unlock()
-		t.misses.Add(1)
-		return vri, Miss
+		t.refusals.Add(1)
+		return vri, Refused
 	}
-	idx := free
-	if idx < 0 {
-		idx = stalest // window full: overwrite the least-recently-touched flow
-		t.evictions.Add(1)
-	} else {
-		s.n++
+	if !s.insert(t, entry{key: key, stamp: now, epoch: epoch, vri: int32(vri)}) {
+		s.overflows++
+		s.mu.Unlock()
+		t.overflows.Add(1)
+		return vri, Overflow
 	}
-	s.keys[idx] = key
-	s.vris[idx] = int32(vri)
-	s.epochs[idx] = epoch
-	s.stamps[idx] = now
 	s.mu.Unlock()
 	t.misses.Add(1)
 	return vri, Miss
+}
+
+// insert places ent, growing the slab as needed. It reports false only when
+// the shard is at maxSlots with the key's probe window full. Caller holds
+// s.mu.
+func (s *shard) insert(t *Table, ent entry) bool {
+	// Grow ahead of the load-factor wall (¾ of the live slab) so windows
+	// rarely fill in the first place. Mid-migration the shard is already
+	// growing, and cur is at most half-loaded by construction.
+	if s.old.entries == nil && s.n*4 >= len(s.cur.entries)*3 {
+		s.grow(t)
+	}
+	for {
+		if s.cur.place(ent) {
+			s.n++
+			return true
+		}
+		// Window full. Finish any in-flight migration (it cannot help — it
+		// only adds entries to cur — but grow needs old empty), then double.
+		s.advanceMigration(t, len(s.old.entries))
+		if !s.grow(t) {
+			return false
+		}
+	}
+}
+
+// grow starts an incremental resize to a slab twice the current size,
+// reporting false at maxSlots. Caller holds s.mu and must have completed any
+// previous migration.
+func (s *shard) grow(t *Table) bool {
+	cur := len(s.cur.entries)
+	if cur >= s.maxSlots || s.old.entries != nil {
+		return false
+	}
+	s.old = s.cur
+	s.cur = newSlab(cur * 2)
+	s.migratePos = 0
+	s.resizes++
+	t.resizes.Add(1)
+	return true
+}
+
+// advanceMigration carries up to step old-slab slots into the live slab.
+// Entries keep their key/vri/epoch/stamp; an entry whose probe window in the
+// (larger, at most half-loaded) new slab is somehow full is dropped and
+// counted as an eviction — vanishingly rare, but accounted rather than
+// silently leaked. Caller holds s.mu.
+func (s *shard) advanceMigration(t *Table, step int) {
+	if s.old.entries == nil {
+		return
+	}
+	for step > 0 && s.migratePos < len(s.old.entries) {
+		e := &s.old.entries[s.migratePos]
+		s.migratePos++
+		step--
+		if e.key == 0 {
+			continue
+		}
+		if !s.cur.place(*e) {
+			s.n--
+			s.evictions++
+			t.evictions.Add(1)
+		}
+		*e = entry{}
+	}
+	if s.migratePos >= len(s.old.entries) {
+		s.old = slab{}
+		s.migratePos = 0
+	}
 }
 
 // Evict sweeps every shard and removes or re-pins all flows assigned to the
@@ -230,25 +395,25 @@ func (t *Table) Evict(vri int, now int64, repick func() int) int {
 		s := &t.shards[i]
 		s.mu.Lock()
 		epoch := s.epoch.Load()
-		for idx := range s.keys {
-			if s.keys[idx] == 0 || int(s.vris[idx]) != vri {
-				continue
+		for _, b := range []*slab{&s.cur, &s.old} {
+			for idx := range b.entries {
+				e := &b.entries[idx]
+				if e.key == 0 || int(e.vri) != vri {
+					continue
+				}
+				touched++
+				next := repick()
+				if next >= 0 && next != vri {
+					e.vri = int32(next)
+					e.epoch = epoch
+					e.stamp = now
+					t.rebalances.Add(1)
+					continue
+				}
+				*e = entry{}
+				s.n--
+				t.unpinned.Add(1)
 			}
-			touched++
-			next := repick()
-			if next >= 0 && next != vri {
-				s.vris[idx] = int32(next)
-				s.epochs[idx] = epoch
-				s.stamps[idx] = now
-				t.rebalances.Add(1)
-				continue
-			}
-			s.keys[idx] = 0
-			s.vris[idx] = 0
-			s.epochs[idx] = 0
-			s.stamps[idx] = 0
-			s.n--
-			t.unpinned.Add(1)
 		}
 		s.mu.Unlock()
 	}
@@ -271,24 +436,60 @@ func (t *Table) Stats() Stats {
 		Misses:     t.misses.Load(),
 		Refreshes:  t.refreshes.Load(),
 		Rebalances: t.rebalances.Load(),
+		Refusals:   t.refusals.Load(),
+		Overflows:  t.overflows.Load(),
 		Evictions:  t.evictions.Load(),
 		Unpinned:   t.unpinned.Load(),
+		Resizes:    t.resizes.Load(),
 	}
 }
 
 // Shards returns the shard count.
 func (t *Table) Shards() int { return len(t.shards) }
 
-// ShardCap returns the per-shard slot capacity.
-func (t *Table) ShardCap() int { return int(t.slotMask) + 1 }
+// ShardCap returns the effective per-shard slot capacity — the bound a shard
+// can grow to, after NewTable's power-of-two and MinShardCap rounding. It can
+// exceed the shardCap passed to NewTable; operators sizing a deployment
+// should trust this accessor over their own arithmetic.
+func (t *Table) ShardCap() int { return t.shards[0].maxSlots }
 
-// ShardOccupancy returns how many slots shard i currently holds.
+// ShardSlots returns how many slots shard i has currently allocated — the
+// live slab size, between initialShardSlots and ShardCap as the shard grows.
+func (t *Table) ShardSlots(i int) int {
+	s := &t.shards[i]
+	s.mu.Lock()
+	slots := len(s.cur.entries)
+	s.mu.Unlock()
+	return slots
+}
+
+// ShardOccupancy returns how many flows shard i currently pins.
 func (t *Table) ShardOccupancy(i int) int {
 	s := &t.shards[i]
 	s.mu.Lock()
 	n := s.n
 	s.mu.Unlock()
 	return n
+}
+
+// ShardEvictions returns how many pins shard i has lost to migration probe
+// collisions.
+func (t *Table) ShardEvictions(i int) int64 {
+	s := &t.shards[i]
+	s.mu.Lock()
+	ev := s.evictions
+	s.mu.Unlock()
+	return ev
+}
+
+// ShardOverflows returns how many new flows shard i has turned away at
+// capacity.
+func (t *Table) ShardOverflows(i int) int64 {
+	s := &t.shards[i]
+	s.mu.Lock()
+	ov := s.overflows
+	s.mu.Unlock()
+	return ov
 }
 
 // Len returns the total number of pinned flows across all shards.

@@ -2,6 +2,7 @@ package flow
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"lvrm/internal/packet"
@@ -63,49 +64,235 @@ func TestEpochRefreshAndRebalance(t *testing.T) {
 func TestPickRefusal(t *testing.T) {
 	tb := NewTable(1, 64)
 	vri, out := tb.Assign(5, 1, keepAlways, pickConst(-1))
-	if vri != -1 || out != Miss {
-		t.Fatalf("refused assign = %d,%v, want -1,miss", vri, out)
+	if vri != -1 || out != Refused {
+		t.Fatalf("refused assign = %d,%v, want -1,refused", vri, out)
 	}
 	if tb.Len() != 0 {
 		t.Fatalf("refused pick installed an entry: len = %d", tb.Len())
 	}
-	// A refused rebalance keeps nothing either, but must not crash.
-	tb.Assign(5, 2, keepAlways, pickConst(4))
-	tb.BumpEpoch()
-	if vri, out = tb.Assign(5, 3, keepNever, pickConst(-1)); vri != -1 || out != Rebalanced {
-		t.Fatalf("refused rebalance = %d,%v, want -1,rebalanced", vri, out)
+	st := tb.Stats()
+	if st.Refusals != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want 1 refusal 0 misses", st)
 	}
 }
 
-// TestEvictionUnderPressure drives more distinct flows into one shard than
-// its probe window can hold and checks that the stalest pins are the ones
-// sacrificed.
-func TestEvictionUnderPressure(t *testing.T) {
-	tb := NewTable(1, probeWindow) // single shard, exactly one probe window
+// TestRefusedRebalanceDeletesStalePin is the regression test for the
+// stale-pin leak: a stale pin whose keep released it and whose pick refused a
+// replacement used to stay installed, pointing at a possibly-destroyed VRI
+// and re-running keep/pick under the shard lock on every later frame. It must
+// be deleted and counted in Unpinned instead.
+func TestRefusedRebalanceDeletesStalePin(t *testing.T) {
+	tb := NewTable(1, 64)
+	tb.Assign(5, 1, keepAlways, pickConst(4))
+	tb.BumpEpoch()
+	vri, out := tb.Assign(5, 2, keepNever, pickConst(-1))
+	if vri != -1 || out != Refused {
+		t.Fatalf("refused rebalance = %d,%v, want -1,refused", vri, out)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("stale pin survived refused rebalance: len = %d", tb.Len())
+	}
+	st := tb.Stats()
+	if st.Unpinned != 1 || st.Refusals != 1 {
+		t.Fatalf("stats = %+v, want 1 unpinned 1 refusal", st)
+	}
+	// The flow re-enters through the miss path; keep must not run because no
+	// pin remains.
+	vri, out = tb.Assign(5, 3, func(int) bool {
+		t.Fatal("keep ran for a deleted pin")
+		return false
+	}, pickConst(7))
+	if vri != 7 || out != Miss {
+		t.Fatalf("assign after refused rebalance = %d,%v, want 7,miss", vri, out)
+	}
+}
+
+// TestRebalancesNotCountedOnRefusal is the regression test for the counter
+// over-count: a refused pick used to increment Rebalances even though no pin
+// was re-installed. Refusals have their own counter now.
+func TestRebalancesNotCountedOnRefusal(t *testing.T) {
+	tb := NewTable(1, 64)
+	tb.Assign(9, 1, keepAlways, pickConst(2))
+	tb.BumpEpoch()
+	tb.Assign(9, 2, keepNever, pickConst(-1)) // refused rebalance
+	tb.Assign(11, 3, keepAlways, pickConst(-1))
+	st := tb.Stats()
+	if st.Rebalances != 0 {
+		t.Fatalf("rebalances = %d, want 0 (nothing was re-pinned)", st.Rebalances)
+	}
+	if st.Refusals != 2 {
+		t.Fatalf("refusals = %d, want 2", st.Refusals)
+	}
+	// An actual re-pin still counts.
+	tb.Assign(9, 4, keepAlways, pickConst(2))
+	tb.BumpEpoch()
+	if _, out := tb.Assign(9, 5, keepNever, pickConst(3)); out != Rebalanced {
+		t.Fatalf("outcome = %v, want rebalanced", out)
+	}
+	if st = tb.Stats(); st.Rebalances != 1 {
+		t.Fatalf("rebalances = %d, want 1", st.Rebalances)
+	}
+}
+
+// TestOverflowNeverEvictsPinned drives one shard past its capacity and checks
+// the new-flow-sheds discipline: every established pin survives, the excess
+// flows come back with Outcome Overflow carrying pick's choice, and the
+// overflow is counted.
+func TestOverflowNeverEvictsPinned(t *testing.T) {
+	tb := NewTable(1, probeWindow) // smallest shard: one probe window
+	if tb.ShardCap() != probeWindow {
+		t.Fatalf("shard cap = %d, want %d", tb.ShardCap(), probeWindow)
+	}
 	// All keys collide into the same window because the slot index is taken
 	// from the key's high 32 bits, which we hold constant.
 	key := func(i int) uint64 { return uint64(i + 1) } // low bits only
 	for i := 0; i < probeWindow; i++ {
-		tb.Assign(key(i), int64(i), keepAlways, pickConst(1))
+		if _, out := tb.Assign(key(i), int64(i), keepAlways, pickConst(1)); out != Miss {
+			t.Fatalf("flow %d outcome = %v, want miss", i, out)
+		}
 	}
-	if st := tb.Stats(); st.Evictions != 0 {
-		t.Fatalf("evictions before pressure = %d, want 0", st.Evictions)
+	// One more flow: it must be turned away, not admitted over a pinned one.
+	vri, out := tb.Assign(key(probeWindow), 100, keepAlways, pickConst(2))
+	if vri != 2 || out != Overflow {
+		t.Fatalf("overflow assign = %d,%v, want 2,overflow", vri, out)
 	}
-	// One more flow: the oldest stamp (key(0), stamp 0) must be evicted.
-	tb.Assign(key(probeWindow), 100, keepAlways, pickConst(2))
 	st := tb.Stats()
-	if st.Evictions != 1 {
-		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0 (pinned flows are never evicted)", st.Evictions)
 	}
-	// The evicted flow misses again; the survivor still hits.
-	if _, out := tb.Assign(key(1), 101, keepAlways, pickConst(3)); out != Hit {
-		t.Fatalf("recently-stamped flow was evicted (outcome %v)", out)
+	if st.Overflows != 1 || tb.ShardOverflows(0) != 1 {
+		t.Fatalf("overflows = %d/%d, want 1/1", st.Overflows, tb.ShardOverflows(0))
 	}
-	if _, out := tb.Assign(key(0), 102, keepAlways, pickConst(3)); out != Miss {
-		t.Fatalf("stalest flow survived eviction (outcome %v)", out)
+	// Every established flow still hits on its original pin.
+	for i := 0; i < probeWindow; i++ {
+		if vri, out := tb.Assign(key(i), 200, keepAlways, pickConst(9)); vri != 1 || out != Hit {
+			t.Fatalf("established flow %d after overflow = %d,%v, want 1,hit", i, vri, out)
+		}
 	}
 	if tb.ShardOccupancy(0) != probeWindow {
 		t.Fatalf("occupancy = %d, want %d (bounded)", tb.ShardOccupancy(0), probeWindow)
+	}
+}
+
+// TestIncrementalResizeKeepsPins grows a shard through several doublings and
+// verifies no pin is lost and no flow changes VRI: growth replaces eviction.
+func TestIncrementalResizeKeepsPins(t *testing.T) {
+	tb := NewTable(1, 1<<16)
+	const flows = 40000 // forces several doublings from initialShardSlots
+	keys := make([]uint64, flows)
+	for i := range keys {
+		// Golden-ratio scramble spreads home slots across the slab.
+		keys[i] = (uint64(i+1) * 0x9e3779b97f4a7c15) | 1
+		want := int(keys[i] % 7)
+		if _, out := tb.Assign(keys[i], int64(i), keepAlways, pickConst(want)); out != Miss {
+			t.Fatalf("flow %d outcome = %v, want miss", i, out)
+		}
+	}
+	st := tb.Stats()
+	if st.Resizes == 0 {
+		t.Fatalf("resizes = 0, want > 0 (table must have grown)")
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0 across resize", st.Evictions)
+	}
+	if tb.Len() != flows {
+		t.Fatalf("len = %d, want %d", tb.Len(), flows)
+	}
+	for i, k := range keys {
+		vri, out := tb.Assign(k, int64(flows+i), keepAlways, pickConst(-1))
+		if out != Hit || vri != int(k%7) {
+			t.Fatalf("flow %d after resize = %d,%v, want %d,hit", i, vri, out, k%7)
+		}
+	}
+	if slots := tb.ShardSlots(0); slots <= initialShardSlots {
+		t.Fatalf("shard slots = %d, want > %d after growth", slots, initialShardSlots)
+	}
+}
+
+// TestLenConservationAfterChurn churns assigns, epoch bumps, refusals, and
+// evictions, then checks the conservation law: live pins equal installs minus
+// deletions (Misses count only actual installs now).
+func TestLenConservationAfterChurn(t *testing.T) {
+	tb := NewTable(4, 1024)
+	refuse := func(i int) func() int {
+		if i%3 == 0 {
+			return pickConst(-1)
+		}
+		return pickConst(i % 5)
+	}
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 2000; i++ {
+			k := (uint64(i+1) * 2654435761) | 1
+			keep := keepAlways
+			if i%2 == 0 {
+				keep = keepNever
+			}
+			tb.Assign(k, int64(round*2000+i), keep, refuse(i))
+		}
+		tb.BumpEpoch()
+		tb.Evict(round%5, int64(round), refuse(round))
+	}
+	st := tb.Stats()
+	want := st.Misses - st.Unpinned - st.Evictions
+	if int64(tb.Len()) != want {
+		t.Fatalf("len = %d, want misses-unpinned-evictions = %d (stats %+v)",
+			tb.Len(), want, st)
+	}
+	occ := 0
+	for i := 0; i < tb.Shards(); i++ {
+		occ += tb.ShardOccupancy(i)
+	}
+	if occ != tb.Len() {
+		t.Fatalf("sum of shard occupancy %d != len %d", occ, tb.Len())
+	}
+}
+
+// TestConcurrentChurnWithRefusingPick runs Assign against concurrent
+// BumpEpoch and Evict with a pick that refuses intermittently — the exact
+// interleaving of the old stale-pin leak — under -race, then checks the
+// conservation law still holds.
+func TestConcurrentChurnWithRefusingPick(t *testing.T) {
+	tb := NewTable(8, 4096)
+	var stop atomic.Bool
+	var workers, churn sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			for i := 0; i < 30000; i++ {
+				k := (uint64(i%800+1) * 0x9e3779b97f4a7c15) | 1
+				keep := keepAlways
+				if i%2 == 0 {
+					keep = keepNever
+				}
+				pick := pickConst(w)
+				if i%7 == 0 {
+					pick = pickConst(-1)
+				}
+				tb.Assign(k, int64(i), keep, pick)
+			}
+		}(w)
+	}
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; !stop.Load(); i++ {
+			tb.BumpEpoch()
+			if i%3 == 0 {
+				tb.Evict(i%4, int64(i), pickConst(-1))
+			} else {
+				tb.Evict(i%4, int64(i), pickConst((i+1)%4))
+			}
+		}
+	}()
+	workers.Wait()
+	stop.Store(true)
+	churn.Wait()
+
+	st := tb.Stats()
+	if int64(tb.Len()) != st.Misses-st.Unpinned-st.Evictions {
+		t.Fatalf("len = %d, want misses-unpinned-evictions = %d (stats %+v)",
+			tb.Len(), st.Misses-st.Unpinned-st.Evictions, st)
 	}
 }
 
