@@ -11,6 +11,17 @@
 //	      [-http :8080] [-tracecap 1024] [-udp :9000] [-udp-allow 10.0.0.0/8]
 //	      [-flow-shards 8] [-flow-table 1024] [-flow-admit 256]
 //	      [-frame-pool] [-pool-poison] [-drain-timeout 5s]
+//	      [-rib] [-rib-replay churn.rt] [-rib-udp :9100] [-rib-flush 5ms]
+//
+// With -rib, every VR's engine resolves routes through a shared dynamic FIB
+// published by the streaming RIB (internal/rib) instead of private static
+// tables: the static map-file routes become the RIB's seed (admin distance
+// 0), and route events arrive from a trace replay (-rib-replay, a file from
+// trafficgen -route-churn) and/or a UDP feed of binary events (-rib-udp).
+// Updates batch into new FIB generations, flushed every -rib-flush; each VRI
+// pins one generation per scheduling quantum, so forwarding never blocks on
+// convergence. The /metrics endpoint then exports the lvrm_rib_*/lvrm_fib_*
+// series (see OBSERVABILITY.md).
 //
 // Shutdown (SIGINT, SIGTERM, or -duration elapsing) is a graceful drain: the
 // generator stops, the monitor switches to relay-only mode, and lvrmd waits
@@ -46,6 +57,7 @@ import (
 	"lvrm/internal/obs"
 	"lvrm/internal/packet"
 	"lvrm/internal/packet/pool"
+	"lvrm/internal/rib"
 	"lvrm/internal/route"
 	"lvrm/internal/vr"
 )
@@ -75,8 +87,17 @@ func run() int {
 		poison    = flag.Bool("pool-poison", false, "fill released pool buffers with a sentinel and panic on use-after-release (debugging; costs a memset per frame)")
 		udpAllow  = flag.String("udp-allow", "", "comma-separated source CIDRs/addresses the UDP adapter accepts (empty = accept all)")
 		drainTO   = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown bound: how long to wait for in-flight frames to drain before force-releasing the residue and exiting 3")
+		useRIB    = flag.Bool("rib", false, "route through a shared RIB-published FIB (epoch-swapped generations) instead of per-VRI static tables")
+		ribReplay = flag.String("rib-replay", "", "with -rib: replay this route-churn trace file (trafficgen -route-churn) into the RIB on its recorded schedule")
+		ribUDP    = flag.String("rib-udp", "", "with -rib: accept binary route events as UDP datagrams on this address")
+		ribFlush  = flag.Duration("rib-flush", 5*time.Millisecond, "with -rib: publish pending RIB changes at least this often")
 	)
 	flag.Parse()
+
+	if (*ribReplay != "" || *ribUDP != "") && !*useRIB {
+		fmt.Fprintln(os.Stderr, "-rib-replay and -rib-udp require -rib")
+		return 2
+	}
 
 	kind := ipc.LockFree
 	switch *queue {
@@ -122,10 +143,27 @@ func run() int {
 		chanAdapter = netio.NewChanAdapter(8192)
 		sock = chanAdapter
 	}
+	// The static routes: every VR's table, or — with -rib — the RIB's seed.
+	routes, err := route.LoadMapFile(strings.NewReader("10.2.0.0/16 if1\n0.0.0.0/0 if0\n"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var ribTable *rib.RIB
+	if *useRIB {
+		ribTable = rib.New(rib.Options{MaxBatch: 64})
+		if err := ribTable.ApplyAll(rib.EventsFromTable(routes, rib.SrcStatic, 0)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		ribTable.Publish()
+	}
+
 	registry := obs.NewRegistry()
 	tracer := obs.NewTracer(*traceCap)
 	obs.RegisterGoRuntime(registry)
 	lvrm, err := core.New(core.Config{
+		RIB:            ribTable,
 		Adapter:        sock,
 		QueueKind:      kind,
 		Clock:          core.WallClock,
@@ -147,10 +185,9 @@ func run() int {
 	rt := core.NewRuntime(lvrm)
 	rt.BurnCost = *burn
 
-	routes, err := route.LoadMapFile(strings.NewReader("10.2.0.0/16 if1\n0.0.0.0/0 if0\n"))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+	engineCfg := vr.BasicConfig{Routes: routes}
+	if ribTable != nil {
+		engineCfg = vr.BasicConfig{FIB: ribTable.FIB()}
 	}
 	for i := 0; i < *nVRs; i++ {
 		prefix := packet.IPv4(10, 1, byte(i), 0)
@@ -168,7 +205,7 @@ func run() int {
 			Name:      fmt.Sprintf("vr%d", i+1),
 			SrcPrefix: prefix,
 			SrcBits:   24,
-			Engine:    vr.BasicFactory(vr.BasicConfig{Routes: routes}),
+			Engine:    vr.BasicFactory(engineCfg),
 			Balancer:  bal,
 			Policy:    pol,
 		})
@@ -190,6 +227,44 @@ func run() int {
 	}
 	rt.Start()
 	defer rt.Stop()
+
+	// RIB feeds: the trace replay and/or UDP event stream stream updates
+	// into the RIB while traffic flows; the flush ticker bounds how long a
+	// partial batch can sit unpublished (MaxBatch publishes full ones).
+	ribStop := make(chan struct{})
+	var ribFeed *rib.UDPFeed
+	if ribTable != nil {
+		go func() {
+			t := time.NewTicker(*ribFlush)
+			defer t.Stop()
+			for {
+				select {
+				case <-ribStop:
+					return
+				case <-t.C:
+					ribTable.Publish()
+				}
+			}
+		}()
+		if *ribReplay != "" {
+			evs, err := rib.LoadTraceFile(*ribReplay)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Printf("rib: replaying %d route events from %s\n", len(evs), *ribReplay)
+			go rib.Replay(ribTable, evs, ribStop)
+		}
+		if *ribUDP != "" {
+			ribFeed, err = rib.ListenUDP(*ribUDP, ribTable)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			defer ribFeed.Close()
+			fmt.Printf("rib: receiving route events on udp://%s\n", ribFeed.Addr())
+		}
+	}
 
 	if *httpAddr != "" {
 		// GET /status returns the monitor snapshot (core.Status).
@@ -292,6 +367,7 @@ func run() int {
 	// frame-conservation report. Returns the process exit code.
 	shutdown := func() int {
 		close(genStop)
+		close(ribStop)
 		start := time.Now()
 		clean := rt.StopWithin(*drainTO)
 		drainTook := time.Since(start)
@@ -369,6 +445,15 @@ func run() int {
 			ps := framePool.Stats()
 			fmt.Printf("pool: outstanding=%d recycled=%d\n", ps.Outstanding, ps.Recycles)
 		}
+		if ribTable != nil {
+			rs := ribTable.Stats()
+			fmt.Printf("rib: routes=%d generation=%d updates=%d withdrawals=%d rejected=%d publishes=%d changes=%d",
+				rs.Routes, rs.Generation, rs.Updates, rs.Withdrawals, rs.Rejected, rs.Publishes, rs.Changes)
+			if ribFeed != nil {
+				fmt.Printf(" feed_dropped=%d", ribFeed.Dropped())
+			}
+			fmt.Println()
+		}
 		if !clean {
 			fmt.Fprintf(os.Stderr, "forced shutdown: drain missed the %v deadline; released %d undrained frames\n",
 				*drainTO, forced)
@@ -403,6 +488,10 @@ func run() int {
 			lastSent = st.Sent
 			for _, v := range lvrm.VRs() {
 				fmt.Printf("  %s: cores=%d rate=%.0ffps", v.Name(), v.Cores(), v.ArrivalRate())
+			}
+			if ribTable != nil {
+				rs := ribTable.Stats()
+				fmt.Printf("  rib: routes=%d gen=%d updates=%d", rs.Routes, rs.Generation, rs.Updates+rs.Withdrawals)
 			}
 			fmt.Println()
 		case sig := <-interrupt:

@@ -1,21 +1,30 @@
 // Command trafficgen generates synthetic frame trace files for the socket
-// adapter's main-memory backend (Section 3.1, Experiments 1c/1d), and can
-// inspect existing traces. Traces are written in the native format or as
-// libpcap files (readable by tcpdump/wireshark); -inspect auto-detects both.
+// adapter's main-memory backend (Section 3.1, Experiments 1c/1d), route-churn
+// event traces for the RIB feed (lvrmd -rib-replay), and can inspect existing
+// traces. Frame traces are written in the native format or as libpcap files
+// (readable by tcpdump/wireshark); -inspect auto-detects all three formats.
 //
 // Usage:
 //
 //	trafficgen -o trace.lvrm [-n 100000] [-size 84] [-flows 16]
 //	trafficgen -o trace.pcap -pcap
+//	trafficgen -o churn.rt -route-churn [-seed 1] [-churn-duration 10s]
+//	           [-churn-rate 5000] [-churn-prefixes 64]
 //	trafficgen -inspect trace.lvrm
+//
+// Route-churn traces are deterministic in the seed (BENCHMARKS.md seeding
+// rules): the same -seed replays the identical flap sequence bit-for-bit.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"lvrm/internal/packet"
+	"lvrm/internal/rib"
 	"lvrm/internal/trace"
 )
 
@@ -27,6 +36,12 @@ func main() {
 		flows   = flag.Int("flows", 16, "number of distinct flows to cycle")
 		inspect = flag.String("inspect", "", "print a summary of an existing trace file")
 		pcap    = flag.Bool("pcap", false, "write libpcap format instead of the native trace format")
+
+		routeChurn = flag.Bool("route-churn", false, "generate a route-churn event trace (text format, for lvrmd -rib-replay) instead of a frame trace")
+		seed       = flag.Uint64("seed", 1, "route-churn: seed for the deterministic flap sequence")
+		churnDur   = flag.Duration("churn-duration", 10*time.Second, "route-churn: trace length")
+		churnRate  = flag.Float64("churn-rate", 5000, "route-churn: mean route events per second")
+		churnPfx   = flag.Int("churn-prefixes", 64, "route-churn: distinct /24 prefixes to flap")
 	)
 	flag.Parse()
 
@@ -36,6 +51,12 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
+		if summarizeChurn(*inspect, f) {
+			return
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			fatal(err)
+		}
 		frames, err := trace.Read(f)
 		if err != nil {
 			// Fall back to libpcap.
@@ -44,7 +65,7 @@ func main() {
 			}
 			frames, err = trace.ReadPcap(f)
 			if err != nil {
-				fatal(fmt.Errorf("neither a native trace nor a pcap file: %v", err))
+				fatal(fmt.Errorf("not a route-churn, native, or pcap trace: %v", err))
 			}
 		}
 		var bytes int64
@@ -63,6 +84,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "either -o or -inspect is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *routeChurn {
+		evs := rib.GenerateChurn(rib.ChurnOpts{
+			Seed:     *seed,
+			Duration: *churnDur,
+			Rate:     *churnRate,
+			Prefixes: *churnPfx,
+			OutIf:    1,
+		})
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rib.WriteTrace(f, evs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d route events (%.0f/s over %v, %d prefixes, seed %d) to %s\n",
+			len(evs), *churnRate, *churnDur, *churnPfx, *seed, *out)
+		return
 	}
 	frames, err := trace.Generate(trace.GenerateOpts{
 		Count: *n, WireSize: *size, Flows: *flows,
@@ -85,6 +126,39 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d frames (%d B wire each, %d flows, %s) to %s\n", *n, *size, *flows, format, *out)
+}
+
+// summarizeChurn prints a summary when f is a route-churn event trace
+// (detected by its header line) and reports whether it consumed the file.
+func summarizeChurn(name string, f *os.File) bool {
+	head := make([]byte, len(rib.TraceHeader))
+	if _, err := io.ReadFull(f, head); err != nil || string(head) != rib.TraceHeader {
+		return false
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		fatal(err)
+	}
+	evs, err := rib.ParseTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	adds, withdraws := 0, 0
+	prefixes := map[string]struct{}{}
+	for _, te := range evs {
+		if te.Ev.Withdraw {
+			withdraws++
+		} else {
+			adds++
+		}
+		prefixes[fmt.Sprintf("%s/%d", te.Ev.Prefix, te.Ev.Bits)] = struct{}{}
+	}
+	var span time.Duration
+	if len(evs) > 0 {
+		span = evs[len(evs)-1].At
+	}
+	fmt.Printf("%s: route-churn trace, %d events (%d add, %d withdraw), %d prefixes, %v span\n",
+		name, len(evs), adds, withdraws, len(prefixes), span.Round(time.Millisecond))
+	return true
 }
 
 func fatal(err error) {

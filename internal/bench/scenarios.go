@@ -109,6 +109,7 @@ func init() {
 	register(malformedFlood())
 	register(churnUnderLoad())
 	register(flowScale())
+	register(routeChurn())
 }
 
 // elephantMice runs one un-splittable elephant flow slightly above a single

@@ -6,7 +6,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"churn-under-load", "elephant-mice", "flash-crowd", "flowscale", "malformed-flood"}
+	want := []string{"churn-under-load", "elephant-mice", "flash-crowd", "flowscale", "malformed-flood", "route-churn"}
 	got := []string{}
 	for _, s := range All() {
 		got = append(got, s.Name)
@@ -101,6 +101,34 @@ func TestMalformedFloodForwardsNoJunk(t *testing.T) {
 	}
 	if m["good_delivered_ratio"] < 0.8 {
 		t.Fatalf("good traffic collapsed under the flood: delivered ratio %.2f", m["good_delivered_ratio"])
+	}
+}
+
+// TestRouteChurnConverges checks the route-churn scenario's own contract:
+// the feed sustains >=1000 updates/s, the FIB swaps generations, forwarding
+// survives convergence intact, and the jitter windows are all populated.
+func TestRouteChurnConverges(t *testing.T) {
+	s, err := Find("route-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["updates_per_s"] < 1000 {
+		t.Fatalf("only %.0f updates/s applied during the churn window", m["updates_per_s"])
+	}
+	if m["fib_generations"] < 2 {
+		t.Fatalf("FIB stayed at generation %v", m["fib_generations"])
+	}
+	if m["delivered_ratio"] < 0.9 {
+		t.Fatalf("delivered ratio %.2f — churn destroyed traffic", m["delivered_ratio"])
+	}
+	for _, k := range []string{"pre_p99_jitter_us", "churn_p99_jitter_us", "post_p99_jitter_us"} {
+		if m[k] <= 0 {
+			t.Fatalf("%s = %v — window unpopulated", k, m[k])
+		}
 	}
 }
 

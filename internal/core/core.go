@@ -17,6 +17,7 @@ import (
 	"lvrm/internal/obs"
 	"lvrm/internal/packet"
 	"lvrm/internal/packet/pool"
+	"lvrm/internal/rib"
 )
 
 // This file is LVRM's construction and configuration surface. The data path
@@ -92,6 +93,15 @@ type Config struct {
 	// call Frame.Release regardless, which no-ops on unpooled frames, so a
 	// nil FramePool reproduces the seed heap lifecycle exactly.
 	FramePool *pool.Pool
+	// RIB, when non-nil, is the dynamic control plane (internal/rib) this
+	// monitor's VRs forward against. The monitor does not drive it — feeds
+	// call RIB.Apply and something (lvrmd's flush ticker, the testbed's
+	// scheduled publishes, or RIB.Options.MaxBatch) calls Publish — but
+	// registering it here exports the lvrm_rib_*/lvrm_fib_* metric series
+	// through Obs and surfaces the RIB on the Status path. Engines consume
+	// it via vr.BasicConfig.FIB; VRIs pin one FIB generation per
+	// Step/StepBatch quantum (vr.RoutePinner).
+	RIB *rib.RIB
 	// Obs, when non-nil, receives the monitor's live metrics: dispatch-wait
 	// histograms, per-VR/VRI queue gauges, allocation counters, and adapter
 	// frame/byte rates. Nil disables metric collection at zero hot-path
@@ -228,6 +238,10 @@ func New(cfg Config) (*LVRM, error) {
 
 // Config returns the effective configuration.
 func (l *LVRM) Config() Config { return l.cfg }
+
+// RIB returns the dynamic control plane this monitor was configured with,
+// or nil when it forwards against static tables only.
+func (l *LVRM) RIB() *rib.RIB { return l.cfg.RIB }
 
 // Allocator exposes the core allocator for inspection.
 func (l *LVRM) Allocator() *cores.Allocator { return l.allocator }

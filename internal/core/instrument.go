@@ -277,6 +277,15 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 		obs.TypeCounter, func(a *VRIAdapter) float64 { return float64(a.EngineDrops()) })
 	perVRI("lvrm_vri_out_drops_total", "Frames lost because the outgoing data queue was full.",
 		obs.TypeCounter, func(a *VRIAdapter) float64 { return float64(a.OutDrops()) })
+	if l.cfg.RIB != nil {
+		// Control-plane series (lvrm_rib_*, lvrm_fib_generation, publish
+		// latency histogram) plus the per-VRI pinned generation: the spread
+		// between a VRI's pinned generation and lvrm_fib_generation is the
+		// convergence lag visible from the data path.
+		l.cfg.RIB.Instrument(reg)
+		perVRI("lvrm_vri_route_generation", "FIB generation the VRI last pinned (0 = static routes).",
+			obs.TypeGauge, func(a *VRIAdapter) float64 { return float64(a.RouteGeneration()) })
+	}
 
 	// Per-queue enqueue-full rejections, straight from the IPC layer.
 	reg.Collect("lvrm_vri_queue_drops_total",

@@ -11,6 +11,12 @@ import (
 // when it consumes the event. The originator is the monitor itself
 // (SrcVRI = -1). It returns the number of VRIs addressed.
 //
+// This is the per-VRI static-table path: each VRI mutates its own cloned
+// route.Table, so an update costs one control event per instance. Engines
+// backed by the shared internal/rib FIB don't need it — the control plane
+// publishes one immutable generation and every VRI picks it up at its next
+// scheduling quantum (see vr.RoutePinner).
+//
 // The VRIs must run a control handler that applies the update — the live
 // runtime's RouteSyncHandler, or the testbed's OnControl callback.
 func (l *LVRM) BroadcastRouteUpdate(v *VR, u vr.RouteUpdate) int {

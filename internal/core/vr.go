@@ -412,6 +412,11 @@ func (v *VR) spawnVRI(core int, now int64, queueKind ipc.Kind, dataCap, ctlCap i
 	}
 	a.waitHist = v.waitHist
 	a.loadFn = a.Load // bound once; dispatch reuses it allocation-free
+	// Cache the RoutePinner assertion: Step/StepBatch pin the engine's FIB
+	// generation once per quantum without re-asserting on the hot path.
+	if p, ok := engine.(vr.RoutePinner); ok {
+		a.pinner = p
+	}
 	// Starting→Running before the COW insert: the instance is never visible
 	// to dispatch in any state but Running.
 	a.markRunning()

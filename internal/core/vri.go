@@ -77,6 +77,14 @@ type VRIAdapter struct {
 	// method value per frame.
 	loadFn func() float64
 
+	// pinner is the engine's vr.RoutePinner, type-asserted once at spawn
+	// so Step/StepBatch pin the FIB generation without a per-quantum
+	// interface assertion. Nil when the engine has no dynamic FIB.
+	pinner vr.RoutePinner
+	// routeGen mirrors the last pinned generation for the scrape path
+	// (lvrm_vri_route_generation); written only by the consumer side.
+	routeGen atomic.Uint64
+
 	// batchIn/batchOut are StepBatch's scratch buffers. StepBatch runs on
 	// the consumer side only (the VRI's own goroutine or the
 	// single-threaded testbed), so they need no synchronisation.
@@ -107,6 +115,19 @@ func (a *VRIAdapter) OutDrops() int64 { return a.outDrops.Load() }
 // ControlHandled returns the number of control events consumed.
 func (a *VRIAdapter) ControlHandled() int64 { return a.ctlHandled.Load() }
 
+// RouteGeneration returns the FIB generation this VRI last pinned (0 when
+// its engine has no dynamic FIB).
+func (a *VRIAdapter) RouteGeneration() uint64 { return a.routeGen.Load() }
+
+// pinRoutes pins the engine's FIB generation for the quantum that follows.
+// Called at the top of Step/StepBatch: every frame in the quantum resolves
+// against one consistent routing epoch regardless of concurrent publishes.
+func (a *VRIAdapter) pinRoutes() {
+	if a.pinner != nil {
+		a.routeGen.Store(a.pinner.PinRoutes())
+	}
+}
+
 // Load returns the queue-length estimate used by JSQ. Reading the load
 // also folds the instantaneous queue occupancy into the EWMA — the VRI
 // adapter reports a fresh estimate whenever the VRI monitor balances
@@ -128,6 +149,7 @@ func (a *VRIAdapter) Step(now int64, onControl func(*ControlEvent)) (cost time.D
 	if VRIState(a.state.Load()) != VRIRunning {
 		return 0, false
 	}
+	a.pinRoutes()
 	// Control first.
 	if ev, ok := a.Control.In.Dequeue(); ok {
 		a.ctlHandled.Add(1)
@@ -192,6 +214,7 @@ func (a *VRIAdapter) StepBatch(now int64, max int, onControl func(*ControlEvent)
 	if VRIState(a.state.Load()) != VRIRunning {
 		return res
 	}
+	a.pinRoutes()
 	for {
 		ev, ok := a.Control.In.Dequeue()
 		if !ok {

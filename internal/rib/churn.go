@@ -1,0 +1,96 @@
+package rib
+
+import (
+	"math"
+	"time"
+
+	"lvrm/internal/packet"
+)
+
+// ChurnOpts parameterizes a deterministic BGP-flap-style event trace: a
+// fixed pool of more-specific prefixes under Base that are repeatedly
+// announced (with rotating next hops) and withdrawn. Traces are coherent —
+// a prefix is only withdrawn while announced — so replaying one against a
+// RIB never produces rejected events.
+type ChurnOpts struct {
+	Seed     uint64        // PRNG seed; same opts + seed => identical trace
+	Duration time.Duration // trace length
+	Rate     float64       // mean events per second (must be > 0)
+	Prefixes int           // flapping prefix pool size (default 64)
+	Base     packet.IP     // /16 whose /24 more-specifics flap (default 10.2.0.0)
+	OutIf    uint16        // interface announced routes point at
+	NextHops int           // distinct next hops rotated per announce (default 4)
+	Src      Source        // event source (default SrcBGP)
+	Distance uint8         // admin distance (default 20)
+}
+
+func (o *ChurnOpts) fill() {
+	if o.Prefixes <= 0 {
+		o.Prefixes = 64
+	}
+	if o.Base == 0 {
+		o.Base = packet.IPv4(10, 2, 0, 0)
+	}
+	if o.NextHops <= 0 {
+		o.NextHops = 4
+	}
+	if o.Src == 0 {
+		o.Src = SrcBGP
+	}
+	if o.Distance == 0 {
+		o.Distance = 20
+	}
+}
+
+// GenerateChurn builds the event trace. Inter-event gaps are exponentially
+// distributed (Poisson arrivals, like real BGP flap bursts) with mean
+// 1/Rate, derived from a splitmix64 stream so the trace depends only on the
+// options. Each event flips one randomly chosen prefix: announced prefixes
+// are withdrawn, absent ones are announced with the next rotated next hop.
+func GenerateChurn(o ChurnOpts) []TimedEvent {
+	o.fill()
+	if o.Rate <= 0 || o.Duration <= 0 {
+		return nil
+	}
+	rng := splitmix64(o.Seed)
+	up := make([]bool, o.Prefixes)
+	hop := make([]int, o.Prefixes)
+	mean := float64(time.Second) / o.Rate
+	out := make([]TimedEvent, 0, int(o.Rate*o.Duration.Seconds())+16)
+	var now time.Duration
+	for {
+		// Exponential gap: -mean * ln(u), u in (0,1].
+		u := float64(rng()>>11+1) / float64(1<<53)
+		now += time.Duration(-mean * math.Log(u))
+		if now >= o.Duration {
+			return out
+		}
+		i := int(rng() % uint64(o.Prefixes))
+		prefix := o.Base + packet.IP(i)<<8 // the i-th /24 under Base
+		ev := Event{Prefix: prefix, Bits: 24, Src: o.Src, Distance: o.Distance}
+		if up[i] {
+			ev.Withdraw = true
+		} else {
+			ev.OutIf = o.OutIf
+			// Next hops rotate through Base+.0.1 .. Base+.0.NextHops so
+			// convergence replaces routes rather than only adding them.
+			ev.NextHop = o.Base + packet.IP(hop[i]%o.NextHops) + 1
+			hop[i]++
+		}
+		up[i] = !up[i]
+		out = append(out, TimedEvent{At: now, Ev: ev})
+	}
+}
+
+// splitmix64 returns a deterministic uint64 stream (Steele et al.); the
+// same generator the flow package uses for unparseable-frame keys.
+func splitmix64(seed uint64) func() uint64 {
+	x := seed
+	return func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

@@ -1,0 +1,99 @@
+package rib
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestGenerateChurnDeterministic(t *testing.T) {
+	o := ChurnOpts{Seed: 42, Duration: time.Second, Rate: 2000, OutIf: 1}
+	a := GenerateChurn(o)
+	b := GenerateChurn(o)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := GenerateChurn(ChurnOpts{Seed: 43, Duration: time.Second, Rate: 2000, OutIf: 1})
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateChurnRateAndOrder(t *testing.T) {
+	o := ChurnOpts{Seed: 7, Duration: 2 * time.Second, Rate: 5000, OutIf: 1}
+	evs := GenerateChurn(o)
+	got := float64(len(evs)) / o.Duration.Seconds()
+	if got < o.Rate*0.8 || got > o.Rate*1.2 {
+		t.Fatalf("event rate %.0f/s, want ~%.0f/s", got, o.Rate)
+	}
+	var prev time.Duration
+	for i, te := range evs {
+		if te.At < prev {
+			t.Fatalf("event %d out of order: %v < %v", i, te.At, prev)
+		}
+		if te.At >= o.Duration {
+			t.Fatalf("event %d beyond duration: %v", i, te.At)
+		}
+		prev = te.At
+	}
+}
+
+// TestGenerateChurnCoherent replays a trace into a RIB and requires zero
+// rejected events: withdraws only ever follow announcements.
+func TestGenerateChurnCoherent(t *testing.T) {
+	evs := GenerateChurn(ChurnOpts{Seed: 9, Duration: time.Second, Rate: 10000, OutIf: 1})
+	r := New(Options{MaxBatch: 32})
+	for _, te := range evs {
+		if err := r.Apply(te.Ev); err != nil {
+			t.Fatalf("incoherent trace: %v", err)
+		}
+	}
+	r.Publish()
+	st := r.Stats()
+	if st.Rejected != 0 {
+		t.Fatalf("%d rejected events", st.Rejected)
+	}
+	if st.Updates+st.Withdrawals != int64(len(evs)) {
+		t.Fatalf("accepted %d of %d events", st.Updates+st.Withdrawals, len(evs))
+	}
+	if st.Generation == 0 {
+		t.Fatal("no generations published")
+	}
+}
+
+func TestChurnTraceFileRoundTrip(t *testing.T) {
+	evs := GenerateChurn(ChurnOpts{Seed: 5, Duration: 100 * time.Millisecond, Rate: 3000, OutIf: 1})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("got %d events, want %d", len(back), len(evs))
+	}
+	for i := range evs {
+		if back[i] != evs[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, back[i], evs[i])
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package rib
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"lvrm/internal/packet"
+)
+
+// Source identifies the protocol feed a route came from. The RIB keeps one
+// candidate per (prefix, source); best-path resolution picks the winner by
+// admin distance. Well-known values follow router convention but any uint8
+// is valid.
+type Source uint8
+
+// Conventional sources and their default admin distances.
+const (
+	SrcStatic    Source = 0  // operator-configured (distance 1)
+	SrcConnected Source = 1  // directly attached (distance 0)
+	SrcOSPF      Source = 10 // IGP feed (distance 110)
+	SrcBGP       Source = 20 // EGP feed (distance 20)
+)
+
+// Event is one streamed routing update: an add (announce/replace) or a
+// withdraw of a prefix from one source.
+type Event struct {
+	Withdraw bool
+	Prefix   packet.IP // masked to Bits by Apply
+	Bits     uint8
+	OutIf    uint16
+	NextHop  packet.IP
+	Src      Source
+	Distance uint8
+}
+
+// TimedEvent is an Event scheduled at an offset from the start of a trace.
+type TimedEvent struct {
+	At time.Duration
+	Ev Event
+}
+
+// Binary wire format (UDP feed): fixed 16 bytes per event, big-endian.
+//
+//	offset  size  field
+//	0       2     magic "RE"
+//	2       1     version (1)
+//	3       1     flags (bit0 = withdraw)
+//	4       4     prefix
+//	8       1     bits
+//	9       1     source
+//	10      1     distance
+//	11      1     reserved (0)
+//	12      4     next hop
+//
+// OutIf rides in the reserved+flags space: bits 1..7 of flags plus the
+// reserved byte form a 15-bit interface index (flags>>1 | reserved<<7).
+const (
+	EventWireSize = 16
+	eventVersion  = 1
+)
+
+var eventMagic = [2]byte{'R', 'E'}
+
+// ErrShortEvent is returned when a buffer is too small to hold an event.
+var ErrShortEvent = errors.New("rib: short event buffer")
+
+// MarshalBinary encodes the event into the fixed 16-byte wire format.
+func (e Event) MarshalBinary() [EventWireSize]byte {
+	var b [EventWireSize]byte
+	b[0], b[1] = eventMagic[0], eventMagic[1]
+	b[2] = eventVersion
+	flags := byte(e.OutIf&0x7f) << 1
+	if e.Withdraw {
+		flags |= 1
+	}
+	b[3] = flags
+	binary.BigEndian.PutUint32(b[4:8], uint32(e.Prefix))
+	b[8] = e.Bits
+	b[9] = byte(e.Src)
+	b[10] = e.Distance
+	b[11] = byte(e.OutIf >> 7)
+	binary.BigEndian.PutUint32(b[12:16], uint32(e.NextHop))
+	return b
+}
+
+// ParseEvent decodes one event from the front of b, returning the event and
+// the number of bytes consumed. Datagrams may concatenate several events.
+func ParseEvent(b []byte) (Event, int, error) {
+	if len(b) < EventWireSize {
+		return Event{}, 0, ErrShortEvent
+	}
+	if b[0] != eventMagic[0] || b[1] != eventMagic[1] {
+		return Event{}, 0, fmt.Errorf("rib: bad event magic %#x%x", b[0], b[1])
+	}
+	if b[2] != eventVersion {
+		return Event{}, 0, fmt.Errorf("rib: unsupported event version %d", b[2])
+	}
+	var e Event
+	flags := b[3]
+	e.Withdraw = flags&1 != 0
+	e.Prefix = packet.IP(binary.BigEndian.Uint32(b[4:8]))
+	e.Bits = b[8]
+	e.Src = Source(b[9])
+	e.Distance = b[10]
+	e.OutIf = uint16(flags>>1) | uint16(b[11])<<7
+	e.NextHop = packet.IP(binary.BigEndian.Uint32(b[12:16]))
+	if e.Bits > 32 {
+		return Event{}, 0, fmt.Errorf("rib: invalid prefix length %d", e.Bits)
+	}
+	return e, EventWireSize, nil
+}
+
+// Text trace format ("route churn trace"): a replayable event log. First
+// line is a header, then one event per line with a nanosecond offset:
+//
+//	#lvrm-route-churn v1
+//	0 add 10.2.3.0/24 if1 10.1.0.254 src=20 dist=20
+//	200000 withdraw 10.2.3.0/24 src=20
+//
+// Withdraw lines omit the interface/next-hop (only prefix+src matter) and
+// "dist=" is optional on them. Blank lines and '#' comments are skipped.
+// Offsets must be non-negative but need not be sorted.
+const TraceHeader = "#lvrm-route-churn v1"
+
+// WriteTrace writes events as a text trace.
+func WriteTrace(w io.Writer, evs []TimedEvent) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, TraceHeader)
+	for _, te := range evs {
+		e := te.Ev
+		if e.Withdraw {
+			fmt.Fprintf(bw, "%d withdraw %v/%d src=%d dist=%d\n", te.At.Nanoseconds(), e.Prefix, e.Bits, e.Src, e.Distance)
+			continue
+		}
+		fmt.Fprintf(bw, "%d add %v/%d if%d %v src=%d dist=%d\n",
+			te.At.Nanoseconds(), e.Prefix, e.Bits, e.OutIf, e.NextHop, e.Src, e.Distance)
+	}
+	return bw.Flush()
+}
+
+// ParseTrace reads a text trace. The header line is required.
+func ParseTrace(r io.Reader) ([]TimedEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, errors.New("rib: empty trace")
+	}
+	if strings.TrimSpace(sc.Text()) != TraceHeader {
+		return nil, fmt.Errorf("rib: bad trace header %q (want %q)", sc.Text(), TraceHeader)
+	}
+	var out []TimedEvent
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		te, err := ParseTraceLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rib: line %d: %v", lineNo, err)
+		}
+		out = append(out, te)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseTraceLine parses one non-comment trace line.
+func ParseTraceLine(line string) (TimedEvent, error) {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return TimedEvent{}, fmt.Errorf("truncated line %q", line)
+	}
+	ns, err := strconv.ParseInt(f[0], 10, 64)
+	if err != nil || ns < 0 {
+		return TimedEvent{}, fmt.Errorf("bad offset %q", f[0])
+	}
+	prefix, bits, err := parseCIDR(f[2])
+	if err != nil {
+		return TimedEvent{}, err
+	}
+	te := TimedEvent{At: time.Duration(ns)}
+	te.Ev.Prefix = prefix
+	te.Ev.Bits = bits
+	switch f[1] {
+	case "withdraw":
+		te.Ev.Withdraw = true
+		for _, kv := range f[3:] {
+			if err := te.Ev.applyKV(kv); err != nil {
+				return TimedEvent{}, err
+			}
+		}
+	case "add":
+		if len(f) < 6 {
+			return TimedEvent{}, fmt.Errorf("truncated add line %q", line)
+		}
+		outIf, err := parseIf(f[3])
+		if err != nil {
+			return TimedEvent{}, err
+		}
+		nh, err := packet.ParseIP(f[4])
+		if err != nil {
+			return TimedEvent{}, fmt.Errorf("bad next hop %q: %v", f[4], err)
+		}
+		te.Ev.OutIf = outIf
+		te.Ev.NextHop = nh
+		for _, kv := range f[5:] {
+			if err := te.Ev.applyKV(kv); err != nil {
+				return TimedEvent{}, err
+			}
+		}
+	default:
+		return TimedEvent{}, fmt.Errorf("unknown op %q", f[1])
+	}
+	return te, nil
+}
+
+func (e *Event) applyKV(kv string) error {
+	k, v, ok := strings.Cut(kv, "=")
+	if !ok {
+		return fmt.Errorf("bad attribute %q", kv)
+	}
+	n, err := strconv.ParseUint(v, 10, 8)
+	if err != nil {
+		return fmt.Errorf("bad %s value %q", k, v)
+	}
+	switch k {
+	case "src":
+		e.Src = Source(n)
+	case "dist":
+		e.Distance = uint8(n)
+	default:
+		return fmt.Errorf("unknown attribute %q", k)
+	}
+	return nil
+}
+
+func parseCIDR(s string) (packet.IP, uint8, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return 0, 0, fmt.Errorf("missing '/' in prefix %q", s)
+	}
+	ip, err := packet.ParseIP(s[:slash])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad prefix %q: %v", s, err)
+	}
+	bits, err := strconv.ParseUint(s[slash+1:], 10, 8)
+	if err != nil || bits > 32 {
+		return 0, 0, fmt.Errorf("invalid prefix length in %q", s)
+	}
+	return ip, uint8(bits), nil
+}
+
+func parseIf(s string) (uint16, error) {
+	if !strings.HasPrefix(s, "if") {
+		return 0, fmt.Errorf("interface %q must be of the form ifN", s)
+	}
+	n, err := strconv.ParseUint(s[2:], 10, 15)
+	if err != nil {
+		return 0, fmt.Errorf("interface %q must be of the form ifN", s)
+	}
+	return uint16(n), nil
+}

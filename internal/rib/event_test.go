@@ -1,0 +1,172 @@
+package rib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"lvrm/internal/packet"
+)
+
+func TestEventBinaryRoundTrip(t *testing.T) {
+	cases := []Event{
+		{Prefix: packet.MustParseIP("10.2.3.0"), Bits: 24, OutIf: 1, NextHop: packet.MustParseIP("10.1.0.254"), Src: SrcBGP, Distance: 20},
+		{Withdraw: true, Prefix: packet.MustParseIP("10.2.3.0"), Bits: 24, Src: SrcBGP},
+		{Prefix: 0, Bits: 0, OutIf: 0, Src: SrcStatic, Distance: 1},
+		{Prefix: packet.MustParseIP("255.255.255.255"), Bits: 32, OutIf: 0x7fff, NextHop: 0xffffffff, Src: 255, Distance: 255},
+	}
+	for _, want := range cases {
+		b := want.MarshalBinary()
+		got, n, err := ParseEvent(b[:])
+		if err != nil {
+			t.Fatalf("ParseEvent(%+v): %v", want, err)
+		}
+		if n != EventWireSize || got != want {
+			t.Fatalf("round trip: got %+v (n=%d), want %+v", got, n, want)
+		}
+	}
+}
+
+func TestParseEventErrors(t *testing.T) {
+	valid := Event{Prefix: packet.MustParseIP("10.0.0.0"), Bits: 8, OutIf: 1, Src: 1, Distance: 1}.MarshalBinary()
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"short", func(b []byte) []byte { return b[:EventWireSize-1] }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte { b[2] = 99; return b }},
+		{"bad bits", func(b []byte) []byte { b[8] = 33; return b }},
+	}
+	for _, c := range cases {
+		b := append([]byte(nil), valid[:]...)
+		if _, _, err := ParseEvent(c.mut(b)); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	evs := []TimedEvent{
+		{At: 0, Ev: Event{Prefix: packet.MustParseIP("10.2.3.0"), Bits: 24, OutIf: 1, NextHop: packet.MustParseIP("10.1.0.254"), Src: SrcBGP, Distance: 20}},
+		{At: 250 * time.Microsecond, Ev: Event{Withdraw: true, Prefix: packet.MustParseIP("10.2.3.0"), Bits: 24, Src: SrcBGP}},
+		{At: time.Second, Ev: Event{Prefix: packet.MustParseIP("0.0.0.0"), Bits: 0, OutIf: 0, NextHop: 0, Src: SrcStatic, Distance: 1}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("got %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], evs[i])
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "#something-else\n"},
+		{"truncated line", TraceHeader + "\n100 add\n"},
+		{"bad offset", TraceHeader + "\nxyz add 10.0.0.0/8 if1 0.0.0.0 src=1 dist=1\n"},
+		{"negative offset", TraceHeader + "\n-5 add 10.0.0.0/8 if1 0.0.0.0 src=1 dist=1\n"},
+		{"bad op", TraceHeader + "\n0 flap 10.0.0.0/8 if1 0.0.0.0 src=1 dist=1\n"},
+		{"bad prefix", TraceHeader + "\n0 add 10.0.0/8 if1 0.0.0.0 src=1 dist=1\n"},
+		{"bits overflow", TraceHeader + "\n0 add 10.0.0.0/33 if1 0.0.0.0 src=1 dist=1\n"},
+		{"bits huge", TraceHeader + "\n0 add 10.0.0.0/4294967296 if1 0.0.0.0 src=1 dist=1\n"},
+		{"bad interface", TraceHeader + "\n0 add 10.0.0.0/8 eth0 0.0.0.0 src=1 dist=1\n"},
+		{"truncated add", TraceHeader + "\n0 add 10.0.0.0/8 if1\n"},
+		{"bad nexthop", TraceHeader + "\n0 add 10.0.0.0/8 if1 nope src=1 dist=1\n"},
+		{"bad attr", TraceHeader + "\n0 add 10.0.0.0/8 if1 0.0.0.0 src=1 dist=1 weight=9\n"},
+		{"attr overflow", TraceHeader + "\n0 withdraw 10.0.0.0/8 src=300\n"},
+		{"attr junk", TraceHeader + "\n0 withdraw 10.0.0.0/8 srcfoo\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestParseTraceSkipsCommentsAndBlanks(t *testing.T) {
+	in := TraceHeader + "\n\n# a comment\n0 add 10.0.0.0/8 if1 0.0.0.0 src=1 dist=1 # trailing\n"
+	evs, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Ev.OutIf != 1 {
+		t.Fatalf("got %+v", evs)
+	}
+}
+
+// FuzzParseEvent fuzzes the binary event decoder, mirroring FuzzFrameDecode:
+// seed with valid encodings, then check that any successfully parsed event
+// re-marshals to the bytes it came from.
+func FuzzParseEvent(f *testing.F) {
+	seed := []Event{
+		{Prefix: packet.MustParseIP("10.2.3.0"), Bits: 24, OutIf: 1, NextHop: packet.MustParseIP("10.1.0.254"), Src: SrcBGP, Distance: 20},
+		{Withdraw: true, Prefix: packet.MustParseIP("10.2.3.0"), Bits: 24, Src: SrcBGP},
+		{Prefix: packet.MustParseIP("255.0.0.0"), Bits: 8, OutIf: 0x7fff, Src: 255, Distance: 255},
+	}
+	for _, e := range seed {
+		b := e.MarshalBinary()
+		f.Add(b[:])
+	}
+	f.Add([]byte("RE"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, n, err := ParseEvent(data)
+		if err != nil {
+			return
+		}
+		if n != EventWireSize {
+			t.Fatalf("consumed %d bytes, want %d", n, EventWireSize)
+		}
+		if e.Bits > 32 {
+			t.Fatalf("accepted invalid prefix length %d", e.Bits)
+		}
+		back := e.MarshalBinary()
+		if !bytes.Equal(back[:], data[:EventWireSize]) {
+			t.Fatalf("re-marshal mismatch: % x vs % x", back[:], data[:EventWireSize])
+		}
+	})
+}
+
+// FuzzParseTraceLine fuzzes the text trace parser.
+func FuzzParseTraceLine(f *testing.F) {
+	f.Add("0 add 10.2.3.0/24 if1 10.1.0.254 src=20 dist=20")
+	f.Add("250000 withdraw 10.2.3.0/24 src=20")
+	f.Add("1 add 0.0.0.0/0 if0 0.0.0.0 src=0 dist=1")
+	f.Add("9 withdraw 10.0.0.0/8 src=1 dist=2")
+	f.Fuzz(func(t *testing.T, line string) {
+		te, err := ParseTraceLine(line)
+		if err != nil {
+			return
+		}
+		if te.At < 0 || te.Ev.Bits > 32 {
+			t.Fatalf("accepted invalid event %+v", te)
+		}
+		// A parsed event must survive a write/parse round trip.
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, []TimedEvent{te}); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseTrace(&buf)
+		if err != nil || len(back) != 1 {
+			t.Fatalf("round trip failed: %v (%d events)", err, len(back))
+		}
+		if back[0] != te {
+			t.Fatalf("round trip mismatch: %+v vs %+v", back[0], te)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package rib
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// LoadTraceFile reads a route-churn trace from disk.
+func LoadTraceFile(path string) ([]TimedEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseTrace(f)
+}
+
+// Replay applies a trace against the RIB in (wall-clock) real time,
+// honoring each event's offset, and publishes any tail batch at the end.
+// It blocks until the trace is exhausted or stop is closed. Events whose
+// offsets are already in the past replay as fast as possible, so a trace
+// denser than the host can sleep still applies every event.
+func Replay(r *RIB, evs []TimedEvent, stop <-chan struct{}) {
+	start := time.Now()
+	for _, te := range evs {
+		if wait := te.At - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-stop:
+				return
+			}
+		} else {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+		_ = r.Apply(te.Ev) // rejects (e.g. duplicate withdraws) are counted
+	}
+	r.Publish()
+}
+
+// UDPFeed listens for binary route events (see Event wire format) and
+// applies them to a RIB. A datagram may concatenate any number of events;
+// malformed tails are dropped and counted.
+type UDPFeed struct {
+	conn    net.PacketConn
+	r       *RIB
+	dropped atomic.Int64
+	done    chan struct{}
+}
+
+// ListenUDP starts a feed on addr (e.g. ":8821").
+func ListenUDP(addr string, r *RIB) (*UDPFeed, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rib: listen %s: %w", addr, err)
+	}
+	f := &UDPFeed{conn: conn, r: r, done: make(chan struct{})}
+	go f.loop()
+	return f, nil
+}
+
+// Addr returns the bound address.
+func (f *UDPFeed) Addr() net.Addr { return f.conn.LocalAddr() }
+
+// Dropped returns the number of malformed events discarded.
+func (f *UDPFeed) Dropped() int64 { return f.dropped.Load() }
+
+// Close stops the feed and waits for the receive loop to exit.
+func (f *UDPFeed) Close() error {
+	err := f.conn.Close()
+	<-f.done
+	return err
+}
+
+func (f *UDPFeed) loop() {
+	defer close(f.done)
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := f.conn.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		b := buf[:n]
+		for len(b) > 0 {
+			ev, used, err := ParseEvent(b)
+			if err != nil {
+				f.dropped.Add(1)
+				break
+			}
+			b = b[used:]
+			_ = f.r.Apply(ev)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package rib
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"lvrm/internal/packet"
+)
+
+func TestReplayAppliesTrace(t *testing.T) {
+	evs := []TimedEvent{
+		{At: 0, Ev: add("10.2.3.0", 24, 1, SrcBGP, 20)},
+		{At: time.Millisecond, Ev: add("10.2.4.0", 24, 1, SrcBGP, 20)},
+		{At: 2 * time.Millisecond, Ev: withdraw("10.2.3.0", 24, SrcBGP)},
+	}
+	r := New(Options{})
+	stop := make(chan struct{})
+	Replay(r, evs, stop)
+	st := r.Stats()
+	if st.Updates != 2 || st.Withdrawals != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, ok := r.FIB().Snapshot().Lookup(packet.MustParseIP("10.2.4.9")); !ok {
+		t.Fatal("replayed route missing")
+	}
+	if _, ok := r.FIB().Snapshot().Lookup(packet.MustParseIP("10.2.3.9")); ok {
+		t.Fatal("withdrawn route still present")
+	}
+}
+
+func TestReplayStops(t *testing.T) {
+	evs := []TimedEvent{
+		{At: 0, Ev: add("10.2.3.0", 24, 1, SrcBGP, 20)},
+		{At: time.Hour, Ev: add("10.2.4.0", 24, 1, SrcBGP, 20)},
+	}
+	r := New(Options{})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { Replay(r, evs, stop); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Replay did not stop")
+	}
+}
+
+func TestUDPFeed(t *testing.T) {
+	r := New(Options{MaxBatch: 1})
+	feed, err := ListenUDP("127.0.0.1:0", r)
+	if err != nil {
+		t.Skipf("no UDP loopback: %v", err)
+	}
+	defer feed.Close()
+
+	conn, err := net.Dial("udp", feed.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// One datagram with two concatenated events, then one malformed tail.
+	e1 := add("10.2.3.0", 24, 1, SrcBGP, 20).MarshalBinary()
+	e2 := add("10.2.4.0", 24, 1, SrcBGP, 20).MarshalBinary()
+	if _, err := conn.Write(append(e1[:], e2[:]...)); err != nil {
+		t.Fatal(err)
+	}
+	bad := append(append([]byte{}, e1[:]...), 'X', 'Y') // valid event + garbage tail
+	if _, err := conn.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := r.Stats()
+		if st.Updates >= 3 && feed.Dropped() >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("feed did not apply events: stats=%+v dropped=%d", st, feed.Dropped())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := r.FIB().Snapshot().Lookup(packet.MustParseIP("10.2.4.9")); !ok {
+		t.Fatal("UDP-fed route missing from FIB")
+	}
+}

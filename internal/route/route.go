@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	mathbits "math/bits"
 	"strconv"
 	"strings"
 
@@ -26,16 +27,24 @@ type Entry struct {
 // ErrNoRoute is returned by Lookup when no prefix covers the destination.
 var ErrNoRoute = errors.New("route: no route to host")
 
-// Table is a longest-prefix-match IPv4 routing table backed by a binary
-// trie. The zero value is an empty table ready for use.
+// Table is a longest-prefix-match IPv4 routing table backed by a
+// path-compressed binary trie: a node exists only where a route terminates
+// or two routes' paths diverge, so an Insert allocates at most one entry
+// plus two nodes (a leaf and, when paths split mid-edge, one branch point)
+// instead of one node per prefix bit. The zero value is an empty table
+// ready for use.
 type Table struct {
 	root *node
 	n    int
 }
 
+// node carries the full path from the root in prefix (left-aligned, masked
+// to bits). entry is non-nil when a route terminates exactly here.
 type node struct {
-	child [2]*node
-	entry *Entry // non-nil if a route terminates here
+	prefix uint32
+	bits   uint8
+	entry  *Entry
+	child  [2]*node
 }
 
 // Len returns the number of routes in the table.
@@ -46,69 +55,140 @@ func (t *Table) Insert(prefix packet.IP, bits int, outIf int, nextHop packet.IP)
 	if bits < 0 || bits > 32 {
 		return fmt.Errorf("route: invalid prefix length %d", bits)
 	}
-	mask := prefixMask(bits)
-	e := &Entry{Prefix: prefix & packet.IP(mask), Bits: bits, OutIf: outIf, NextHop: nextHop}
-	if t.root == nil {
-		t.root = &node{}
-	}
-	cur := t.root
-	for i := 0; i < bits; i++ {
-		b := (uint32(e.Prefix) >> (31 - uint(i))) & 1
-		if cur.child[b] == nil {
-			cur.child[b] = &node{}
+	p := uint32(prefix) & prefixMask(bits)
+	e := &Entry{Prefix: packet.IP(p), Bits: bits, OutIf: outIf, NextHop: nextHop}
+	b := uint8(bits)
+
+	link := &t.root
+	for {
+		n := *link
+		if n == nil {
+			*link = &node{prefix: p, bits: b, entry: e}
+			t.n++
+			return nil
 		}
-		cur = cur.child[b]
+		cpl := commonPrefixLen(n.prefix, p, minBits(n.bits, b))
+		switch {
+		case cpl == n.bits && b == n.bits:
+			// Exact node: replace (or set) the route.
+			if n.entry == nil {
+				t.n++
+			}
+			n.entry = e
+			return nil
+		case cpl == n.bits:
+			// p extends this node's path: descend.
+			link = &n.child[(p>>(31-n.bits))&1]
+		case cpl == b:
+			// p is a strict prefix of this node's path: new node above n.
+			nn := &node{prefix: p, bits: b, entry: e}
+			nn.child[(n.prefix>>(31-b))&1] = n
+			*link = nn
+			t.n++
+			return nil
+		default:
+			// Paths diverge mid-edge: split at the common prefix.
+			sp := &node{prefix: p & prefixMask(int(cpl)), bits: cpl}
+			sp.child[(n.prefix>>(31-cpl))&1] = n
+			sp.child[(p>>(31-cpl))&1] = &node{prefix: p, bits: b, entry: e}
+			*link = sp
+			t.n++
+			return nil
+		}
 	}
-	if cur.entry == nil {
-		t.n++
-	}
-	cur.entry = e
-	return nil
 }
 
 // Delete removes the route for exactly prefix/bits, reporting whether it
-// existed. Dangling trie nodes are left in place (they are cheap and the
-// route churn of a virtual router is low); only the entry is cleared.
+// existed. Entry-less nodes left with at most one child are compressed
+// away so the trie stays minimal.
 func (t *Table) Delete(prefix packet.IP, bits int) bool {
-	if bits < 0 || bits > 32 || t.root == nil {
+	if bits < 0 || bits > 32 {
 		return false
 	}
-	mask := prefixMask(bits)
-	p := prefix & packet.IP(mask)
-	cur := t.root
-	for i := 0; i < bits; i++ {
-		b := (uint32(p) >> (31 - uint(i))) & 1
-		if cur.child[b] == nil {
+	p := uint32(prefix) & prefixMask(bits)
+	b := uint8(bits)
+
+	link := &t.root
+	for {
+		n := *link
+		if n == nil || b < n.bits {
 			return false
 		}
-		cur = cur.child[b]
+		if commonPrefixLen(n.prefix, p, n.bits) < n.bits {
+			return false
+		}
+		if b == n.bits {
+			// Exact node (prefixes agree on all b bits and both are masked).
+			if n.entry == nil {
+				return false
+			}
+			n.entry = nil
+			t.n--
+			compact(link)
+			return true
+		}
+		link = &n.child[(p>>(31-n.bits))&1]
 	}
-	if cur.entry == nil || cur.entry.Bits != bits {
-		return false
-	}
-	cur.entry = nil
-	t.n--
-	return true
 }
 
-// Lookup returns the longest-prefix-match route for dst.
+// compact collapses the deleted node itself when it has at most one child
+// (a child's prefix already encodes the full path). An ancestor branch
+// point that loses a subtree is left in place — like the previous
+// implementation's dangling nodes it stays correct (its prefix test still
+// matches) and route churn in a virtual router is low enough not to care.
+func compact(link **node) {
+	n := *link
+	if n == nil || n.entry != nil {
+		return
+	}
+	switch {
+	case n.child[0] == nil && n.child[1] == nil:
+		*link = nil
+	case n.child[0] == nil:
+		*link = n.child[1]
+	case n.child[1] == nil:
+		*link = n.child[0]
+	}
+}
+
+// Lookup returns the longest-prefix-match route for dst. It is
+// allocation-free.
 func (t *Table) Lookup(dst packet.IP) (Entry, error) {
 	var best *Entry
-	cur := t.root
-	for i := 0; cur != nil; i++ {
-		if cur.entry != nil {
-			best = cur.entry
+	d := uint32(dst)
+	n := t.root
+	for n != nil {
+		if n.bits > 0 && (d^n.prefix)>>(32-n.bits) != 0 {
+			break // dst diverges from this node's path
 		}
-		if i == 32 {
+		if n.entry != nil {
+			best = n.entry
+		}
+		if n.bits == 32 {
 			break
 		}
-		b := (uint32(dst) >> (31 - uint(i))) & 1
-		cur = cur.child[b]
+		n = n.child[(d>>(31-n.bits))&1]
 	}
 	if best == nil {
 		return Entry{}, ErrNoRoute
 	}
 	return *best, nil
+}
+
+func commonPrefixLen(a, b uint32, max uint8) uint8 {
+	if x := a ^ b; x != 0 {
+		if l := uint8(mathbits.LeadingZeros32(x)); l < max {
+			return l
+		}
+	}
+	return max
+}
+
+func minBits(a, b uint8) uint8 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Clone returns an independent deep copy of the table. Each VRI owns a

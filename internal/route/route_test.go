@@ -2,6 +2,7 @@ package route
 
 import (
 	"errors"
+	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -198,7 +199,152 @@ func TestLoadMapFileErrors(t *testing.T) {
 	}
 }
 
-func BenchmarkLookup(b *testing.B) {
+// TestDeleteAndCompaction exercises delete paths through split nodes.
+func TestDeleteAndCompaction(t *testing.T) {
+	var tbl Table
+	tbl.Insert(ip("10.2.0.0"), 16, 1, 0)
+	tbl.Insert(ip("10.3.0.0"), 16, 2, 0) // splits at /15
+	tbl.Insert(ip("10.2.3.0"), 24, 3, 0)
+
+	if !tbl.Delete(ip("10.2.3.0"), 24) {
+		t.Fatal("delete /24 failed")
+	}
+	if e, err := tbl.Lookup(ip("10.2.3.4")); err != nil || e.OutIf != 1 {
+		t.Fatalf("after /24 delete: (%+v, %v)", e, err)
+	}
+	if tbl.Delete(ip("10.2.3.0"), 24) {
+		t.Fatal("double delete succeeded")
+	}
+	if tbl.Delete(ip("10.2.0.0"), 24) {
+		t.Fatal("delete of non-existent length succeeded")
+	}
+	if tbl.Delete(ip("10.9.0.0"), 16) {
+		t.Fatal("delete of absent prefix succeeded")
+	}
+	if !tbl.Delete(ip("10.2.0.0"), 16) || !tbl.Delete(ip("10.3.0.0"), 16) {
+		t.Fatal("deleting remaining routes failed")
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tbl.Len())
+	}
+	if _, err := tbl.Lookup(ip("10.2.3.4")); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("lookup in emptied table: %v", err)
+	}
+}
+
+// TestTableAgainstBruteForce torture-tests the compressed trie with random
+// insert/delete streams against a brute-force LPM scan.
+func TestTableAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var tbl Table
+	type pk struct {
+		p    packet.IP
+		bits int
+	}
+	live := map[pk]Entry{}
+
+	for step := 0; step < 3000; step++ {
+		bits := rng.Intn(33)
+		p := packet.IP(rng.Uint32()) & packet.IP(prefixMask(bits))
+		k := pk{p, bits}
+		if _, ok := live[k]; ok && rng.Intn(2) == 0 {
+			if !tbl.Delete(p, bits) {
+				t.Fatalf("step %d: delete of live %v/%d failed", step, p, bits)
+			}
+			delete(live, k)
+		} else {
+			e := Entry{Prefix: p, Bits: bits, OutIf: rng.Intn(64), NextHop: packet.IP(rng.Uint32())}
+			if err := tbl.Insert(p, bits, e.OutIf, e.NextHop); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = e
+		}
+		if tbl.Len() != len(live) {
+			t.Fatalf("step %d: Len %d != live %d", step, tbl.Len(), len(live))
+		}
+		if step%32 != 0 {
+			continue
+		}
+		for probe := 0; probe < 32; probe++ {
+			dst := packet.IP(rng.Uint32())
+			var want *Entry
+			for _, e := range live {
+				mask := packet.IP(prefixMask(e.Bits))
+				if dst&mask == e.Prefix && (want == nil || e.Bits > want.Bits) {
+					e := e
+					want = &e
+				}
+			}
+			got, err := tbl.Lookup(dst)
+			if want == nil {
+				if !errors.Is(err, ErrNoRoute) {
+					t.Fatalf("step %d: Lookup(%v) = (%+v, %v), want miss", step, dst, got, err)
+				}
+				continue
+			}
+			if err != nil || got != *want {
+				t.Fatalf("step %d: Lookup(%v) = (%+v, %v), want %+v", step, dst, got, err, *want)
+			}
+		}
+	}
+}
+
+// TestLoadMapFileMalformed is the table-driven sweep over malformed prefix
+// lengths and truncated lines demanded by the parser's error paths.
+func TestLoadMapFileMalformed(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"truncated prefix", "10.2.0.0/ if1"},
+		{"missing slash", "10.2.0.0 if1"},
+		{"prefix len overflow", "10.2.0.0/4294967296 if1"},
+		{"prefix len negative", "10.2.0.0/-1 if1"},
+		{"prefix len 33", "10.2.0.0/33 if1"},
+		{"prefix len junk", "10.2.0.0/1x if1"},
+		{"short octets", "10.2.0/16 if1"},
+		{"extra octets", "10.2.0.0.1/16 if1"},
+		{"octet overflow", "10.2.0.256/16 if1"},
+		{"interface only", "if1"},
+		{"lone prefix", "10.2.0.0/16"},
+		{"interface not ifN", "10.2.0.0/16 en0"},
+		{"interface bare if", "10.2.0.0/16 if"},
+		{"interface float", "10.2.0.0/16 if1.5"},
+		{"next hop truncated", "10.2.0.0/16 if1 10.1.0"},
+		{"four fields", "10.2.0.0/16 if1 10.1.0.254 extra"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := LoadMapFile(strings.NewReader(c.in)); err == nil {
+				t.Errorf("LoadMapFile accepted %q", c.in)
+			}
+		})
+	}
+	// Lines that must parse: comments, blanks, comment-suffixed routes.
+	good := "# header\n\n10.2.0.0/16 if1 # inline\n   \n0.0.0.0/0 if0 10.1.0.254\n"
+	tbl, err := LoadMapFile(strings.NewReader(good))
+	if err != nil || tbl.Len() != 2 {
+		t.Fatalf("good file: (%v, Len %d)", err, tbl.Len())
+	}
+}
+
+func TestTableLookupAllocFree(t *testing.T) {
+	var tbl Table
+	tbl.Insert(ip("0.0.0.0"), 0, 0, 0)
+	tbl.Insert(ip("10.2.0.0"), 16, 1, 0)
+	tbl.Insert(ip("10.2.3.0"), 24, 2, 0)
+	dst := ip("10.2.3.4")
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := tbl.Lookup(dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Lookup allocates %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkTableLookup is in the CI 0-alloc gate.
+func BenchmarkTableLookup(b *testing.B) {
 	var tbl Table
 	tbl.Insert(ip("0.0.0.0"), 0, 0, 0)
 	for i := 0; i < 256; i++ {
@@ -209,4 +355,22 @@ func BenchmarkLookup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, _ = tbl.Lookup(dst)
 	}
+}
+
+// BenchmarkTableInsert measures (re)build cost: the path-compressed trie
+// allocates at most one entry plus two nodes per insert, versus one node
+// per prefix bit before.
+func BenchmarkTableInsert(b *testing.B) {
+	prefixes := make([]packet.IP, 1024)
+	for i := range prefixes {
+		prefixes[i] = packet.IPv4(10, byte(i>>8), byte(i), 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var tbl Table
+		for j, p := range prefixes {
+			tbl.Insert(p, 24, j&3, 0)
+		}
+	}
+	b.ReportMetric(float64(len(prefixes)), "routes/table")
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lvrm/internal/packet"
+	"lvrm/internal/rib"
 	"lvrm/internal/route"
 )
 
@@ -53,10 +54,27 @@ var (
 	ErrBadFrame = errors.New("vr: malformed frame")
 )
 
+// RoutePinner is implemented by engines that resolve routes against an
+// epoch-swapped FIB (internal/rib). The VRI monitor calls PinRoutes once at
+// the top of each Step/StepBatch quantum; every frame processed in that
+// quantum then sees one consistent routing generation, even while the
+// control plane publishes new ones concurrently. PinRoutes returns the
+// pinned generation number (0 when the engine has no FIB).
+type RoutePinner interface {
+	PinRoutes() uint64
+}
+
 // BasicConfig configures the minimal forwarder.
 type BasicConfig struct {
 	// Routes is the static route table (from the VR's map file).
 	Routes *route.Table
+	// FIB, when set, is the dynamic forwarding table published by the
+	// control plane (internal/rib) and takes precedence over Routes.
+	// Unlike Routes it is shared — not cloned — across a VR's VRIs:
+	// generations are immutable, so concurrent lookups need no locks and
+	// no private copies. Each VRI pins one generation per scheduling
+	// quantum (see RoutePinner).
+	FIB *rib.FIB
 	// IfMAC maps output interface index -> source MAC to stamp on
 	// forwarded frames. Missing entries keep the original MAC.
 	IfMAC map[int]packet.MAC
@@ -86,6 +104,7 @@ const DefaultBasicCost = 60 * time.Nanosecond
 // Basic is the "C++ VR": a minimal data forwarding engine.
 type Basic struct {
 	cfg       BasicConfig
+	pinned    *rib.Gen // FIB generation pinned for the current quantum
 	forwarded int64
 	dropped   int64
 }
@@ -102,7 +121,9 @@ func NewBasic(cfg BasicConfig) *Basic {
 // BasicFactory returns a Factory producing independent Basic engines with
 // the same configuration. Each engine gets a private copy of the route
 // table, so dynamic route updates applied to one VRI never race with
-// another VRI's lookups (VRIs are separate processes in the paper).
+// another VRI's lookups (VRIs are separate processes in the paper). A FIB,
+// by contrast, is shared as-is: its immutable epoch-swapped generations
+// make concurrent readers safe without copies.
 func BasicFactory(cfg BasicConfig) Factory {
 	return func() (Engine, error) {
 		c := cfg
@@ -154,19 +175,38 @@ func (b *Basic) Process(f *packet.Frame) (time.Duration, error) {
 	if !alive {
 		return fail(ErrTTLDead)
 	}
-	if b.cfg.Routes == nil {
+	var (
+		outIf   int
+		nextHop packet.IP
+	)
+	switch {
+	case b.cfg.FIB != nil:
+		g := b.pinned
+		if g == nil {
+			// Never pinned (engine driven outside a Step quantum): fall
+			// back to the current generation per frame.
+			g = b.cfg.FIB.Snapshot()
+		}
+		rt, ok := g.Lookup(h.Dst)
+		if !ok {
+			return fail(ErrNoRoute)
+		}
+		outIf, nextHop = rt.OutIf, rt.NextHop
+	case b.cfg.Routes != nil:
+		e, err := b.cfg.Routes.Lookup(h.Dst)
+		if err != nil {
+			return fail(ErrNoRoute)
+		}
+		outIf, nextHop = e.OutIf, e.NextHop
+	default:
 		return fail(ErrNoRoute)
 	}
-	e, err := b.cfg.Routes.Lookup(h.Dst)
-	if err != nil {
-		return fail(ErrNoRoute)
-	}
-	f.Out = e.OutIf
-	if mac, ok := b.cfg.IfMAC[e.OutIf]; ok {
+	f.Out = outIf
+	if mac, ok := b.cfg.IfMAC[outIf]; ok {
 		f.SetSrcMAC(mac)
 	}
 	if b.cfg.NextHopMAC != nil {
-		hop := e.NextHop
+		hop := nextHop
 		if hop == 0 {
 			hop = h.Dst
 		}
@@ -178,10 +218,25 @@ func (b *Basic) Process(f *packet.Frame) (time.Duration, error) {
 	return cost, nil
 }
 
+// PinRoutes pins the FIB's current generation for the frames that follow,
+// implementing RoutePinner. With no FIB configured it reports 0 and Process
+// keeps using the static table.
+func (b *Basic) PinRoutes() uint64 {
+	if b.cfg.FIB == nil {
+		return 0
+	}
+	g := b.cfg.FIB.Snapshot()
+	b.pinned = g
+	return g.Generation()
+}
+
 // Name returns "basic".
 func (b *Basic) Name() string { return "basic" }
 
 // Stats returns the engine's forwarded and dropped frame counts.
 func (b *Basic) Stats() (forwarded, dropped int64) { return b.forwarded, b.dropped }
 
-var _ Engine = (*Basic)(nil)
+var (
+	_ Engine      = (*Basic)(nil)
+	_ RoutePinner = (*Basic)(nil)
+)
