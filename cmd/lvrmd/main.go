@@ -7,9 +7,9 @@
 // Usage:
 //
 //	lvrmd [-vrs 2] [-rate 50000] [-duration 10s] [-balancer jsq]
-//	      [-policy dynamic-fixed:20000] [-queue lockfree] [-burn]
+//	      [-policy dynamic-fixed:20000] [-queue lockfree] [-burn] [-vr-load 16us]
 //	      [-http :8080] [-tracecap 1024] [-udp :9000] [-udp-allow 10.0.0.0/8]
-//	      [-flow-shards 8] [-flow-table 1024] [-flow-admit 256]
+//	      [-flow-shards 8] [-flow-table 1024] [-flow-admit 256] [-max-replicas 4]
 //	      [-frame-pool] [-pool-poison] [-drain-timeout 5s]
 //	      [-rib] [-rib-replay churn.rt] [-rib-udp :9100] [-rib-flush 5ms]
 //
@@ -76,6 +76,7 @@ func run() int {
 		polName   = flag.String("policy", "dynamic-fixed:20000", "core allocation policy: fixed:<n>, dynamic-fixed:<fps>, dynamic-service")
 		queue     = flag.String("queue", "lockfree", "IPC queue kind: lockfree, locked, channel")
 		burn      = flag.Bool("burn", false, "busy-spin each frame's simulated cost (real CPU load)")
+		vrLoad    = flag.Duration("vr-load", 0, "artificial extra per-frame load added to every VR's engine (the paper's dummy load; 16us ~= one 60 Kfps VRI). With -burn it is spun for real, capping each VRI's service rate — the way to overload a VR and watch -max-replicas split it live")
 		httpAddr  = flag.String("http", "", "serve /status, /metrics, /trace, /debug/vars and /debug/pprof at this address (e.g. :8080)")
 		traceCap  = flag.Int("tracecap", 1024, "event tracer ring capacity (allocation, lifecycle, sampled balancer events)")
 		udpAddr   = flag.String("udp", "", "receive frames as UDP datagrams on this address instead of the built-in generator")
@@ -83,6 +84,7 @@ func run() int {
 		flowSh    = flag.Int("flow-shards", 0, "flow-affinity table shards per VR; > 0 replaces the per-VR balancer lock with flow-sharded dispatch (0 = classic locked path)")
 		flowCap   = flag.Int("flow-table", 1024, "total pinned-flow capacity per VR across shards; rounded up per shard to a power of two of at least one probe window, so the effective capacity (logged at startup) can exceed this")
 		flowAdmit = flag.Int("flow-admit", 0, "load-aware admission depth: > 0 with -flow-shards sheds new flows (counted drop) when every VRI's input queue is at least this deep; established flows are never shed (0 = admit everything)")
+		maxRepl   = flag.Int("max-replicas", 0, "intra-VR replication ceiling: > 1 with -flow-shards lets each VR run up to this many flow-partitioned replica VRIs, split and folded elastically by queue depth (0/1 = one VRI per core-allocation policy)")
 		usePool   = flag.Bool("frame-pool", true, "recycle frame buffers through the size-classed pool (zero allocations per frame at steady state); false reverts to per-frame heap allocation")
 		poison    = flag.Bool("pool-poison", false, "fill released pool buffers with a sentinel and panic on use-after-release (debugging; costs a memset per frame)")
 		udpAllow  = flag.String("udp-allow", "", "comma-separated source CIDRs/addresses the UDP adapter accepts (empty = accept all)")
@@ -177,6 +179,7 @@ func run() int {
 		FlowShards:     *flowSh,
 		FlowTableCap:   *flowCap,
 		FlowAdmitDepth: *flowAdmit,
+		MaxReplicas:    *maxRepl,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -189,6 +192,7 @@ func run() int {
 	if ribTable != nil {
 		engineCfg = vr.BasicConfig{FIB: ribTable.FIB()}
 	}
+	engineCfg.DummyLoad = *vrLoad
 	for i := 0; i < *nVRs; i++ {
 		prefix := packet.IPv4(10, 1, byte(i), 0)
 		bal, err := balance.NewByName(*balName, uint64(i+1))

@@ -1,0 +1,179 @@
+package balance
+
+import "time"
+
+// SplitFold decides when a replicated VR should split (spawn a replica and
+// hand it a flow-partition) or fold (retire a replica and merge its
+// partition back). It is the intra-VR counterpart of the inter-VR
+// allocation policies in internal/alloc: where those trade cores between
+// VRs, SplitFold trades replicas within one VR.
+//
+// Both transitions are hysteresis-damped twice over: a condition must hold
+// for Sustain consecutive decisions before it acts (so one bursty sample
+// cannot trigger a split), and at least MinGap must elapse between actions
+// (so a split's transplant cost is amortized before the controller may act
+// again). The fold test additionally requires capacity headroom after the
+// fold — the replica-aware load view the inter-VR allocator shares — so the
+// controller never folds into an overload it would immediately re-split.
+type SplitFold struct {
+	cfg        SplitFoldConfig
+	hotStreak  int
+	coldStreak int
+	lastAct    int64
+	acted      bool
+}
+
+// SplitFoldConfig tunes the controller. Zero values select the defaults.
+type SplitFoldConfig struct {
+	// SplitDepth is the pending-frame depth at which one replica counts as
+	// hot (default DefaultSplitDepth). The depth is the replica's true
+	// inbound backlog (staged transplant residue plus its ring).
+	SplitDepth int
+	// FoldDepth is the depth at or below which a replica counts as cold
+	// (default DefaultFoldDepth); every replica must be cold to fold.
+	FoldDepth int
+	// Sustain is how many consecutive decisions a condition must hold
+	// before the controller acts (default DefaultSustain).
+	Sustain int
+	// MinGap is the minimum time between actions (default DefaultMinGap).
+	MinGap time.Duration
+	// FoldHeadroom is the fraction of the post-fold service capacity the
+	// arrival rate must fit within for a fold to be safe (default
+	// DefaultFoldHeadroom). Lower is more conservative.
+	FoldHeadroom float64
+}
+
+// Controller defaults: a split wants a real backlog (a sixteenth of the
+// default 4096-deep data ring), a fold wants near-empty queues, and both
+// want the signal sustained over three consecutive allocation passes with
+// at least 10 ms between actions.
+const (
+	DefaultSplitDepth   = 256
+	DefaultFoldDepth    = 2
+	DefaultSustain      = 3
+	DefaultMinGap       = 10 * time.Millisecond
+	DefaultFoldHeadroom = 0.75
+)
+
+// SplitDecision is what the controller tells the allocator to do.
+type SplitDecision int
+
+const (
+	// HoldReplicas: no change.
+	HoldReplicas SplitDecision = iota
+	// SplitReplica: spawn one replica and migrate a flow-partition to it.
+	SplitReplica
+	// FoldReplica: retire the coldest replica and merge its partition back.
+	FoldReplica
+)
+
+// String returns the decision name used in traces.
+func (d SplitDecision) String() string {
+	switch d {
+	case SplitReplica:
+		return "split"
+	case FoldReplica:
+		return "fold"
+	default:
+		return "hold"
+	}
+}
+
+// ReplicaLoad is one replica's load sample.
+type ReplicaLoad struct {
+	// ID is the replica's VRI ID.
+	ID int
+	// Depth is the replica's pending inbound frames (staged + ring).
+	Depth int
+	// ServiceFPS is the replica's measured service rate (0 = no estimate).
+	ServiceFPS float64
+}
+
+// VRLoad is one VR's replica-aware load view: the offered arrival rate plus
+// a sample per live replica.
+type VRLoad struct {
+	ArrivalFPS float64
+	Replicas   []ReplicaLoad
+}
+
+// NewSplitFold builds a controller, applying defaults for zero fields.
+func NewSplitFold(cfg SplitFoldConfig) *SplitFold {
+	if cfg.SplitDepth <= 0 {
+		cfg.SplitDepth = DefaultSplitDepth
+	}
+	if cfg.FoldDepth <= 0 {
+		cfg.FoldDepth = DefaultFoldDepth
+	}
+	if cfg.Sustain <= 0 {
+		cfg.Sustain = DefaultSustain
+	}
+	if cfg.MinGap <= 0 {
+		cfg.MinGap = DefaultMinGap
+	}
+	if cfg.FoldHeadroom <= 0 {
+		cfg.FoldHeadroom = DefaultFoldHeadroom
+	}
+	return &SplitFold{cfg: cfg}
+}
+
+// Config returns the controller's effective (default-applied) tuning.
+func (s *SplitFold) Config() SplitFoldConfig { return s.cfg }
+
+// Decide consumes one load sample at time now (ns) and returns the action.
+// The caller reports back by acting: a returned Split/Fold is assumed
+// executed, so the streaks and the MinGap clock reset. Call it once per
+// allocation pass; it is not safe for concurrent use (the allocator
+// serializes passes).
+func (s *SplitFold) Decide(now int64, l VRLoad) SplitDecision {
+	n := len(l.Replicas)
+	if n == 0 {
+		return HoldReplicas
+	}
+
+	hottest, svcTotal := 0, 0.0
+	allCold := true
+	for _, r := range l.Replicas {
+		if r.Depth > hottest {
+			hottest = r.Depth
+		}
+		if r.Depth > s.cfg.FoldDepth {
+			allCold = false
+		}
+		svcTotal += r.ServiceFPS
+	}
+
+	if hottest >= s.cfg.SplitDepth {
+		s.hotStreak++
+	} else {
+		s.hotStreak = 0
+	}
+	// A fold is safe only if the survivors' capacity covers the offered
+	// load with headroom. With no service estimate yet (svcTotal == 0) the
+	// queues being cold is the only evidence available, and it suffices:
+	// an idle VR with no measured rate should still fold back.
+	fits := svcTotal == 0 ||
+		l.ArrivalFPS <= s.cfg.FoldHeadroom*svcTotal*float64(n-1)/float64(n)
+	if n > 1 && allCold && fits {
+		s.coldStreak++
+	} else {
+		s.coldStreak = 0
+	}
+
+	if s.acted && now-s.lastAct < int64(s.cfg.MinGap) {
+		return HoldReplicas
+	}
+	switch {
+	case s.hotStreak >= s.cfg.Sustain:
+		s.act(now)
+		return SplitReplica
+	case s.coldStreak >= s.cfg.Sustain:
+		s.act(now)
+		return FoldReplica
+	}
+	return HoldReplicas
+}
+
+func (s *SplitFold) act(now int64) {
+	s.hotStreak, s.coldStreak = 0, 0
+	s.lastAct, s.acted = now, true
+}

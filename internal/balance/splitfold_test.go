@@ -1,0 +1,137 @@
+package balance
+
+import (
+	"testing"
+	"time"
+)
+
+// sfLoad builds a VRLoad with one replica per depth, all sharing svcEach.
+func sfLoad(arrival float64, svcEach float64, depths ...int) VRLoad {
+	l := VRLoad{ArrivalFPS: arrival}
+	for i, d := range depths {
+		l.Replicas = append(l.Replicas, ReplicaLoad{ID: i, Depth: d, ServiceFPS: svcEach})
+	}
+	return l
+}
+
+func TestSplitFoldDefaults(t *testing.T) {
+	cfg := NewSplitFold(SplitFoldConfig{}).Config()
+	want := SplitFoldConfig{
+		SplitDepth:   DefaultSplitDepth,
+		FoldDepth:    DefaultFoldDepth,
+		Sustain:      DefaultSustain,
+		MinGap:       DefaultMinGap,
+		FoldHeadroom: DefaultFoldHeadroom,
+	}
+	if cfg != want {
+		t.Fatalf("defaults = %+v, want %+v", cfg, want)
+	}
+	// Explicit values survive untouched.
+	cfg = NewSplitFold(SplitFoldConfig{SplitDepth: 7, Sustain: 1}).Config()
+	if cfg.SplitDepth != 7 || cfg.Sustain != 1 || cfg.FoldDepth != DefaultFoldDepth {
+		t.Fatalf("partial config mangled: %+v", cfg)
+	}
+}
+
+func TestSplitFoldSustainedBacklogSplits(t *testing.T) {
+	s := NewSplitFold(SplitFoldConfig{SplitDepth: 8, Sustain: 3, MinGap: time.Nanosecond})
+	hot := sfLoad(0, 0, 20)
+	for i := 0; i < 2; i++ {
+		if d := s.Decide(int64(i), hot); d != HoldReplicas {
+			t.Fatalf("decision %d = %v before Sustain reached", i, d)
+		}
+	}
+	if d := s.Decide(2, hot); d != SplitReplica {
+		t.Fatalf("third hot sample = %v, want split", d)
+	}
+	// The act reset the streak: the very next hot sample holds again.
+	if d := s.Decide(100, hot); d != HoldReplicas {
+		t.Fatalf("post-split hot sample = %v, want hold (streak reset)", d)
+	}
+}
+
+func TestSplitFoldBurstDoesNotSplit(t *testing.T) {
+	s := NewSplitFold(SplitFoldConfig{SplitDepth: 8, Sustain: 3, MinGap: time.Nanosecond})
+	hot, cool := sfLoad(0, 0, 20), sfLoad(0, 0, 1)
+	s.Decide(0, hot)
+	s.Decide(1, hot)
+	s.Decide(2, cool) // streak broken
+	for i := int64(3); i < 5; i++ {
+		if d := s.Decide(i, hot); d != HoldReplicas {
+			t.Fatalf("decision at %d = %v, want hold after broken streak", i, d)
+		}
+	}
+}
+
+func TestSplitFoldColdReplicasFold(t *testing.T) {
+	s := NewSplitFold(SplitFoldConfig{FoldDepth: 2, Sustain: 2, MinGap: time.Nanosecond})
+	// Two replicas at 100 fps each; arrival 30 fits 0.75*200*(1/2) = 75.
+	cold := sfLoad(30, 100, 0, 1)
+	if d := s.Decide(0, cold); d != HoldReplicas {
+		t.Fatalf("first cold sample = %v, want hold", d)
+	}
+	if d := s.Decide(1, cold); d != FoldReplica {
+		t.Fatalf("second cold sample = %v, want fold", d)
+	}
+}
+
+func TestSplitFoldNoHeadroomHolds(t *testing.T) {
+	s := NewSplitFold(SplitFoldConfig{FoldDepth: 2, Sustain: 1, MinGap: time.Nanosecond})
+	// Arrival 90 > 0.75*200*(1/2) = 75: a fold would re-overload the
+	// survivor, so cold queues alone must never trigger it.
+	tight := sfLoad(90, 100, 0, 0)
+	for i := int64(0); i < 10; i++ {
+		if d := s.Decide(i, tight); d != HoldReplicas {
+			t.Fatalf("decision %d = %v, want hold without headroom", i, d)
+		}
+	}
+}
+
+func TestSplitFoldNoServiceEstimateStillFolds(t *testing.T) {
+	s := NewSplitFold(SplitFoldConfig{FoldDepth: 2, Sustain: 1, MinGap: time.Nanosecond})
+	// svcTotal == 0: cold queues are the only evidence and they suffice.
+	if d := s.Decide(0, sfLoad(1000, 0, 0, 0)); d != FoldReplica {
+		t.Fatalf("cold idle VR without estimates = %v, want fold", d)
+	}
+}
+
+func TestSplitFoldSingleReplicaNeverFolds(t *testing.T) {
+	s := NewSplitFold(SplitFoldConfig{FoldDepth: 2, Sustain: 1, MinGap: time.Nanosecond})
+	for i := int64(0); i < 5; i++ {
+		if d := s.Decide(i, sfLoad(0, 100, 0)); d != HoldReplicas {
+			t.Fatalf("single replica decision %d = %v, want hold", i, d)
+		}
+	}
+	// And an empty replica set is a no-op, not a panic.
+	if d := s.Decide(9, VRLoad{}); d != HoldReplicas {
+		t.Fatalf("empty load = %v, want hold", d)
+	}
+}
+
+func TestSplitFoldMinGapPacesActions(t *testing.T) {
+	gap := 10 * time.Millisecond
+	s := NewSplitFold(SplitFoldConfig{SplitDepth: 8, Sustain: 1, MinGap: gap})
+	hot := sfLoad(0, 0, 20)
+	if d := s.Decide(0, hot); d != SplitReplica {
+		t.Fatalf("first decision = %v, want split", d)
+	}
+	// Inside the gap the controller holds even with Sustain satisfied.
+	if d := s.Decide(int64(gap)-1, hot); d != HoldReplicas {
+		t.Fatalf("inside MinGap = %v, want hold", d)
+	}
+	if d := s.Decide(int64(gap), hot); d != SplitReplica {
+		t.Fatalf("after MinGap = %v, want split", d)
+	}
+}
+
+func TestSplitDecisionString(t *testing.T) {
+	for d, want := range map[SplitDecision]string{
+		HoldReplicas: "hold",
+		SplitReplica: "split",
+		FoldReplica:  "fold",
+	} {
+		if d.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", d, d.String(), want)
+		}
+	}
+}

@@ -110,6 +110,7 @@ func init() {
 	register(churnUnderLoad())
 	register(flowScale())
 	register(routeChurn())
+	register(elephantVR())
 }
 
 // elephantMice runs one un-splittable elephant flow slightly above a single

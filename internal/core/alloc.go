@@ -135,6 +135,13 @@ func (l *LVRM) Allocate(now int64) []AllocEvent {
 	// more VRIs — the effect Experiment 2c measures on reaction latency.
 	iterCost := time.Duration(totalVRIs) * l.cfg.PerVRIMonitorCost
 	for _, v := range vrs {
+		// A replicated VR's core count is owned by the split/fold
+		// controller, not its allocation policy: Grow/Shrink trade whole
+		// VRIs between VRs, which would fight the partition transplant.
+		if v.replicated() {
+			events = append(events, l.replicaPass(v, now, iterCost)...)
+			continue
+		}
 		s := alloc.Snapshot{
 			Cores:             v.Cores(),
 			ArrivalRate:       v.arrival.Estimate(),

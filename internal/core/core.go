@@ -18,6 +18,7 @@ import (
 	"lvrm/internal/packet"
 	"lvrm/internal/packet/pool"
 	"lvrm/internal/rib"
+	"lvrm/internal/vr"
 )
 
 // This file is LVRM's construction and configuration surface. The data path
@@ -68,6 +69,17 @@ type Config struct {
 	// admission of newcomers before it degrades per-flow consistency of
 	// traffic already accepted. Zero (the default) admits everything.
 	FlowAdmitDepth int
+	// MaxReplicas, when > 1, lets every VR run as up to this many replica
+	// VRIs over a flow partition (intra-VR state-compute replication):
+	// the split/fold controller replaces the VR's allocation policy, a hot
+	// VR splits onto an idle core by migrating half its flow-partition,
+	// and a cold VR folds back. Requires FlowShards > 0. VRConfig.
+	// MaxReplicas overrides it per VR; 0/1 keeps the paper's
+	// one-allocation-unit-per-VRI model exactly. See replicate.go.
+	MaxReplicas int
+	// SplitFold tunes the split/fold controller for replicated VRs; zero
+	// fields select the balance package defaults.
+	SplitFold balance.SplitFoldConfig
 	// AllocPeriod is the minimum interval between core re-allocation
 	// passes; the paper uses 1 second.
 	AllocPeriod time.Duration
@@ -176,6 +188,15 @@ type LVRM struct {
 	// single-threaded testbed just unregisters its virtual server.
 	OnSpawn   func(*VR, *VRIAdapter)
 	OnDestroy func(*VR, *VRIAdapter)
+
+	// OnPause and OnResume bracket a replica split/fold's partition
+	// transplant. OnPause must stop AND join whatever consumes the
+	// instance's queues (the monitor becomes the sole consumer, making
+	// the staging appends race-free); OnResume restarts it. The live
+	// runtime wires these to the worker stop/start; the single-threaded
+	// testbed leaves them nil — it is its own consumer.
+	OnPause  func(*VR, *VRIAdapter)
+	OnResume func(*VR, *VRIAdapter)
 }
 
 // New constructs an LVRM instance and binds its own core.
@@ -224,6 +245,12 @@ func New(cfg Config) (*LVRM, error) {
 	}
 	if cfg.FlowAdmitDepth < 0 {
 		cfg.FlowAdmitDepth = 0
+	}
+	if cfg.MaxReplicas < 0 {
+		cfg.MaxReplicas = 0
+	}
+	if cfg.MaxReplicas > 1 && cfg.FlowShards <= 0 {
+		return nil, errors.New("core: Config.MaxReplicas > 1 requires FlowShards > 0 (replicas partition traffic by flow)")
 	}
 	allocator, err := cores.NewAllocator(cfg.Topology, cfg.LVRMCore)
 	if err != nil {
@@ -287,11 +314,31 @@ func (l *LVRM) AddVR(cfg VRConfig) (*VR, error) {
 		v.flows = flow.NewTable(l.cfg.FlowShards, l.cfg.FlowTableCap/l.cfg.FlowShards)
 		v.admitDepth = l.cfg.FlowAdmitDepth
 	}
+	// Effective replica ceiling: per-VR override, else the global knob.
+	v.maxReplicas = cfg.MaxReplicas
+	if v.maxReplicas == 0 {
+		v.maxReplicas = l.cfg.MaxReplicas
+	}
+	if v.maxReplicas > 1 {
+		if v.flows == nil {
+			return nil, fmt.Errorf("core: VR %s: MaxReplicas %d requires flow dispatch (Config.FlowShards > 0)", cfg.Name, v.maxReplicas)
+		}
+		v.splitCtl = balance.NewSplitFold(l.cfg.SplitFold)
+	}
 	l.initVRObs(v)
 	now := l.cfg.Clock()
 	for i := 0; i < cfg.InitialVRIs; i++ {
 		if _, err := l.growVR(v, now); err != nil {
 			return nil, fmt.Errorf("core: spawning initial VRI %d for %s: %w", i, cfg.Name, err)
+		}
+	}
+	if v.replicated() {
+		// The engine's state declaration gates replication: an engine with a
+		// serialized element cannot yet run as replicas (DESIGN.md §9).
+		if vris := v.vriList(); len(vris) > 0 {
+			if spec := vr.SpecOf(vris[0].Engine); !spec.Replicable() {
+				return nil, fmt.Errorf("core: VR %s: engine %s declares serialized state; cannot replicate", cfg.Name, vris[0].Engine.Name())
+			}
 		}
 	}
 	next := make([]*VR, len(old)+1)

@@ -297,15 +297,16 @@ func TestFlowOffMatchesSeedPath(t *testing.T) {
 }
 
 // benchDispatch measures dispatch throughput with the given number of ingest
-// goroutines, flow-sharded (shards > 0) or mutex-locked (shards = 0).
+// goroutines, flow-sharded (shards > 0) or mutex-locked (shards = 0), over a
+// VR holding vris instances (a replica set when maxReplicas > 1).
 // Per-VRI consumer goroutines drain the queues so the benchmark measures the
 // dispatch path, not queue backpressure.
-func benchDispatch(b *testing.B, shards, workers int) {
+func benchDispatch(b *testing.B, shards, workers, vris, maxReplicas int) {
 	clock := &fakeClock{}
-	l, v := newFlowLVRM(b, clock, shards, 3, 1<<16)
+	var l *LVRM
+	var v *VR
+	var err error
 	if shards == 0 {
-		// newFlowLVRM always enables flow; rebuild without it.
-		var err error
 		l, err = New(Config{
 			Adapter:      netio.NewQueueAdapter(netio.PFRing, 8192),
 			Clock:        clock.fn(),
@@ -315,7 +316,24 @@ func benchDispatch(b *testing.B, shards, workers int) {
 			b.Fatal(err)
 		}
 		cfg := vrCfg(b, "vr1", "10.1.0.0", 16)
-		cfg.InitialVRIs = 3
+		cfg.InitialVRIs = vris
+		if v, err = l.AddVR(cfg); err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		l, err = New(Config{
+			Adapter:      netio.NewQueueAdapter(netio.PFRing, 8192),
+			Clock:        clock.fn(),
+			FlowShards:   shards,
+			FlowTableCap: 4096,
+			DataQueueCap: 1 << 16,
+			MaxReplicas:  maxReplicas,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := vrCfg(b, "vr1", "10.1.0.0", 16)
+		cfg.InitialVRIs = vris
 		if v, err = l.AddVR(cfg); err != nil {
 			b.Fatal(err)
 		}
@@ -374,10 +392,22 @@ func BenchmarkDispatch(b *testing.B) {
 		name   string
 		shards int
 	}{{"locked", 0}, {"sharded", 8}} {
-		for _, workers := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/ingest-%d", mode.name, workers), func(b *testing.B) {
-				benchDispatch(b, mode.shards, workers)
+				benchDispatch(b, mode.shards, workers, 3, 0)
 			})
 		}
+	}
+	// Replica fan-out: the heaviest ingest mix against one VRI vs a
+	// 4-replica set of the same VR. Dispatch cost is what's measured — the
+	// flow table spreads the partitions over the replicas, so the MPSC
+	// enqueue contention per ring drops as the set widens.
+	for _, rep := range []struct {
+		name              string
+		vris, maxReplicas int
+	}{{"single", 1, 0}, {"replicated-4", 4, 4}} {
+		b.Run(fmt.Sprintf("sharded/%s/ingest-8", rep.name), func(b *testing.B) {
+			benchDispatch(b, 8, 8, rep.vris, rep.maxReplicas)
+		})
 	}
 }

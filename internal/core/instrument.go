@@ -137,6 +137,17 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 	perVR("lvrm_vr_admit_shed_total", "New-flow frames shed by load-aware admission (every VRI backed up past -flow-admit).",
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.admitShed.Load()) })
 
+	// Intra-VR replication (replicate.go): replica count plus the elastic
+	// split/fold transitions. Emitted for every VR — a VR with replication
+	// off reports replicas == its VRI count and zero transitions — so
+	// dashboards need no conditional wiring.
+	perVR("lvrm_vr_replicas", "Replica VRIs currently serving the VR's flow partition (equals lvrm_vr_cores).",
+		obs.TypeGauge, func(v *VR) float64 { return float64(v.Cores()) })
+	perVR("lvrm_vr_splits_total", "Completed replica splits: a hot VR spawned a replica and migrated half its hottest partition.",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.splits.Load()) })
+	perVR("lvrm_vr_folds_total", "Completed replica folds: a cold replica retired and merged its partition into a survivor.",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.folds.Load()) })
+
 	// VRI lifecycle states (lifecycle.go). Running/draining are instantaneous
 	// counts over the live list; stopped is the cumulative retired total, so
 	// churn is visible even though stopped adapters leave the list.
@@ -265,8 +276,10 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 			}
 		})
 	}
-	perVRI("lvrm_vri_data_queue_depth", "Frames waiting in the VRI's incoming data queue.",
-		obs.TypeGauge, func(a *VRIAdapter) float64 { return float64(a.Data.In.Len()) })
+	perVRI("lvrm_vri_data_queue_depth", "Frames waiting for the VRI: incoming data ring plus staged transplant residue.",
+		obs.TypeGauge, func(a *VRIAdapter) float64 { return float64(a.PendingData()) })
+	perVRI("lvrm_vri_replica_load", "Pending inbound depth the split/fold controller reads for this replica (staged + ring).",
+		obs.TypeGauge, func(a *VRIAdapter) float64 { return float64(a.PendingData()) })
 	perVRI("lvrm_vri_control_queue_depth", "Events waiting in the VRI's incoming control queue.",
 		obs.TypeGauge, func(a *VRIAdapter) float64 { return float64(a.Control.In.Len()) })
 	perVRI("lvrm_vri_queue_estimate", "EWMA queue-length estimate the balancer reads (Figure 3.4).",

@@ -223,9 +223,13 @@ func (l *LVRM) drainVRI(v *VR, a *VRIAdapter) DrainStats {
 	start := l.cfg.Clock()
 	survivors := v.vriList()
 
-	// 1. Unprocessed inbound residue: migrate or account.
+	// 1. Unprocessed inbound residue: migrate or account. Staged transplant
+	// frames (from an interrupted split/fold) predate the ring and go first.
 	for {
-		f, ok := a.Data.In.Dequeue()
+		f, ok := a.takePre()
+		if !ok {
+			f, ok = a.Data.In.Dequeue()
+		}
 		if !ok {
 			break
 		}
@@ -237,38 +241,7 @@ func (l *LVRM) drainVRI(v *VR, a *VRIAdapter) DrainStats {
 		}
 	}
 
-	// 2. Finished outbound residue: relay to the adapter (sendBatch counts
-	// sent/sendErrs like the live relay path).
-	for {
-		n := l.RelayFrom(a, l.cfg.RelayBatch)
-		d.Relayed += int64(n)
-		if n < l.cfg.RelayBatch {
-			break
-		}
-	}
-
-	// 3. Outbound control residue: deliver; failures are counted drops.
-	for {
-		ev, ok := a.Control.Out.Dequeue()
-		if !ok {
-			break
-		}
-		if l.deliverControl(ev) {
-			d.CtlMoved++
-		} else {
-			l.ctlDropped.Add(1)
-			d.CtlDropped++
-		}
-	}
-
-	// 4. Inbound control residue: addressed to a dead instance — drop.
-	for {
-		if _, ok := a.Control.In.Dequeue(); !ok {
-			break
-		}
-		l.ctlDropped.Add(1)
-		d.CtlDropped++
-	}
+	l.settleResidue(a, &d)
 
 	// Eagerly settle the affinity table: lazy epoch re-validation would get
 	// there too, but sweeping now means no post-teardown frame can resolve
@@ -283,14 +256,57 @@ func (l *LVRM) drainVRI(v *VR, a *VRIAdapter) DrainStats {
 		d.Pins = int64(v.flows.Evict(a.ID, start, repick))
 	}
 
-	// Fold the dead instance's counters into the VR's retired totals so
-	// conservation sums stay computable once the adapter is unreachable.
+	l.finishDrain(v, a, &d, start)
+	return d
+}
+
+// settleResidue settles a detached instance's non-data-in residue — the
+// shared half of a teardown drain and a replica fold:
+//
+//  2. Finished outbound residue relays to the adapter (sendBatch counts
+//     sent/sendErrs like the live relay path).
+//  3. Outbound control residue is delivered; failures are counted drops.
+//  4. Inbound control residue was addressed to a dead instance; it drops,
+//     counted.
+func (l *LVRM) settleResidue(a *VRIAdapter, d *DrainStats) {
+	for {
+		n := l.RelayFrom(a, l.cfg.RelayBatch)
+		d.Relayed += int64(n)
+		if n < l.cfg.RelayBatch {
+			break
+		}
+	}
+	for {
+		ev, ok := a.Control.Out.Dequeue()
+		if !ok {
+			break
+		}
+		if l.deliverControl(ev) {
+			d.CtlMoved++
+		} else {
+			l.ctlDropped.Add(1)
+			d.CtlDropped++
+		}
+	}
+	for {
+		if _, ok := a.Control.In.Dequeue(); !ok {
+			break
+		}
+		l.ctlDropped.Add(1)
+		d.CtlDropped++
+	}
+}
+
+// finishDrain folds the dead instance's counters into the VR's retired
+// totals (so conservation sums stay computable once the adapter is
+// unreachable), closes the state machine at Stopped, and records the drain.
+func (l *LVRM) finishDrain(v *VR, a *VRIAdapter, d *DrainStats, start int64) {
 	v.retiredVRIs.Add(1)
 	v.retiredProcessed.Add(a.processed.Load())
 	v.retiredEngDrops.Add(a.engDrops.Load())
 	v.retiredOutDrops.Add(a.outDrops.Load())
 	v.retiredCtl.Add(a.ctlHandled.Load())
-	v.addDrain(d)
+	v.addDrain(*d)
 
 	a.markStopped()
 
@@ -302,5 +318,4 @@ func (l *LVRM) drainVRI(v *VR, a *VRIAdapter) DrainStats {
 		Note: fmt.Sprintf("migrated=%d relayed=%d dropped=%d ctl_moved=%d ctl_dropped=%d pins=%d",
 			d.Migrated, d.Relayed, d.Dropped, d.CtlMoved, d.CtlDropped, d.Pins),
 	})
-	return d
 }

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lvrm/internal/balance"
+	"lvrm/internal/flow"
+	"lvrm/internal/ipc"
+	"lvrm/internal/obs"
+	"lvrm/internal/packet"
+)
+
+// This file is the intra-VR replication layer (state-compute replication,
+// arXiv 2309.14647): a VR with an effective MaxReplicas above 1 runs its
+// VRI set as a replica set over a flow partition. The flow-affinity table
+// already guarantees every frame of a flow lands on its pinned VRI, so
+// replicas process disjoint flow sets and per-flow ordering is free; the
+// machinery here is the elastic part — splitting a hot VR onto an idle
+// core and folding it back — without losing or reordering a single frame.
+//
+// Partition ownership has one source of truth: the flow table's pin. A
+// split or fold is therefore a transaction over (pins, queued residue):
+// re-point the pins, then move the already-queued frames of moved flows to
+// the new owner's staging queue, which its consumer drains BEFORE its ring.
+// Staged frames strictly predate anything dispatch can enqueue after the
+// re-pin, so per-flow order is preserved across the handoff (DESIGN.md §9
+// states the invariants; replicate_test.go proves them under -race).
+//
+// Both transitions run inside the allocation pass, on the same goroutine
+// that dispatches (the monitor loop, or the single-threaded testbed), so
+// no frame is dispatched mid-transplant. Consumers are a different matter:
+// a live replica's worker goroutine IS concurrent, so the monitor pauses
+// the affected consumers (OnPause joins the worker) around the transplant
+// and resumes them after (OnResume; the goroutine re-creation publishes
+// the staged frames).
+
+// replicaPass is the allocation pass for one replicated VR: sample the
+// replica-aware load view, ask the split/fold controller, and execute the
+// decision. It replaces the VR's alloc.Policy — Grow/Shrink trade whole
+// VRIs between VRs, which is the wrong move for a replica set.
+func (l *LVRM) replicaPass(v *VR, now int64, iterCost time.Duration) []AllocEvent {
+	vris := v.vriList()
+	load := balance.VRLoad{
+		ArrivalFPS: v.arrival.Estimate(),
+		Replicas:   make([]balance.ReplicaLoad, 0, len(vris)),
+	}
+	for _, a := range vris {
+		var svc float64
+		if a.SvcEst.Valid() {
+			svc = a.SvcEst.Estimate()
+		}
+		load.Replicas = append(load.Replicas, balance.ReplicaLoad{
+			ID: a.ID, Depth: a.PendingData(), ServiceFPS: svc,
+		})
+	}
+	switch v.splitCtl.Decide(now, load) {
+	case balance.SplitReplica:
+		if len(vris) >= v.maxReplicas {
+			return nil
+		}
+		ev, err := l.splitVR(v, now, iterCost)
+		if err != nil {
+			return nil // no free core (or engine failure): hold
+		}
+		return []AllocEvent{ev}
+	case balance.FoldReplica:
+		if len(vris) <= 1 {
+			return nil
+		}
+		ev, err := l.foldVR(v, now, iterCost)
+		if err != nil {
+			return nil
+		}
+		return []AllocEvent{ev}
+	}
+	return nil
+}
+
+// splitVR spawns one replica and hands it half the hottest replica's flow
+// partition. The protocol (each step's safety argument in DESIGN.md §9):
+//
+//  1. src = the replica with the deepest pending backlog; dst = a fresh
+//     replica spawned through the normal grow path (core bind, OnSpawn).
+//  2. Pause both consumers (the monitor becomes the sole owner of their
+//     queues and staging).
+//  3. Close src's data-in ring: a producer racing the transplant fails
+//     fast as a counted in-drop instead of landing behind the cursor.
+//  4. MovePartition re-pins every other src flow to dst — the pin flip is
+//     the ownership transfer.
+//  5. Drain src's staged + ring residue to a scratch slice, then route
+//     each frame by its flow's pin: moved flows stage onto dst, the rest
+//     stage back onto src, both in original queue order.
+//  6. Reopen src's ring, resume both consumers. dst's staged frames drain
+//     before anything dispatch now enqueues to dst's ring.
+func (l *LVRM) splitVR(v *VR, now int64, iterCost time.Duration) (AllocEvent, error) {
+	vris := v.vriList()
+	src := vris[0]
+	for _, a := range vris[1:] {
+		if a.PendingData() > src.PendingData() {
+			src = a
+		}
+	}
+	dst, err := l.growVR(v, now)
+	if err != nil {
+		return AllocEvent{}, err
+	}
+
+	l.pauseVRI(v, src)
+	l.pauseVRI(v, dst)
+	ipc.Close(src.Data.In)
+
+	// Alternate-flow partition: deterministic, and it halves the moved
+	// flows regardless of their key distribution.
+	tick := 0
+	v.flows.MovePartition(src.ID, dst.ID, now, func(uint64) bool {
+		tick++
+		return tick&1 == 1
+	})
+
+	// Transplant: drain everything src holds (staging first — it predates
+	// the ring), then distribute by pin. Two passes, never staging back
+	// onto a queue still being drained.
+	var residue []*packet.Frame
+	for {
+		f, ok := src.takePre()
+		if !ok {
+			f, ok = src.Data.In.Dequeue()
+		}
+		if !ok {
+			break
+		}
+		residue = append(residue, f)
+	}
+	moved := 0
+	for _, f := range residue {
+		if pin, ok := v.flows.PinOf(flow.KeyOf(f)); ok && pin == dst.ID {
+			dst.stagePre(f)
+			moved++
+		} else {
+			src.stagePre(f)
+		}
+	}
+
+	ipc.Reopen(src.Data.In)
+	l.resumeVRI(v, src)
+	l.resumeVRI(v, dst)
+
+	v.splits.Add(1)
+	ev := AllocEvent{
+		At: now, VR: v.ID, Grow: true, Core: dst.Core, Cores: v.Cores(),
+		Latency: iterCost + l.cfg.SpawnCost,
+	}
+	l.ins.allocGrow.Inc()
+	l.ins.allocReaction.Observe(int64(ev.Latency))
+	l.ins.tracer.Record(obs.Event{
+		At: now, Kind: obs.KindAlloc, VR: v.ID, VRI: dst.ID, Core: dst.Core,
+		Value: float64(ev.Latency),
+		Note:  fmt.Sprintf("%s split %d->%d staged=%d", v.cfg.Name, src.ID, dst.ID, moved),
+	})
+	return ev, nil
+}
+
+// foldVR retires the coldest replica and merges its flow partition into
+// the least-loaded survivor. The protocol:
+//
+//  1. src = coldest replica, dst = least-loaded survivor; pause dst.
+//  2. Detach src through the normal teardown entry (Draining, in-queues
+//     closed, off the dispatch list, epoch bumped) and join its consumer
+//     (OnDestroy), making the monitor the sole owner of its residue.
+//  3. Evict re-pins ALL src flows to dst FIRST: from here on dispatch
+//     enqueues those flows to dst's ring — strictly after the residue
+//     about to be staged.
+//  4. Transplant src's staged + ring residue onto dst's staging queue in
+//     order (counted as drain migrations).
+//  5. Settle src's outbound/control residue exactly like a teardown,
+//     release its core, resume dst.
+func (l *LVRM) foldVR(v *VR, now int64, iterCost time.Duration) (AllocEvent, error) {
+	vris := v.vriList()
+	if len(vris) < 2 {
+		return AllocEvent{}, fmt.Errorf("core: VR %s has no replica to fold", v.cfg.Name)
+	}
+	src := vris[0]
+	for _, a := range vris[1:] {
+		if a.PendingData() < src.PendingData() {
+			src = a
+		}
+	}
+	rest := make([]*VRIAdapter, 0, len(vris)-1)
+	for _, a := range vris {
+		if a != src {
+			rest = append(rest, a)
+		}
+	}
+	dst := leastLoaded(rest)
+
+	l.pauseVRI(v, dst)
+	a, err := v.destroyVRI(src.Core)
+	if err != nil {
+		l.resumeVRI(v, dst)
+		return AllocEvent{}, err
+	}
+	if l.OnDestroy != nil {
+		l.OnDestroy(v, a)
+	}
+
+	start := l.cfg.Clock()
+	var d DrainStats
+	// Pin flip before the frame move: any frame dispatched after this
+	// lands on dst's ring, behind the staged residue.
+	d.Pins = int64(v.flows.Evict(a.ID, now, func() int { return dst.ID }))
+	for {
+		f, ok := a.takePre()
+		if !ok {
+			f, ok = a.Data.In.Dequeue()
+		}
+		if !ok {
+			break
+		}
+		dst.stagePre(f)
+		d.Migrated++
+	}
+	l.settleResidue(a, &d)
+	l.finishDrain(v, a, &d, start)
+
+	if a.Core != l.allocator.LVRMCore() {
+		if err := l.allocator.Release(a.Core); err != nil {
+			l.resumeVRI(v, dst)
+			return AllocEvent{}, err
+		}
+	}
+	l.ins.vriDestroys.Inc()
+	l.resumeVRI(v, dst)
+
+	v.folds.Add(1)
+	ev := AllocEvent{
+		At: now, VR: v.ID, Grow: false, Core: a.Core, Cores: v.Cores(),
+		Latency: iterCost + l.cfg.DestroyCost,
+	}
+	l.ins.allocShrink.Inc()
+	l.ins.allocReaction.Observe(int64(ev.Latency))
+	l.ins.tracer.Record(obs.Event{
+		At: now, Kind: obs.KindDealloc, VR: v.ID, VRI: a.ID, Core: a.Core,
+		Value: float64(ev.Latency),
+		Note:  fmt.Sprintf("%s fold %d->%d staged=%d", v.cfg.Name, a.ID, dst.ID, d.Migrated),
+	})
+	return ev, nil
+}
+
+// pauseVRI stops and joins the instance's consumer via the OnPause hook.
+// With no hook installed the caller is already the sole consumer (the
+// single-threaded testbed).
+func (l *LVRM) pauseVRI(v *VR, a *VRIAdapter) {
+	if l.OnPause != nil {
+		l.OnPause(v, a)
+	}
+}
+
+// resumeVRI restarts the instance's consumer via the OnResume hook.
+func (l *LVRM) resumeVRI(v *VR, a *VRIAdapter) {
+	if l.OnResume != nil {
+		l.OnResume(v, a)
+	}
+}

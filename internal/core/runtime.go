@@ -37,6 +37,7 @@ type Runtime struct {
 	mu       sync.Mutex
 	workers  map[*VRIAdapter]vriWorker
 	stopped  chan struct{}
+	monDone  chan struct{}
 	wg       sync.WaitGroup
 	started  bool
 	stopping bool
@@ -61,6 +62,13 @@ func NewRuntime(l *LVRM) *Runtime {
 	}
 	l.OnSpawn = func(v *VR, a *VRIAdapter) { r.startVRI(v, a) }
 	l.OnDestroy = func(v *VR, a *VRIAdapter) { r.stopVRI(a) }
+	// Replica split/fold pauses a VRI's consumer around the partition
+	// transplant: stopVRI joins the worker (making the monitor the sole
+	// consumer, so stagePre is race-free), startVRI relaunches it. The
+	// goroutine creation is the happens-before edge that publishes the
+	// staged frames to the new worker.
+	l.OnPause = func(v *VR, a *VRIAdapter) { r.stopVRI(a) }
+	l.OnResume = func(v *VR, a *VRIAdapter) { r.startVRI(v, a) }
 	return r
 }
 
@@ -80,7 +88,8 @@ func (r *Runtime) Start() {
 	}
 	r.started = true
 	r.stopped = make(chan struct{})
-	stopped := r.stopped
+	r.monDone = make(chan struct{})
+	stopped, monDone := r.stopped, r.monDone
 	r.mu.Unlock()
 
 	for _, v := range r.lvrm.VRs() {
@@ -89,7 +98,10 @@ func (r *Runtime) Start() {
 		}
 	}
 	r.wg.Add(1)
-	go r.monitorLoop(stopped)
+	go func() {
+		defer close(monDone)
+		r.monitorLoop(stopped)
+	}()
 }
 
 // Stop halts the monitor and all VRI goroutines and waits for them. It does
@@ -104,13 +116,24 @@ func (r *Runtime) Stop() {
 	}
 	r.stopping = true
 	close(r.stopped)
+	monDone := r.monDone
+	r.mu.Unlock()
+	// Join the monitor BEFORE tearing down the worker bookkeeping: the
+	// monitor may be mid allocation pass, and a replica split/fold (or a
+	// teardown drain) in flight pauses and joins workers through r.workers.
+	// Yanking the map from under it would skip those joins and leave a live
+	// worker racing the monitor's residue drain on a single-consumer ring.
+	// The monitor only observes r.stopped between passes, so by the time
+	// monDone closes any in-flight transplant has completed. (The join is
+	// outside r.mu: that pass may call OnSpawn -> startVRI, which needs the
+	// lock.)
+	<-monDone
+	r.mu.Lock()
 	for a, w := range r.workers {
 		close(w.stop)
 		delete(r.workers, a)
 	}
 	r.mu.Unlock()
-	// Wait outside the lock: the monitor goroutine's allocation pass can
-	// call OnSpawn -> startVRI, which needs r.mu to observe the shutdown.
 	r.wg.Wait()
 	r.mu.Lock()
 	r.started = false
@@ -171,7 +194,7 @@ func (r *Runtime) StopWithin(d time.Duration) bool {
 func (r *Runtime) quiesced() bool {
 	for _, v := range r.lvrm.VRs() {
 		for _, a := range v.VRIs() {
-			if a.Data.In.Len() != 0 || a.Data.Out.Len() != 0 ||
+			if a.PendingData() != 0 || a.Data.Out.Len() != 0 ||
 				a.Control.In.Len() != 0 || a.Control.Out.Len() != 0 {
 				return false
 			}

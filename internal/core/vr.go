@@ -38,6 +38,12 @@ type VRConfig struct {
 	InitialVRIs int
 	// MaxVRIs caps the VR's VRIs (0 = limited only by free cores).
 	MaxVRIs int
+	// MaxReplicas overrides Config.MaxReplicas for this VR (0 inherits).
+	// An effective value above 1 lets the allocator run this VR as N
+	// replica VRIs over a flow partition — see replicate.go. It requires
+	// flow dispatch (Config.FlowShards > 0) and replaces the VR's Policy
+	// with the split/fold controller.
+	MaxReplicas int
 }
 
 // VR is one hosted virtual router: its VRI monitor state (the balancer and
@@ -71,6 +77,17 @@ type VR struct {
 	// admitDepth is Config.FlowAdmitDepth: > 0 sheds new flows when every
 	// VRI's input queue is at least this deep (see dispatchFlow).
 	admitDepth int
+
+	// maxReplicas is the effective replica ceiling (VRConfig.MaxReplicas,
+	// falling back to Config.MaxReplicas); above 1 the VR is replicated:
+	// its VRI set is a replica set over a flow partition and the split/fold
+	// controller replaces the allocation policy (see replicate.go).
+	maxReplicas int
+	// splitCtl is the hysteresis-damped split/fold controller; non-nil
+	// exactly when maxReplicas > 1.
+	splitCtl *balance.SplitFold
+	splits   atomic.Int64 // completed replica splits
+	folds    atomic.Int64 // completed replica folds
 
 	dispatched atomic.Int64
 	inDrops    atomic.Int64 // frames lost to full (or closing) VRI input queues
@@ -118,6 +135,17 @@ func (v *VR) VRIs() []*VRIAdapter { return v.vriList() }
 // Cores returns the number of cores (VRIs) currently allocated.
 func (v *VR) Cores() int { return len(v.vriList()) }
 
+// replicated reports whether this VR runs as a replica set (effective
+// MaxReplicas above 1); its VRIs are then replicas over a flow partition
+// and the split/fold controller owns its core allocation.
+func (v *VR) replicated() bool { return v.maxReplicas > 1 }
+
+// Replicas returns the VR's live replica count (same as Cores; named for
+// the replication API) and the completed split and fold totals.
+func (v *VR) Replicas() (n int, splits, folds int64) {
+	return len(v.vriList()), v.splits.Load(), v.folds.Load()
+}
+
 // ArrivalRate returns the VR's estimated traffic load in frames/second.
 func (v *VR) ArrivalRate() float64 { return v.arrival.Estimate() }
 
@@ -135,20 +163,25 @@ func (v *VR) AdmissionShed() int64 { return v.admitShed.Load() }
 func (v *VR) Balancer() balance.Balancer { return v.cfg.Balancer }
 
 // ServiceRatePerVRI averages the VRIs' service-rate estimates, feeding the
-// dynamic-threshold allocation policy.
+// dynamic-threshold allocation policy. The divisor is the full live VRI
+// count, not just the VRIs with a valid estimate: an idle replica has
+// contributed zero measured capacity, and counting only the busy ones would
+// let the inter-VR allocator double-count a split VR (capacity = cores ×
+// per-VRI rate, with both factors inflated).
 func (v *VR) ServiceRatePerVRI() float64 {
 	var sum float64
-	n := 0
-	for _, a := range v.vriList() {
+	valid := 0
+	vris := v.vriList()
+	for _, a := range vris {
 		if a.SvcEst.Valid() {
 			sum += a.SvcEst.Estimate()
-			n++
+			valid++
 		}
 	}
-	if n == 0 {
+	if valid == 0 {
 		return 0
 	}
-	return sum / float64(n)
+	return sum / float64(len(vris))
 }
 
 // match reports whether the frame belongs to this VR.
@@ -202,7 +235,7 @@ func (v *VR) dispatchLocked(f *packet.Frame, now int64) error {
 	idx := v.cfg.Balancer.Pick(v.targets, f)
 	a := vris[idx]
 	// Figure 3.4 "queue length": observe occupancy when forwarding.
-	depth := a.Data.In.Len()
+	depth := a.PendingData()
 	a.QueueEst.Observe(depth)
 	if !a.Data.In.Enqueue(f) {
 		v.inDrops.Add(1)
@@ -256,7 +289,7 @@ func (v *VR) dispatchFlow(f *packet.Frame, now int64) error {
 	keep := func(id int) bool {
 		established = true
 		a, ok := snapshotByID(vris, id)
-		if !ok || a.Data.In.Len() > 0 {
+		if !ok || a.PendingData() > 0 {
 			chosen = a // nil when !ok; Assign then consults pick
 			return ok
 		}
@@ -272,7 +305,7 @@ func (v *VR) dispatchFlow(f *packet.Frame, now int64) error {
 	// the backlog belongs to.
 	pick := func() int {
 		best := leastLoaded(vris)
-		if v.admitDepth > 0 && !established && best.Data.In.Len() >= v.admitDepth {
+		if v.admitDepth > 0 && !established && best.PendingData() >= v.admitDepth {
 			return -1
 		}
 		chosen = best
@@ -298,7 +331,7 @@ func (v *VR) dispatchFlow(f *packet.Frame, now int64) error {
 			a = leastLoaded(vris)
 		}
 	}
-	depth := a.Data.In.Len()
+	depth := a.PendingData()
 	a.QueueEst.Observe(depth)
 	if !a.Data.In.Enqueue(f) {
 		v.inDrops.Add(1)
@@ -340,9 +373,9 @@ func snapshotByID(vris []*VRIAdapter, id int) (*VRIAdapter, bool) {
 // under the locked path's mutex.
 func leastLoaded(vris []*VRIAdapter) *VRIAdapter {
 	best := vris[0]
-	bestDepth := best.Data.In.Len()
+	bestDepth := best.PendingData()
 	for _, a := range vris[1:] {
-		d := a.Data.In.Len()
+		d := a.PendingData()
 		if d < bestDepth {
 			best, bestDepth = a, d
 			continue

@@ -91,6 +91,19 @@ type VRIAdapter struct {
 	batchIn  []*packet.Frame
 	batchOut []*packet.Frame
 
+	// pre is the transplant staging queue: frames moved here by a replica
+	// split/fold are consumed BEFORE the data-in ring, because they were
+	// dequeued (or re-routed) from a ring position strictly ahead of
+	// anything dispatch can enqueue afterwards — consuming pre first is
+	// what preserves per-flow order across a partition handoff. pre and
+	// preHead are consumer-owned; the monitor only appends (stagePre)
+	// while the consumer is paused, and the pause/resume join provides
+	// the happens-before edge. preLen mirrors the occupancy for the
+	// lock-free depth reads (PendingData) the balancer and metrics take.
+	pre     []*packet.Frame
+	preHead int
+	preLen  atomic.Int32
+
 	// waitHist, when non-nil, records dispatch→dequeue wait per data frame
 	// (the VR's lvrm_dispatch_wait_nanoseconds histogram). The wait comes
 	// free: dispatch stamps f.Timestamp and Step already receives now.
@@ -128,6 +141,50 @@ func (a *VRIAdapter) pinRoutes() {
 	}
 }
 
+// stagePre appends a transplanted frame to the staging queue. Only the
+// monitor calls it, and only while the VRI's consumer is paused (the live
+// runtime joins the worker goroutine first; the testbed is single-threaded),
+// so the append never races a takePre.
+func (a *VRIAdapter) stagePre(f *packet.Frame) {
+	a.pre = append(a.pre, f)
+	a.preLen.Add(1)
+}
+
+// takePre pops the oldest staged frame, if any. Consumer-side only.
+func (a *VRIAdapter) takePre() (*packet.Frame, bool) {
+	if a.preHead >= len(a.pre) {
+		return nil, false
+	}
+	f := a.pre[a.preHead]
+	a.pre[a.preHead] = nil
+	a.preHead++
+	if a.preHead == len(a.pre) {
+		a.pre = a.pre[:0]
+		a.preHead = 0
+	}
+	a.preLen.Add(-1)
+	return f, true
+}
+
+// NextStaged peeks the oldest staged transplant frame without consuming it.
+// Consumer-side only (like takePre); the testbed uses it to size the relay
+// cost of the frame about to be served.
+func (a *VRIAdapter) NextStaged() (*packet.Frame, bool) {
+	if a.preHead >= len(a.pre) {
+		return nil, false
+	}
+	return a.pre[a.preHead], true
+}
+
+// PendingData is the VRI's true inbound data depth: staged transplant
+// residue plus the data-in ring. Every load read — balancing, admission,
+// split/fold decisions, depth metrics — uses this rather than the raw ring
+// length, so a replica carrying a freshly transplanted partition is not
+// mistaken for idle.
+func (a *VRIAdapter) PendingData() int {
+	return int(a.preLen.Load()) + a.Data.In.Len()
+}
+
 // Load returns the queue-length estimate used by JSQ. Reading the load
 // also folds the instantaneous queue occupancy into the EWMA — the VRI
 // adapter reports a fresh estimate whenever the VRI monitor balances
@@ -135,7 +192,7 @@ func (a *VRIAdapter) pinRoutes() {
 // even if it has not been dispatched to recently.
 func (a *VRIAdapter) Load() float64 {
 	if !a.FreezeLoadOnRead {
-		a.QueueEst.Observe(a.Data.In.Len())
+		a.QueueEst.Observe(a.PendingData())
 	}
 	return a.QueueEst.Estimate()
 }
@@ -158,7 +215,12 @@ func (a *VRIAdapter) Step(now int64, onControl func(*ControlEvent)) (cost time.D
 		}
 		return ControlHandleCost, true
 	}
-	f, ok := a.Data.In.Dequeue()
+	// Staged transplant residue predates everything in the ring; consume
+	// it first so per-flow order survives a split/fold handoff.
+	f, ok := a.takePre()
+	if !ok {
+		f, ok = a.Data.In.Dequeue()
+	}
 	if !ok {
 		return 0, false
 	}
@@ -169,7 +231,7 @@ func (a *VRIAdapter) Step(now int64, onControl func(*ControlEvent)) (cost time.D
 	// consecutive FromLVRM calls (Section 3.6) — but only while the queue
 	// stays backed up, so the estimate is the VRI's capacity and not an
 	// echo of the arrival rate.
-	if a.Data.In.Len() > 0 {
+	if a.PendingData() > 0 {
 		a.SvcEst.Observe(now)
 	} else {
 		a.SvcEst.Break()
@@ -234,7 +296,18 @@ func (a *VRIAdapter) StepBatch(now int64, max int, onControl func(*ControlEvent)
 		a.batchIn = make([]*packet.Frame, max)
 	}
 	in := a.batchIn[:max]
-	n := ipc.DequeueBatch(a.Data.In, in)
+	// Staged transplant residue predates everything in the ring; fill the
+	// batch from it first so per-flow order survives a split/fold handoff.
+	n := 0
+	for n < max {
+		f, ok := a.takePre()
+		if !ok {
+			break
+		}
+		in[n] = f
+		n++
+	}
+	n += ipc.DequeueBatch(a.Data.In, in[n:])
 	if n == 0 {
 		return res
 	}
@@ -245,7 +318,7 @@ func (a *VRIAdapter) StepBatch(now int64, max int, onControl func(*ControlEvent)
 	// across the backed-up completions (ObserveN) rather than observed as
 	// zero-length gaps; a batch that drains the queue ends the busy period.
 	backed := n - 1
-	if a.Data.In.Len() > 0 {
+	if a.PendingData() > 0 {
 		backed = n
 	}
 	if backed > 0 {

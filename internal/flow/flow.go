@@ -420,6 +420,56 @@ func (t *Table) Evict(vri int, now int64, repick func() int) int {
 	return touched
 }
 
+// PinOf reports which VRI key is currently pinned to, without touching
+// stamps, epochs, or outcome counters. The replica split uses it to route
+// transplanted queue residue: after MovePartition re-pins a slice of flows,
+// each drained frame follows its flow's pin to the owning replica.
+func (t *Table) PinOf(key uint64) (vri int, ok bool) {
+	s := &t.shards[key&t.shardMask]
+	s.mu.Lock()
+	e := s.cur.find(key)
+	if e == nil {
+		e = s.old.find(key)
+	}
+	if e == nil {
+		s.mu.Unlock()
+		return 0, false
+	}
+	vri = int(e.vri)
+	s.mu.Unlock()
+	return vri, true
+}
+
+// MovePartition sweeps every shard and re-pins to dst each flow pinned to
+// src for which shouldMove(key) returns true — the bulk flow-partition
+// handoff a replica split performs. Moved pins are stamped with now and the
+// shard's current epoch (so they read as fresh Hits afterwards) and counted
+// as rebalances. shouldMove runs under the shard lock; keep it cheap and
+// deterministic. Returns how many pins moved.
+func (t *Table) MovePartition(src, dst int, now int64, shouldMove func(key uint64) bool) int {
+	moved := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		epoch := s.epoch.Load()
+		for _, b := range []*slab{&s.cur, &s.old} {
+			for idx := range b.entries {
+				e := &b.entries[idx]
+				if e.key == 0 || int(e.vri) != src || !shouldMove(e.key) {
+					continue
+				}
+				e.vri = int32(dst)
+				e.epoch = epoch
+				e.stamp = now
+				moved++
+				t.rebalances.Add(1)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return moved
+}
+
 // BumpEpoch marks every pin in the table stale. Called when a VRI is spawned
 // or destroyed: existing flows re-validate lazily on their next frame instead
 // of the lifecycle event sweeping the table.

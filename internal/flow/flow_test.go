@@ -507,3 +507,80 @@ func TestEvictConcurrentWithAssign(t *testing.T) {
 		t.Fatalf("occupancy %d != len %d", total, tb.Len())
 	}
 }
+
+func TestPinOfReportsWithoutTouching(t *testing.T) {
+	tb := NewTable(4, 64)
+	if vri, ok := tb.PinOf(42); ok || vri != 0 {
+		t.Fatalf("PinOf on empty table = %d,%v, want 0,false", vri, ok)
+	}
+	tb.Assign(42, 1, keepAlways, pickConst(3))
+	before := tb.Stats()
+	vri, ok := tb.PinOf(42)
+	if !ok || vri != 3 {
+		t.Fatalf("PinOf(42) = %d,%v, want 3,true", vri, ok)
+	}
+	if got := tb.Stats(); got != before {
+		t.Fatalf("PinOf moved counters: %+v -> %+v", before, got)
+	}
+	// A stale pin must still be reported — PinOf routes transplanted residue,
+	// so it answers from the pin itself, never the epoch check.
+	tb.BumpEpoch()
+	if vri, ok = tb.PinOf(42); !ok || vri != 3 {
+		t.Fatalf("PinOf after epoch bump = %d,%v, want 3,true", vri, ok)
+	}
+}
+
+func TestMovePartitionRepinsSelectedFlows(t *testing.T) {
+	tb := NewTable(4, 64)
+	const flows = 32
+	for k := uint64(1); k <= flows; k++ {
+		tb.Assign(k, 1, keepAlways, pickConst(0))
+	}
+	before := tb.Stats()
+
+	moved := tb.MovePartition(0, 2, 5, func(key uint64) bool { return key%2 == 0 })
+	if moved != flows/2 {
+		t.Fatalf("moved %d pins, want %d", moved, flows/2)
+	}
+	for k := uint64(1); k <= flows; k++ {
+		want := 0
+		if k%2 == 0 {
+			want = 2
+		}
+		if vri, ok := tb.PinOf(k); !ok || vri != want {
+			t.Fatalf("PinOf(%d) = %d,%v, want %d,true", k, vri, ok, want)
+		}
+	}
+	st := tb.Stats()
+	if st.Rebalances != before.Rebalances+int64(moved) {
+		t.Fatalf("rebalances %d, want %d", st.Rebalances, before.Rebalances+int64(moved))
+	}
+	if tb.Len() != flows {
+		t.Fatalf("len = %d after move, want %d (moves never drop pins)", tb.Len(), flows)
+	}
+
+	// Moved pins are stamped with the current epoch: the next Assign is a
+	// plain Hit on the destination, with no refresh or rebalance.
+	if vri, out := tb.Assign(2, 6, keepNever, pickConst(9)); vri != 2 || out != Hit {
+		t.Fatalf("post-move assign = %d,%v, want 2,hit", vri, out)
+	}
+
+	// A source VRI with no pins moves nothing.
+	if n := tb.MovePartition(7, 0, 8, func(uint64) bool { return true }); n != 0 {
+		t.Fatalf("MovePartition from empty source moved %d", n)
+	}
+}
+
+func TestMovePartitionFreshensStalePins(t *testing.T) {
+	tb := NewTable(1, 64)
+	tb.Assign(11, 1, keepAlways, pickConst(0))
+	tb.BumpEpoch()
+	if n := tb.MovePartition(0, 1, 2, func(uint64) bool { return true }); n != 1 {
+		t.Fatalf("moved %d, want 1", n)
+	}
+	// The move re-stamped the pin in the bumped epoch, so the flow's next
+	// frame neither refreshes nor rebalances — it lands on dst as a Hit.
+	if vri, out := tb.Assign(11, 3, keepNever, pickConst(5)); vri != 1 || out != Hit {
+		t.Fatalf("assign after stale move = %d,%v, want 1,hit", vri, out)
+	}
+}

@@ -96,6 +96,9 @@ func (q *FastForward[T]) Close() { q.closed.Store(true) }
 // Closed reports whether the queue has been closed for enqueue.
 func (q *FastForward[T]) Closed() bool { return q.closed.Load() }
 
+// Reopen clears the closed flag so enqueues are admitted again.
+func (q *FastForward[T]) Reopen() { q.closed.Store(false) }
+
 // ffAdapter adapts FastForward's pointer-element API to Queue[*T].
 type ffAdapter[T any] struct {
 	q *FastForward[T]

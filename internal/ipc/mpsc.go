@@ -175,6 +175,9 @@ func (q *MPSC[T]) Close() { q.closed.Store(true) }
 // Closed reports whether the queue has been closed for enqueue.
 func (q *MPSC[T]) Closed() bool { return q.closed.Load() }
 
+// Reopen clears the closed flag so enqueues are admitted again.
+func (q *MPSC[T]) Reopen() { q.closed.Store(false) }
+
 var (
 	_ Queue[int]      = (*MPSC[int])(nil)
 	_ BatchQueue[int] = (*MPSC[int])(nil)

@@ -66,11 +66,31 @@ type Closer interface {
 	Closed() bool
 }
 
+// Reopener is implemented by queues whose Close can be undone. The replica
+// split protocol uses it: the monitor closes a replica's data-in ring while
+// it transplants the flow-partition, then reopens it so dispatch resumes.
+// Like Close, Reopen only publishes a flag — it is safe from any goroutine
+// and idempotent. Every shipped queue implements Reopener.
+type Reopener interface {
+	// Reopen clears the closed flag so Enqueue is admitted again.
+	Reopen()
+}
+
 // Close closes q for enqueue if it supports drain semantics, reporting
 // whether it did.
 func Close[T any](q Queue[T]) bool {
 	if c, ok := q.(Closer); ok {
 		c.Close()
+		return true
+	}
+	return false
+}
+
+// Reopen re-admits enqueues on a closed queue, reporting whether q supports
+// reopening.
+func Reopen[T any](q Queue[T]) bool {
+	if r, ok := q.(Reopener); ok {
+		r.Reopen()
 		return true
 	}
 	return false

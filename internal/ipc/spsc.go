@@ -176,6 +176,9 @@ func (q *SPSC[T]) Close() { q.closed.Store(true) }
 // Closed reports whether the queue has been closed for enqueue.
 func (q *SPSC[T]) Closed() bool { return q.closed.Load() }
 
+// Reopen clears the closed flag so enqueues are admitted again.
+func (q *SPSC[T]) Reopen() { q.closed.Store(false) }
+
 var (
 	_ Queue[int]      = (*SPSC[int])(nil)
 	_ BatchQueue[int] = (*SPSC[int])(nil)

@@ -87,6 +87,13 @@ func (q *MutexQueue[T]) Closed() bool {
 	return q.closed
 }
 
+// Reopen clears the closed flag so enqueues are admitted again.
+func (q *MutexQueue[T]) Reopen() {
+	q.mu.Lock()
+	q.closed = false
+	q.mu.Unlock()
+}
+
 // ChanQueue adapts a buffered Go channel to the Queue interface. It exists to
 // show the extensibility seam and to benchmark the runtime's native queue
 // against the hand-rolled rings.
@@ -149,6 +156,9 @@ func (q *ChanQueue[T]) Close() { q.closed.Store(true) }
 
 // Closed reports whether the queue has been closed for enqueue.
 func (q *ChanQueue[T]) Closed() bool { return q.closed.Load() }
+
+// Reopen clears the closed flag so enqueues are admitted again.
+func (q *ChanQueue[T]) Reopen() { q.closed.Store(false) }
 
 var (
 	_ Queue[int] = (*MutexQueue[int])(nil)

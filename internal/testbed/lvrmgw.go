@@ -3,6 +3,7 @@ package testbed
 import (
 	"time"
 
+	"lvrm/internal/balance"
 	"lvrm/internal/core"
 	"lvrm/internal/cores"
 	"lvrm/internal/ipc"
@@ -93,6 +94,13 @@ type LVRMGatewayConfig struct {
 	// model the lookup's per-frame cost. Zero keeps the seed balancer path.
 	FlowShards   int
 	FlowTableCap int
+	// MaxReplicas enables intra-VR replication (core.Config.MaxReplicas):
+	// a VR may run up to this many flow-partitioned replica VRIs, grown and
+	// shrunk by the split/fold controller instead of its alloc policy.
+	// Requires FlowShards > 0. SplitFold tunes the controller; zero fields
+	// take the balance package defaults.
+	MaxReplicas int
+	SplitFold   balance.SplitFoldConfig
 	// AllowSharedLVRMCore over-subscribes the monitor core when VRIs
 	// outnumber free cores (Experiment 2b's contention case).
 	AllowSharedLVRMCore bool
@@ -174,6 +182,8 @@ func NewLVRMGateway(cfg LVRMGatewayConfig) (*LVRMGateway, error) {
 		AllowSharedLVRMCore: cfg.AllowSharedLVRMCore,
 		FlowShards:          cfg.FlowShards,
 		FlowTableCap:        cfg.FlowTableCap,
+		MaxReplicas:         cfg.MaxReplicas,
+		SplitFold:           cfg.SplitFold,
 	})
 	if err != nil {
 		return nil, err
@@ -420,7 +430,7 @@ func (s *vriServer) kick() {
 	if s.busy || s.stopped {
 		return
 	}
-	if s.a.Data.In.Len() == 0 && s.a.Control.In.Len() == 0 {
+	if s.a.PendingData() == 0 && s.a.Control.In.Len() == 0 {
 		return
 	}
 	s.busy = true
@@ -442,8 +452,12 @@ func (s *vriServer) serve() {
 	// transmit cost exactly (control events have priority and no relay).
 	var frameSize int
 	if s.a.Control.In.Len() == 0 {
-		// Both ring kinds (SPSC, and MPSC under flow dispatch) expose Peek.
-		if q, ok := s.a.Data.In.(interface{ Peek() (*packet.Frame, bool) }); ok {
+		// Staged transplant residue is served before the ring, so its head
+		// sizes the relay when present.
+		if f, ok := s.a.NextStaged(); ok {
+			frameSize = len(f.Buf)
+		} else if q, ok := s.a.Data.In.(interface{ Peek() (*packet.Frame, bool) }); ok {
+			// Both ring kinds (SPSC, and MPSC under flow dispatch) expose Peek.
 			if f, ok := q.Peek(); ok {
 				frameSize = len(f.Buf)
 			}
@@ -476,7 +490,7 @@ func (s *vriServer) serve() {
 		if s.a.Control.Out.Len() > 0 {
 			s.g.scheduleControlRelay()
 		}
-		if s.a.Data.In.Len() > 0 || s.a.Control.In.Len() > 0 {
+		if s.a.PendingData() > 0 || s.a.Control.In.Len() > 0 {
 			s.serve() // queue still backed up: keep the core hot
 			return
 		}
@@ -520,7 +534,7 @@ func (s *vriServer) serveBatch() {
 		if s.a.Control.Out.Len() > 0 {
 			s.g.scheduleControlRelay()
 		}
-		if s.a.Data.In.Len() > 0 || s.a.Control.In.Len() > 0 {
+		if s.a.PendingData() > 0 || s.a.Control.In.Len() > 0 {
 			s.serveBatch() // queue still backed up: keep the core hot
 			return
 		}

@@ -3,6 +3,7 @@ package testbed
 import (
 	"time"
 
+	"lvrm/internal/balance"
 	"lvrm/internal/core"
 	"lvrm/internal/netio"
 	"lvrm/internal/packet"
@@ -30,6 +31,11 @@ type RigOpts struct {
 	// (core.Config.FlowShards); zero keeps the balancer path.
 	FlowShards   int
 	FlowTableCap int
+	// MaxReplicas lets each VR run up to that many flow-partitioned replica
+	// VRIs under the split/fold controller (requires FlowShards > 0).
+	// SplitFold tunes the controller; zero fields take defaults.
+	MaxReplicas int
+	SplitFold   balance.SplitFoldConfig
 	// VRIBatch serves up to that many data frames per VRI quantum (0 or 1
 	// = one frame per step).
 	VRIBatch int
@@ -68,6 +74,8 @@ func NewRig(opts RigOpts) (*Rig, error) {
 			AllowSharedLVRMCore: opts.AllowSharedLVRMCore,
 			FlowShards:          opts.FlowShards,
 			FlowTableCap:        opts.FlowTableCap,
+			MaxReplicas:         opts.MaxReplicas,
+			SplitFold:           opts.SplitFold,
 			VRIBatch:            opts.VRIBatch,
 			Seed:                opts.Seed,
 			Out:                 out,
