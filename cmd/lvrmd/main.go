@@ -10,7 +10,7 @@
 //	      [-policy dynamic-fixed:20000] [-queue lockfree] [-burn] [-vr-load 16us]
 //	      [-http :8080] [-tracecap 1024] [-udp :9000] [-udp-allow 10.0.0.0/8]
 //	      [-flow-shards 8] [-flow-table 1024] [-flow-admit 256] [-max-replicas 4]
-//	      [-frame-pool] [-pool-poison] [-drain-timeout 5s]
+//	      [-live-migrate 250ms] [-frame-pool] [-pool-poison] [-drain-timeout 5s]
 //	      [-rib] [-rib-replay churn.rt] [-rib-udp :9100] [-rib-flush 5ms]
 //
 // With -rib, every VR's engine resolves routes through a shared dynamic FIB
@@ -85,6 +85,7 @@ func run() int {
 		flowCap   = flag.Int("flow-table", 1024, "total pinned-flow capacity per VR across shards; rounded up per shard to a power of two of at least one probe window, so the effective capacity (logged at startup) can exceed this")
 		flowAdmit = flag.Int("flow-admit", 0, "load-aware admission depth: > 0 with -flow-shards sheds new flows (counted drop) when every VRI's input queue is at least this deep; established flows are never shed (0 = admit everything)")
 		maxRepl   = flag.Int("max-replicas", 0, "intra-VR replication ceiling: > 1 with -flow-shards lets each VR run up to this many flow-partitioned replica VRIs, split and folded elastically by queue depth (0/1 = one VRI per core-allocation policy)")
+		liveMig   = flag.Duration("live-migrate", 0, "> 0: every interval, live-migrate the VRI with the deepest backlog to a fresh core through the migration engine (pause bounded by one scheduling quantum; pairs naturally with -flow-shards so the flow partition follows)")
 		usePool   = flag.Bool("frame-pool", true, "recycle frame buffers through the size-classed pool (zero allocations per frame at steady state); false reverts to per-frame heap allocation")
 		poison    = flag.Bool("pool-poison", false, "fill released pool buffers with a sentinel and panic on use-after-release (debugging; costs a memset per frame)")
 		udpAllow  = flag.String("udp-allow", "", "comma-separated source CIDRs/addresses the UDP adapter accepts (empty = accept all)")
@@ -270,6 +271,45 @@ func run() int {
 		}
 	}
 
+	// Forced live migration: every -live-migrate interval, relocate the VRI
+	// with the deepest inbound backlog onto the best free core. The request
+	// goes through Runtime.MoveVRI, so the running monitor executes it
+	// between polls; a failed move (no free core, the instance drained in
+	// the meantime) is reported and skipped, never fatal.
+	migStop := make(chan struct{})
+	if *liveMig > 0 {
+		go func() {
+			t := time.NewTicker(*liveMig)
+			defer t.Stop()
+			for {
+				select {
+				case <-migStop:
+					return
+				case <-t.C:
+				}
+				var hotVR *core.VR
+				var hot *core.VRIAdapter
+				for _, v := range lvrm.VRs() {
+					for _, a := range v.VRIs() {
+						if hot == nil || a.PendingData() > hot.PendingData() {
+							hotVR, hot = v, a
+						}
+					}
+				}
+				if hot == nil {
+					continue
+				}
+				rep, err := rt.MoveVRI(hotVR.ID, hot.ID, -1)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "live-migrate: %v\n", err)
+					continue
+				}
+				fmt.Printf("live-migrate: %s vri=%d moved=%d pins=%d pause=%v\n",
+					hotVR.Name(), rep.SrcVRI, rep.Moved, rep.Pins, rep.Pause)
+			}
+		}()
+	}
+
 	if *httpAddr != "" {
 		// GET /status returns the monitor snapshot (core.Status).
 		http.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
@@ -372,6 +412,7 @@ func run() int {
 	shutdown := func() int {
 		close(genStop)
 		close(ribStop)
+		close(migStop)
 		start := time.Now()
 		clean := rt.StopWithin(*drainTO)
 		drainTook := time.Since(start)
@@ -426,12 +467,20 @@ func run() int {
 		st := lvrm.Stats()
 		var inDrops, engDrops, outDrops int64
 		var drain core.DrainStats
+		var mig core.MigrationTotals
 		for _, v := range lvrm.VRs() {
 			inDrops += v.InDrops()
 			d := v.DrainStats()
 			drain.Migrated += d.Migrated
 			drain.Relayed += d.Relayed
 			drain.Dropped += d.Dropped
+			m := v.Migrations()
+			mig.Drains += m.Drains
+			mig.Splits += m.Splits
+			mig.Folds += m.Folds
+			mig.Moves += m.Moves
+			mig.FramesMoved += m.FramesMoved
+			mig.PinsFlipped += m.PinsFlipped
 			r := v.Retired()
 			engDrops += r.EngineDrops
 			outDrops += r.OutDrops
@@ -443,6 +492,8 @@ func run() int {
 		fmt.Printf("shutdown: received=%d sent=%d send_errors=%d unclassified=%d in_drops=%d admit_shed=%d engine_drops=%d out_drops=%d drain_migrated=%d drain_dropped=%d vris_retired=%d\n",
 			st.Received, st.Sent, st.SendErrors, st.Unclassified, inDrops,
 			st.FlowAdmitShed, engDrops, outDrops, drain.Migrated, drain.Dropped, st.VRIsRetired)
+		fmt.Printf("migrations: drains=%d splits=%d folds=%d moves=%d frames_moved=%d pins_flipped=%d\n",
+			mig.Drains, mig.Splits, mig.Folds, mig.Moves, mig.FramesMoved, mig.PinsFlipped)
 		unaccounted := st.Received - (st.Sent + st.SendErrors + st.Unclassified +
 			inDrops + st.FlowAdmitShed + drain.Dropped + engDrops + outDrops + forced)
 		if framePool != nil {

@@ -65,6 +65,11 @@ const (
 	SplitReplica
 	// FoldReplica: retire the coldest replica and merge its partition back.
 	FoldReplica
+	// MoveReplica: relocate the hottest replica to a better core, live. The
+	// controller emits it instead of SplitReplica when the VR is at its
+	// replica ceiling but free cores exist — splitting can't add capacity,
+	// but moving off a shared or remote-socket core still can.
+	MoveReplica
 )
 
 // String returns the decision name used in traces.
@@ -74,6 +79,8 @@ func (d SplitDecision) String() string {
 		return "split"
 	case FoldReplica:
 		return "fold"
+	case MoveReplica:
+		return "move"
 	default:
 		return "hold"
 	}
@@ -90,10 +97,15 @@ type ReplicaLoad struct {
 }
 
 // VRLoad is one VR's replica-aware load view: the offered arrival rate plus
-// a sample per live replica.
+// a sample per live replica, and the placement facts the move verb needs.
 type VRLoad struct {
 	ArrivalFPS float64
 	Replicas   []ReplicaLoad
+	// AtCeiling is true when the VR already runs its maximum replica count,
+	// so a split cannot add capacity.
+	AtCeiling bool
+	// FreeCores is how many unbound cores the allocator could still offer.
+	FreeCores int
 }
 
 // NewSplitFold builds a controller, applying defaults for zero fields.
@@ -165,6 +177,16 @@ func (s *SplitFold) Decide(now int64, l VRLoad) SplitDecision {
 	switch {
 	case s.hotStreak >= s.cfg.Sustain:
 		s.act(now)
+		// At the ceiling a split cannot add capacity; with a free core on
+		// offer, a live move of the hottest replica still can. The executor
+		// applies its own placement-improvement guard, so a returned move
+		// may still hold.
+		if l.AtCeiling {
+			if l.FreeCores > 0 {
+				return MoveReplica
+			}
+			return HoldReplicas
+		}
 		return SplitReplica
 	case s.coldStreak >= s.cfg.Sustain:
 		s.act(now)

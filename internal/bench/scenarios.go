@@ -111,6 +111,7 @@ func init() {
 	register(flowScale())
 	register(routeChurn())
 	register(elephantVR())
+	register(liveMigration())
 }
 
 // elephantMice runs one un-splittable elephant flow slightly above a single

@@ -6,7 +6,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"churn-under-load", "elephant-mice", "elephant-vr", "flash-crowd", "flowscale", "malformed-flood", "route-churn"}
+	want := []string{"churn-under-load", "elephant-mice", "elephant-vr", "flash-crowd", "flowscale", "live-migration", "malformed-flood", "route-churn"}
 	got := []string{}
 	for _, s := range All() {
 		got = append(got, s.Name)

@@ -36,12 +36,24 @@ type AllocEvent struct {
 // instead of failing.
 func (l *LVRM) growVR(v *VR, now int64) (*VRIAdapter, error) {
 	coreID, err := l.allocator.BestCore()
-	shared := false
 	if err != nil {
 		if !l.cfg.AllowSharedLVRMCore {
 			return nil, err
 		}
-		coreID, shared = l.allocator.LVRMCore(), true
+		coreID = l.allocator.LVRMCore()
+	}
+	return l.spawnOn(v, now, coreID)
+}
+
+// spawnOn binds the named core and spawns a VRI on it — the placement-aware
+// spawn primitive shared by growVR (which picks the best free core) and the
+// live-migration engine (which targets a caller-chosen core). LVRM's own core
+// is never bound; spawning there is legal only when the config allows
+// over-subscription.
+func (l *LVRM) spawnOn(v *VR, now int64, coreID int) (*VRIAdapter, error) {
+	shared := coreID == l.allocator.LVRMCore()
+	if shared && !l.cfg.AllowSharedLVRMCore {
+		return nil, fmt.Errorf("core: core %d is LVRM's own and sharing is disabled", coreID)
 	}
 	if !shared {
 		owner := fmt.Sprintf("%s/%d", v.cfg.Name, v.nextID)

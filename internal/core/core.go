@@ -179,6 +179,12 @@ type LVRM struct {
 	recvBuf  []*packet.Frame
 	relayBuf []*packet.Frame
 
+	// moves queues live-migration requests for the monitor loop to execute
+	// between polls (migrate.go: RequestMove/ServeMoves) — the handoff that
+	// lets concurrent Runtime.MoveVRI callers ride the monitor's
+	// serialization instead of racing dispatch.
+	moves chan *moveRequest
+
 	// OnSpawn is called whenever a VRI is created; the live runtime uses it
 	// to start the worker goroutine. OnDestroy is called after a VRI is
 	// detached (Draining, queues closed, off the dispatch list) but BEFORE
@@ -259,6 +265,7 @@ func New(cfg Config) (*LVRM, error) {
 	l := &LVRM{cfg: cfg, allocator: allocator, lastAlloc: -int64(cfg.AllocPeriod)}
 	l.recvBuf = make([]*packet.Frame, cfg.RecvBatch)
 	l.relayBuf = make([]*packet.Frame, cfg.RelayBatch)
+	l.moves = make(chan *moveRequest, 16)
 	l.initObs(cfg.Obs, cfg.Trace)
 	return l, nil
 }

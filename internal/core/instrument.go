@@ -29,6 +29,7 @@ type instruments struct {
 	vriSpawns     *obs.Counter
 	vriDestroys   *obs.Counter
 	drainDur      *obs.Histogram
+	migPause      *obs.Histogram
 
 	// Live runtime loop health.
 	monitorPolls *obs.Counter
@@ -59,6 +60,8 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 		"VRI adapters destroyed by allocation shrink.")
 	l.ins.drainDur = reg.Histogram("lvrm_drain_duration_nanoseconds",
 		"Wall time of one VRI teardown's drain-then-handoff (detach to Stopped).", nil)
+	l.ins.migPause = reg.Histogram("lvrm_migration_pause_nanoseconds",
+		"Consumer pause per migration-engine invocation: from the first pause to transplant completion (drain, split, fold, or live move).", nil)
 	l.ins.monitorPolls = reg.Counter("lvrm_monitor_polls_total",
 		"Monitor loop iterations in the live runtime.")
 	l.ins.monitorIdle = reg.Counter("lvrm_monitor_idle_total",
@@ -148,6 +151,26 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 	perVR("lvrm_vr_folds_total", "Completed replica folds: a cold replica retired and merged its partition into a survivor.",
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.folds.Load()) })
 
+	// Migration engine (migrate.go): every hand-off path — teardown drain,
+	// replica split/fold, live move — is one engine invocation, counted per
+	// kind, plus the total frames it transplanted between instances.
+	reg.Collect("lvrm_migrations_total",
+		"Migration-engine invocations per VR and kind (kind = drain|split|fold|move).",
+		obs.TypeCounter, func(emit func(obs.Sample)) {
+			for _, v := range l.vrList() {
+				for k := MigrationKind(0); k < migrationKinds; k++ {
+					emit(obs.Sample{
+						Labels: []obs.Label{obs.L("vr", v.cfg.Name), obs.L("kind", k.String())},
+						Value:  float64(v.migrations[k].Load()),
+					})
+				}
+			}
+		})
+	perVR("lvrm_migration_frames_moved_total", "Queued frames the migration engine transplanted between VRIs (all kinds).",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.migFrames.Load()) })
+	perVR("lvrm_migration_pins_flipped_total", "Flow-table pins the migration engine re-pointed or unpinned (all kinds).",
+		obs.TypeCounter, func(v *VR) float64 { return float64(v.migPins.Load()) })
+
 	// VRI lifecycle states (lifecycle.go). Running/draining are instantaneous
 	// counts over the live list; stopped is the cumulative retired total, so
 	// churn is visible even though stopped adapters leave the list.
@@ -181,20 +204,21 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 			}
 		})
 
-	// Drain accounting: where destroyed VRIs' queue residue went. Every
-	// teardown frame appears in exactly one of migrated/relayed/dropped, so
+	// Hand-off accounting, aggregated across every migration-engine
+	// invocation (teardown drain, replica split/fold, live move). Every
+	// residue frame appears in exactly one of migrated/relayed/dropped, so
 	// the operator can prove conservation from the scrape alone.
-	perVR("lvrm_drain_migrated_total", "Data-in residue handed to surviving VRIs at teardown.",
+	perVR("lvrm_drain_migrated_total", "Data-in residue transplanted to destination VRIs by the migration engine (all kinds).",
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.drainMigrated.Load()) })
-	perVR("lvrm_drain_relayed_total", "Data-out residue relayed to the socket adapter at teardown.",
+	perVR("lvrm_drain_relayed_total", "Data-out residue relayed to the socket adapter by a detaching migration.",
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.drainRelayed.Load()) })
-	perVR("lvrm_drain_dropped_total", "Teardown residue released because no survivor could take it.",
+	perVR("lvrm_drain_dropped_total", "Migration residue released because no destination could take it.",
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.drainDropped.Load()) })
-	perVR("lvrm_drain_ctl_moved_total", "Control-out residue delivered to its destinations at teardown.",
+	perVR("lvrm_drain_ctl_moved_total", "Control-out residue delivered to its destinations by a detaching migration.",
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.drainCtlMoved.Load()) })
-	perVR("lvrm_drain_ctl_dropped_total", "Control residue dropped at teardown (addressed to the dead VRI or undeliverable).",
+	perVR("lvrm_drain_ctl_dropped_total", "Control residue dropped by a detaching migration (addressed to the dead VRI or undeliverable).",
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.drainCtlDropped.Load()) })
-	perVR("lvrm_drain_pins_total", "Flow-table pins eagerly re-pinned or unpinned at teardown.",
+	perVR("lvrm_drain_pins_total", "Flow-table pins re-pointed or unpinned by the migration engine (all kinds).",
 		obs.TypeCounter, func(v *VR) float64 { return float64(v.drainPins.Load()) })
 
 	// Flow-affinity table outcomes and occupancy. Registered unconditionally
@@ -290,6 +314,8 @@ func (l *LVRM) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 		obs.TypeCounter, func(a *VRIAdapter) float64 { return float64(a.EngineDrops()) })
 	perVRI("lvrm_vri_out_drops_total", "Frames lost because the outgoing data queue was full.",
 		obs.TypeCounter, func(a *VRIAdapter) float64 { return float64(a.OutDrops()) })
+	perVRI("lvrm_vri_migrated_in_total", "Frames the migration engine transplanted onto this VRI (staged split/fold/move residue plus teardown hand-offs).",
+		obs.TypeCounter, func(a *VRIAdapter) float64 { return float64(a.MigratedIn()) })
 	if l.cfg.RIB != nil {
 		// Control-plane series (lvrm_rib_*, lvrm_fib_generation, publish
 		// latency histogram) plus the per-VRI pinned generation: the spread

@@ -85,9 +85,9 @@ func (a *VRIAdapter) markStopped() bool { return a.transition(VRIDraining, VRISt
 // dispatchers fail fast (counted, frame released by the dispatcher), drop it
 // from the copy-on-write list, and mark every flow pin stale. The returned
 // adapter is left in Draining with its residue intact — the LVRM layer owns
-// the hand-off (drainVRI); flows pinned to the dead instance re-balance
-// lazily through the table on their next frame unless the caller sweeps them
-// eagerly with flow.Table.Evict.
+// the hand-off (the migration engine, via drainVRI / foldVR / moveVRI);
+// flows pinned to the dead instance re-balance lazily through the table on
+// their next frame unless the engine sweeps them eagerly first.
 func (v *VR) destroyVRI(core int) (*VRIAdapter, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -116,39 +116,32 @@ func (v *VR) destroyVRI(core int) (*VRIAdapter, error) {
 	return nil, fmt.Errorf("core: VR %s has no VRI on core %d", v.cfg.Name, core)
 }
 
-// DrainStats counts where one destroyed VRI's queue residue went. Every
-// frame that sat in the instance's queues at teardown appears in exactly one
-// bucket, which is what lets the churn tests prove conservation.
+// DrainStats is the VR's cumulative hand-off accounting, aggregated across
+// every migration the engine has run for it (teardown drains, splits, folds
+// and live moves — migrate.go folds each MigrationReport in). Every frame
+// that sat in a source's queues appears in exactly one bucket, which is what
+// lets the churn tests prove conservation.
 type DrainStats struct {
-	// Migrated data-in frames were re-enqueued on surviving VRIs.
+	// Migrated data-in frames were re-enqueued or staged on destination
+	// VRIs.
 	Migrated int64 `json:"migrated"`
 	// Relayed data-out frames were forwarded to the socket adapter (they
 	// also count in Stats.Sent/SendErrors like any relayed frame).
 	Relayed int64 `json:"relayed"`
-	// Dropped frames were released back to the pool because no survivor
-	// existed or every survivor's queue was full.
+	// Dropped frames were released back to the pool because no destination
+	// existed or every destination's queue was full.
 	Dropped int64 `json:"dropped"`
 	// CtlMoved control events were delivered to their destinations.
 	CtlMoved int64 `json:"ctl_moved"`
 	// CtlDropped control events were addressed to the dead instance or to
 	// destinations that no longer exist.
 	CtlDropped int64 `json:"ctl_dropped"`
-	// Pins is how many flow-table pins the eager evict touched.
+	// Pins is how many flow-table pins changed owner or were unpinned.
 	Pins int64 `json:"pins"`
 }
 
-// add folds one drain's accounting into the VR's cumulative counters.
-func (v *VR) addDrain(d DrainStats) {
-	v.drainMigrated.Add(d.Migrated)
-	v.drainRelayed.Add(d.Relayed)
-	v.drainDropped.Add(d.Dropped)
-	v.drainCtlMoved.Add(d.CtlMoved)
-	v.drainCtlDropped.Add(d.CtlDropped)
-	v.drainPins.Add(d.Pins)
-}
-
-// DrainStats returns the VR's cumulative drain accounting across every VRI
-// it has destroyed.
+// DrainStats returns the VR's cumulative hand-off accounting across every
+// migration the engine has run for it.
 func (v *VR) DrainStats() DrainStats {
 	return DrainStats{
 		Migrated:   v.drainMigrated.Load(),
@@ -183,95 +176,54 @@ func (v *VR) Retired() RetiredStats {
 }
 
 // migrateFrame hands one drained frame to a survivor, preferring the least
-// loaded instance and falling back to any queue with room. It reports
-// whether a survivor took ownership.
-func migrateFrame(survivors []*VRIAdapter, f *packet.Frame) bool {
+// loaded instance and falling back to any queue with room. It returns the
+// survivor that took ownership, if any.
+func migrateFrame(survivors []*VRIAdapter, f *packet.Frame) (*VRIAdapter, bool) {
 	if len(survivors) == 0 {
-		return false
+		return nil, false
 	}
-	if leastLoaded(survivors).Data.In.Enqueue(f) {
-		return true
+	if s := leastLoaded(survivors); s.Data.In.Enqueue(f) {
+		return s, true
 	}
 	for _, s := range survivors {
 		if s.Data.In.Enqueue(f) {
-			return true
+			return s, true
 		}
 	}
-	return false
+	return nil, false
 }
 
 // drainVRI performs the hand-off for a detached, Draining instance and moves
-// it to Stopped. The caller must guarantee the monitor is the instance's only
+// it to Stopped, via one MigrateDrain invocation of the migration engine
+// (migrate.go): the dead instance's flow pins re-point to the least-loaded
+// survivors (or unpin when none remain), its data-in residue migrates to
+// their rings in queued order, its data-out residue relays to the socket
+// adapter, and its control residue is delivered or dropped under a named
+// counter. The caller must guarantee the monitor is the instance's only
 // remaining consumer — in the live runtime the worker goroutine is joined
 // first (Runtime.stopVRI), in the testbed everything is single-threaded.
-//
-// The residue is settled strictly by ownership:
-//
-//  1. Data-in frames never reached an engine; they migrate to surviving
-//     VRIs in their queued order, or are released under Dropped when no
-//     survivor can take them.
-//  2. Data-out frames are finished work; they relay to the socket adapter.
-//  3. Control-out events relay to their destinations as usual.
-//  4. Control-in events were addressed to the dead instance; they drop,
-//     counted.
-//
-// Finally the instance's flow pins are eagerly re-pinned (or unpinned) via
-// flow.Table.Evict, its counters fold into the VR's retired totals, and the
-// state machine closes at Stopped.
-func (l *LVRM) drainVRI(v *VR, a *VRIAdapter) DrainStats {
-	var d DrainStats
+func (l *LVRM) drainVRI(v *VR, a *VRIAdapter) MigrationReport {
 	start := l.cfg.Clock()
-	survivors := v.vriList()
-
-	// 1. Unprocessed inbound residue: migrate or account. Staged transplant
-	// frames (from an interrupted split/fold) predate the ring and go first.
-	for {
-		f, ok := a.takePre()
-		if !ok {
-			f, ok = a.Data.In.Dequeue()
-		}
-		if !ok {
-			break
-		}
-		if migrateFrame(survivors, f) {
-			d.Migrated++
-		} else {
-			d.Dropped++
-			f.Release()
-		}
-	}
-
-	l.settleResidue(a, &d)
-
-	// Eagerly settle the affinity table: lazy epoch re-validation would get
-	// there too, but sweeping now means no post-teardown frame can resolve
-	// to the dead ID at all.
-	if v.flows != nil {
-		repick := func() int {
-			if len(survivors) == 0 {
-				return -1
-			}
-			return leastLoaded(survivors).ID
-		}
-		d.Pins = int64(v.flows.Evict(a.ID, start, repick))
-	}
-
-	l.finishDrain(v, a, &d, start)
-	return d
+	rep := l.migratePartition(v, migration{
+		kind: MigrateDrain, src: a, survivors: v.vriList(), pauseStart: start,
+	})
+	l.finishDrain(v, a, &rep, start)
+	return rep
 }
 
 // settleResidue settles a detached instance's non-data-in residue — the
-// shared half of a teardown drain and a replica fold:
+// shared tail of every detaching migration (teardown drain, replica fold,
+// live move):
 //
 //  2. Finished outbound residue relays to the adapter (sendBatch counts
 //     sent/sendErrs like the live relay path).
 //  3. Outbound control residue is delivered; failures are counted drops.
 //  4. Inbound control residue was addressed to a dead instance; it drops,
 //     counted.
-func (l *LVRM) settleResidue(a *VRIAdapter, d *DrainStats) {
+func (l *LVRM) settleResidue(a *VRIAdapter, rep *MigrationReport) {
 	for {
 		n := l.RelayFrom(a, l.cfg.RelayBatch)
-		d.Relayed += int64(n)
+		rep.Relayed += int64(n)
 		if n < l.cfg.RelayBatch {
 			break
 		}
@@ -282,10 +234,10 @@ func (l *LVRM) settleResidue(a *VRIAdapter, d *DrainStats) {
 			break
 		}
 		if l.deliverControl(ev) {
-			d.CtlMoved++
+			rep.CtlMoved++
 		} else {
 			l.ctlDropped.Add(1)
-			d.CtlDropped++
+			rep.CtlDropped++
 		}
 	}
 	for {
@@ -293,20 +245,21 @@ func (l *LVRM) settleResidue(a *VRIAdapter, d *DrainStats) {
 			break
 		}
 		l.ctlDropped.Add(1)
-		d.CtlDropped++
+		rep.CtlDropped++
 	}
 }
 
 // finishDrain folds the dead instance's counters into the VR's retired
 // totals (so conservation sums stay computable once the adapter is
-// unreachable), closes the state machine at Stopped, and records the drain.
-func (l *LVRM) finishDrain(v *VR, a *VRIAdapter, d *DrainStats, start int64) {
+// unreachable) and closes the state machine at Stopped. The migration's own
+// accounting was already folded in by the engine (addMigration); this is the
+// retirement half.
+func (l *LVRM) finishDrain(v *VR, a *VRIAdapter, rep *MigrationReport, start int64) {
 	v.retiredVRIs.Add(1)
 	v.retiredProcessed.Add(a.processed.Load())
 	v.retiredEngDrops.Add(a.engDrops.Load())
 	v.retiredOutDrops.Add(a.outDrops.Load())
 	v.retiredCtl.Add(a.ctlHandled.Load())
-	v.addDrain(*d)
 
 	a.markStopped()
 
@@ -316,6 +269,6 @@ func (l *LVRM) finishDrain(v *VR, a *VRIAdapter, d *DrainStats, start int64) {
 		At: end, Kind: obs.KindDrain, VR: v.ID, VRI: a.ID, Core: a.Core,
 		Value: float64(end - start),
 		Note: fmt.Sprintf("migrated=%d relayed=%d dropped=%d ctl_moved=%d ctl_dropped=%d pins=%d",
-			d.Migrated, d.Relayed, d.Dropped, d.CtlMoved, d.CtlDropped, d.Pins),
+			rep.Moved, rep.Relayed, rep.Dropped, rep.CtlMoved, rep.CtlDropped, rep.Pins),
 	})
 }

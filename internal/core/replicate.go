@@ -5,10 +5,8 @@ import (
 	"time"
 
 	"lvrm/internal/balance"
-	"lvrm/internal/flow"
 	"lvrm/internal/ipc"
 	"lvrm/internal/obs"
-	"lvrm/internal/packet"
 )
 
 // This file is the intra-VR replication layer (state-compute replication,
@@ -17,17 +15,20 @@ import (
 // already guarantees every frame of a flow lands on its pinned VRI, so
 // replicas process disjoint flow sets and per-flow ordering is free; the
 // machinery here is the elastic part — splitting a hot VR onto an idle
-// core and folding it back — without losing or reordering a single frame.
+// core, folding it back, and moving a hot replica to a better core — all
+// through the migration engine (migrate.go), without losing or reordering
+// a single frame.
 //
-// Partition ownership has one source of truth: the flow table's pin. A
-// split or fold is therefore a transaction over (pins, queued residue):
-// re-point the pins, then move the already-queued frames of moved flows to
-// the new owner's staging queue, which its consumer drains BEFORE its ring.
-// Staged frames strictly predate anything dispatch can enqueue after the
-// re-pin, so per-flow order is preserved across the handoff (DESIGN.md §9
-// states the invariants; replicate_test.go proves them under -race).
+// Partition ownership has one source of truth: the flow table's pin. Every
+// transition is therefore one engine invocation over (pins, queued
+// residue): re-point the pins, then move the already-queued frames of moved
+// flows to the new owner's staging queue, which its consumer drains BEFORE
+// its ring. Staged frames strictly predate anything dispatch can enqueue
+// after the re-pin, so per-flow order is preserved across the hand-off
+// (DESIGN.md §10 states the invariants; replicate_test.go and
+// migrate_test.go prove them under -race).
 //
-// Both transitions run inside the allocation pass, on the same goroutine
+// All transitions run inside the allocation pass, on the same goroutine
 // that dispatches (the monitor loop, or the single-threaded testbed), so
 // no frame is dispatched mid-transplant. Consumers are a different matter:
 // a live replica's worker goroutine IS concurrent, so the monitor pauses
@@ -43,6 +44,8 @@ func (l *LVRM) replicaPass(v *VR, now int64, iterCost time.Duration) []AllocEven
 	vris := v.vriList()
 	load := balance.VRLoad{
 		ArrivalFPS: v.arrival.Estimate(),
+		AtCeiling:  len(vris) >= v.maxReplicas,
+		FreeCores:  l.allocator.FreeCount(),
 		Replicas:   make([]balance.ReplicaLoad, 0, len(vris)),
 	}
 	for _, a := range vris {
@@ -73,12 +76,49 @@ func (l *LVRM) replicaPass(v *VR, now int64, iterCost time.Duration) []AllocEven
 			return nil
 		}
 		return []AllocEvent{ev}
+	case balance.MoveReplica:
+		// At the replica ceiling a hot VR cannot add capacity, but it can
+		// still improve placement: relocate the hottest replica live when a
+		// strictly better core exists. The improvement guard is what keeps
+		// a lateral move from ping-ponging a replica between equal cores.
+		src := vris[0]
+		for _, a := range vris[1:] {
+			if a.PendingData() > src.PendingData() {
+				src = a
+			}
+		}
+		if !l.moveImproves(src) {
+			return nil
+		}
+		_, ev, err := l.moveVRI(v, src, -1, iterCost)
+		if err != nil {
+			return nil
+		}
+		return []AllocEvent{ev}
 	}
 	return nil
 }
 
+// moveImproves reports whether relocating the replica to the allocator's
+// current best free core is a strict placement win: escaping LVRM's own
+// over-subscribed core always is; otherwise the target must be on LVRM's
+// socket while the current core is not. Equal-rank cores are not a win —
+// holding there is what prevents move thrash.
+func (l *LVRM) moveImproves(src *VRIAdapter) bool {
+	if src.Core == l.allocator.LVRMCore() {
+		return true
+	}
+	best, err := l.allocator.BestCore()
+	if err != nil {
+		return false
+	}
+	return l.cfg.Topology.SameSocket(best, l.cfg.LVRMCore) &&
+		!l.cfg.Topology.SameSocket(src.Core, l.cfg.LVRMCore)
+}
+
 // splitVR spawns one replica and hands it half the hottest replica's flow
-// partition. The protocol (each step's safety argument in DESIGN.md §9):
+// partition, via one MigrateSplit invocation of the engine. The protocol
+// (each step's safety argument in DESIGN.md §10):
 //
 //  1. src = the replica with the deepest pending backlog; dst = a fresh
 //     replica spawned through the normal grow path (core bind, OnSpawn).
@@ -86,12 +126,11 @@ func (l *LVRM) replicaPass(v *VR, now int64, iterCost time.Duration) []AllocEven
 //     queues and staging).
 //  3. Close src's data-in ring: a producer racing the transplant fails
 //     fast as a counted in-drop instead of landing behind the cursor.
-//  4. MovePartition re-pins every other src flow to dst — the pin flip is
-//     the ownership transfer.
-//  5. Drain src's staged + ring residue to a scratch slice, then route
-//     each frame by its flow's pin: moved flows stage onto dst, the rest
-//     stage back onto src, both in original queue order.
-//  6. Reopen src's ring, resume both consumers. dst's staged frames drain
+//  4. The engine re-pins every other src flow to dst (the pin flip is the
+//     ownership transfer), then drains src's staged + ring residue and
+//     routes each frame by its flow's pin: moved flows stage onto dst, the
+//     rest stage back onto src, both in original queue order.
+//  5. Reopen src's ring, resume both consumers. dst's staged frames drain
 //     before anything dispatch now enqueues to dst's ring.
 func (l *LVRM) splitVR(v *VR, now int64, iterCost time.Duration) (AllocEvent, error) {
 	vris := v.vriList()
@@ -106,6 +145,7 @@ func (l *LVRM) splitVR(v *VR, now int64, iterCost time.Duration) (AllocEvent, er
 		return AllocEvent{}, err
 	}
 
+	pauseStart := l.cfg.Clock()
 	l.pauseVRI(v, src)
 	l.pauseVRI(v, dst)
 	ipc.Close(src.Data.In)
@@ -113,34 +153,14 @@ func (l *LVRM) splitVR(v *VR, now int64, iterCost time.Duration) (AllocEvent, er
 	// Alternate-flow partition: deterministic, and it halves the moved
 	// flows regardless of their key distribution.
 	tick := 0
-	v.flows.MovePartition(src.ID, dst.ID, now, func(uint64) bool {
-		tick++
-		return tick&1 == 1
+	rep := l.migratePartition(v, migration{
+		kind: MigrateSplit, src: src, dst: dst,
+		shouldMove: func(uint64) bool {
+			tick++
+			return tick&1 == 1
+		},
+		pauseStart: pauseStart,
 	})
-
-	// Transplant: drain everything src holds (staging first — it predates
-	// the ring), then distribute by pin. Two passes, never staging back
-	// onto a queue still being drained.
-	var residue []*packet.Frame
-	for {
-		f, ok := src.takePre()
-		if !ok {
-			f, ok = src.Data.In.Dequeue()
-		}
-		if !ok {
-			break
-		}
-		residue = append(residue, f)
-	}
-	moved := 0
-	for _, f := range residue {
-		if pin, ok := v.flows.PinOf(flow.KeyOf(f)); ok && pin == dst.ID {
-			dst.stagePre(f)
-			moved++
-		} else {
-			src.stagePre(f)
-		}
-	}
 
 	ipc.Reopen(src.Data.In)
 	l.resumeVRI(v, src)
@@ -156,25 +176,25 @@ func (l *LVRM) splitVR(v *VR, now int64, iterCost time.Duration) (AllocEvent, er
 	l.ins.tracer.Record(obs.Event{
 		At: now, Kind: obs.KindAlloc, VR: v.ID, VRI: dst.ID, Core: dst.Core,
 		Value: float64(ev.Latency),
-		Note:  fmt.Sprintf("%s split %d->%d staged=%d", v.cfg.Name, src.ID, dst.ID, moved),
+		Note:  fmt.Sprintf("%s split %d->%d staged=%d", v.cfg.Name, src.ID, dst.ID, rep.Moved),
 	})
 	return ev, nil
 }
 
 // foldVR retires the coldest replica and merges its flow partition into
-// the least-loaded survivor. The protocol:
+// the least-loaded survivor, via one MigrateFold invocation of the engine.
+// The protocol:
 //
 //  1. src = coldest replica, dst = least-loaded survivor; pause dst.
 //  2. Detach src through the normal teardown entry (Draining, in-queues
 //     closed, off the dispatch list, epoch bumped) and join its consumer
 //     (OnDestroy), making the monitor the sole owner of its residue.
-//  3. Evict re-pins ALL src flows to dst FIRST: from here on dispatch
+//  3. The engine re-pins ALL src flows to dst FIRST (from here on dispatch
 //     enqueues those flows to dst's ring — strictly after the residue
-//     about to be staged.
-//  4. Transplant src's staged + ring residue onto dst's staging queue in
-//     order (counted as drain migrations).
-//  5. Settle src's outbound/control residue exactly like a teardown,
-//     release its core, resume dst.
+//     about to be staged), transplants src's staged + ring residue onto
+//     dst's staging queue in order, and settles src's outbound/control
+//     residue exactly like a teardown.
+//  4. Release src's core, resume dst.
 func (l *LVRM) foldVR(v *VR, now int64, iterCost time.Duration) (AllocEvent, error) {
 	vris := v.vriList()
 	if len(vris) < 2 {
@@ -194,6 +214,7 @@ func (l *LVRM) foldVR(v *VR, now int64, iterCost time.Duration) (AllocEvent, err
 	}
 	dst := leastLoaded(rest)
 
+	pauseStart := l.cfg.Clock()
 	l.pauseVRI(v, dst)
 	a, err := v.destroyVRI(src.Core)
 	if err != nil {
@@ -205,23 +226,10 @@ func (l *LVRM) foldVR(v *VR, now int64, iterCost time.Duration) (AllocEvent, err
 	}
 
 	start := l.cfg.Clock()
-	var d DrainStats
-	// Pin flip before the frame move: any frame dispatched after this
-	// lands on dst's ring, behind the staged residue.
-	d.Pins = int64(v.flows.Evict(a.ID, now, func() int { return dst.ID }))
-	for {
-		f, ok := a.takePre()
-		if !ok {
-			f, ok = a.Data.In.Dequeue()
-		}
-		if !ok {
-			break
-		}
-		dst.stagePre(f)
-		d.Migrated++
-	}
-	l.settleResidue(a, &d)
-	l.finishDrain(v, a, &d, start)
+	rep := l.migratePartition(v, migration{
+		kind: MigrateFold, src: a, dst: dst, pauseStart: pauseStart,
+	})
+	l.finishDrain(v, a, &rep, start)
 
 	if a.Core != l.allocator.LVRMCore() {
 		if err := l.allocator.Release(a.Core); err != nil {
@@ -242,7 +250,7 @@ func (l *LVRM) foldVR(v *VR, now int64, iterCost time.Duration) (AllocEvent, err
 	l.ins.tracer.Record(obs.Event{
 		At: now, Kind: obs.KindDealloc, VR: v.ID, VRI: a.ID, Core: a.Core,
 		Value: float64(ev.Latency),
-		Note:  fmt.Sprintf("%s fold %d->%d staged=%d", v.cfg.Name, a.ID, dst.ID, d.Migrated),
+		Note:  fmt.Sprintf("%s fold %d->%d staged=%d", v.cfg.Name, a.ID, dst.ID, rep.Moved),
 	})
 	return ev, nil
 }

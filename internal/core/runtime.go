@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -228,10 +229,14 @@ func (r *Runtime) sweepOnce() bool {
 }
 
 // monitorLoop is the LVRM process: poll the socket adapter, dispatch,
-// relay, and run the periodic allocation pass. While draining it relays
-// only — nothing new is admitted and the allocator holds still.
+// relay, serve queued live-migration requests, and run the periodic
+// allocation pass. While draining it relays only — nothing new is admitted,
+// the allocator holds still, and moves wait.
 func (r *Runtime) monitorLoop(stopped chan struct{}) {
 	defer r.wg.Done()
+	// Any move still queued when the monitor exits can never run — its
+	// serialization point is gone. Fail the callers instead of hanging them.
+	defer r.lvrm.failPendingMoves(errRuntimeStopped)
 	idle := 0
 	for {
 		select {
@@ -245,13 +250,22 @@ func (r *Runtime) monitorLoop(stopped chan struct{}) {
 				idle = 0
 				continue
 			}
-		} else if r.lvrm.PollOnce(64) {
-			idle = 0
-			continue
 		} else {
+			// Execute queued live moves on every pass — here, on the
+			// dispatch goroutine, because that serialization is what makes
+			// the partition transplant race-free. Serving before the poll
+			// keeps a move's latency bounded under sustained load instead
+			// of waiting for a quiet tick. Never during a drain, which must
+			// not spawn or destroy instances under the shutdown.
+			if r.lvrm.ServeMoves() {
+				idle = 0
+			}
+			if r.lvrm.PollOnce(64) {
+				idle = 0
+				continue
+			}
 			// Allocation must still run while traffic is quiet so that idle
-			// VRs give their cores back — but never during a drain, which
-			// must not spawn or destroy instances under the shutdown.
+			// VRs give their cores back.
 			r.lvrm.MaybeAllocate(r.lvrm.cfg.Clock())
 		}
 		r.lvrm.ins.monitorIdle.Inc()
@@ -352,6 +366,43 @@ func (r *Runtime) vriLoop(v *VR, a *VRIAdapter, w vriWorker, stopped chan struct
 func burn(d time.Duration) {
 	deadline := time.Now().Add(d)
 	for time.Now().Before(deadline) {
+	}
+}
+
+// MoveVRI live-migrates the identified VRI to targetCore (negative = the
+// best free core) and blocks until the move completes or fails. Safe to call
+// from any goroutine: the request is posted to the monitor loop, which
+// executes it at its next pass on the dispatch goroutine — the serialization
+// that makes the mid-stream partition transplant race-free. With the runtime
+// stopped, the caller owns every queue, so the move runs directly.
+func (r *Runtime) MoveVRI(vrID, vriID, targetCore int) (MigrationReport, error) {
+	r.mu.Lock()
+	running := r.started && !r.stopping
+	monDone := r.monDone
+	r.mu.Unlock()
+	if !running {
+		return r.lvrm.MoveVRI(vrID, vriID, targetCore)
+	}
+	req := &moveRequest{
+		vrID: vrID, vriID: vriID, core: targetCore,
+		done: make(chan moveResult, 1),
+	}
+	if !r.lvrm.RequestMove(req) {
+		return MigrationReport{}, errors.New("core: live-move queue is full")
+	}
+	select {
+	case res := <-req.done:
+		return res.rep, res.err
+	case <-monDone:
+		// The monitor exited; it failed every queued request on the way
+		// out, so a non-blocking recheck either finds our answer or proves
+		// the request was answered with the shutdown error.
+		select {
+		case res := <-req.done:
+			return res.rep, res.err
+		default:
+			return MigrationReport{}, errRuntimeStopped
+		}
 	}
 }
 

@@ -55,9 +55,12 @@ type VRStatus struct {
 	// DispatchWait summarizes the dispatch-to-dequeue wait histogram
 	// (zero-valued when observability is disabled).
 	DispatchWait LatencySummary `json:"dispatch_wait_ns"`
-	// Drain is the VR's cumulative teardown accounting: where destroyed
-	// VRIs' queue residue went.
+	// Drain is the VR's cumulative hand-off accounting: where queue residue
+	// went, summed over every migration-engine invocation.
 	Drain DrainStats `json:"drain"`
+	// Migrations counts the engine's invocations per kind plus the frames
+	// and pins it has moved for this VR.
+	Migrations MigrationTotals `json:"migrations"`
 	// Retired sums the counters of VRIs this VR has destroyed, so totals
 	// over "all VRIs ever" stay visible after the adapters are gone.
 	Retired RetiredStats `json:"retired"`
@@ -77,6 +80,11 @@ type VRIStatus struct {
 	DataQueueLen    int     `json:"data_queue_len"`
 	ControlQueueLen int     `json:"control_queue_len"`
 	Engine          string  `json:"engine"`
+	// MigratedIn counts frames the migration engine transplanted onto this
+	// instance; PartitionFlows is how many flows are currently pinned to it
+	// (its replica partition size; 0 with flow dispatch off).
+	MigratedIn     int64 `json:"migrated_in"`
+	PartitionFlows int   `json:"partition_flows"`
 }
 
 // Status assembles a snapshot of the monitor and every VR/VRI. It is safe to
@@ -101,7 +109,13 @@ func (l *LVRM) Status() Status {
 			QueueDepthHighWater: v.depthHWM.Value(),
 			DispatchWait:        summarize(v.waitHist),
 			Drain:               v.DrainStats(),
+			Migrations:          v.Migrations(),
 			Retired:             v.Retired(),
+		}
+		// One table sweep serves every VRI's partition size.
+		var partitions map[int]int
+		if v.flows != nil {
+			partitions = v.flows.PartitionSizes()
 		}
 		for _, a := range v.VRIs() {
 			vs.VRIs = append(vs.VRIs, VRIStatus{
@@ -116,6 +130,8 @@ func (l *LVRM) Status() Status {
 				DataQueueLen:    a.Data.In.Len(),
 				ControlQueueLen: a.Control.In.Len(),
 				Engine:          a.Engine.Name(),
+				MigratedIn:      a.MigratedIn(),
+				PartitionFlows:  partitions[a.ID],
 			})
 		}
 		st.VRs = append(st.VRs, vs)

@@ -89,6 +89,13 @@ type VR struct {
 	splits   atomic.Int64 // completed replica splits
 	folds    atomic.Int64 // completed replica folds
 
+	// Migration accounting (migrate.go): per-kind engine invocations plus
+	// total frames transplanted and pins flipped, across drains, splits,
+	// folds and live moves.
+	migrations [migrationKinds]atomic.Int64
+	migFrames  atomic.Int64
+	migPins    atomic.Int64
+
 	dispatched atomic.Int64
 	inDrops    atomic.Int64 // frames lost to full (or closing) VRI input queues
 	admitShed  atomic.Int64 // new-flow frames shed by load-aware admission

@@ -71,6 +71,10 @@ type VRIAdapter struct {
 	engDrops   atomic.Int64
 	outDrops   atomic.Int64
 	ctlHandled atomic.Int64
+	// migIn counts frames transplanted ONTO this instance by the migration
+	// engine (staged residue from a split/fold/move, or ring hand-offs from
+	// a teardown drain).
+	migIn atomic.Int64
 
 	// loadFn is the bound Load method, created once at spawn so the
 	// dispatch hot path can build balance targets without allocating a
@@ -127,6 +131,10 @@ func (a *VRIAdapter) OutDrops() int64 { return a.outDrops.Load() }
 
 // ControlHandled returns the number of control events consumed.
 func (a *VRIAdapter) ControlHandled() int64 { return a.ctlHandled.Load() }
+
+// MigratedIn returns how many frames the migration engine has transplanted
+// onto this instance.
+func (a *VRIAdapter) MigratedIn() int64 { return a.migIn.Load() }
 
 // RouteGeneration returns the FIB generation this VRI last pinned (0 when
 // its engine has no dynamic FIB).

@@ -379,18 +379,20 @@ func (s *shard) advanceMigration(t *Table, step int) {
 	}
 }
 
-// Evict sweeps every shard and removes or re-pins all flows assigned to the
-// given VRI. It is the eager counterpart of the lazy epoch re-validation:
-// VRI teardown calls it after the dying instance's queue is closed, so no
-// later Assign can hand a frame to a VRI that will never service it.
+// Transfer is the partition-transfer primitive every bulk ownership handoff
+// routes through: it sweeps every shard and, for each flow pinned to src,
+// asks dst(key) who should own it next. Return src to keep the pin untouched,
+// a different non-negative VRI ID to re-pin the flow there (stamped with now
+// and the shard's current epoch, counted as a rebalance), or a negative value
+// to delete the pin (counted in Stats.Unpinned; the flow re-enters through
+// the miss path on its next frame). dst runs under the shard lock — keep it
+// cheap and deterministic. Transfer returns how many pins changed owner or
+// were deleted.
 //
-// For each pin on vri, repick() chooses a surviving VRI while the shard lock
-// is held (keep it cheap). A non-negative result re-pins the flow there,
-// stamped with now and counted as a rebalance; a negative result deletes the
-// pin, counted in Stats.Unpinned, and the flow re-enters through the miss
-// path on its next frame. Evict returns how many pins it touched.
-func (t *Table) Evict(vri int, now int64, repick func() int) int {
-	touched := 0
+// Evict and MovePartition are thin parameterizations of this sweep; the
+// core migration engine (internal/core/migrate.go) calls it directly.
+func (t *Table) Transfer(src int, now int64, dst func(key uint64) int) int {
+	changed := 0
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
@@ -398,12 +400,15 @@ func (t *Table) Evict(vri int, now int64, repick func() int) int {
 		for _, b := range []*slab{&s.cur, &s.old} {
 			for idx := range b.entries {
 				e := &b.entries[idx]
-				if e.key == 0 || int(e.vri) != vri {
+				if e.key == 0 || int(e.vri) != src {
 					continue
 				}
-				touched++
-				next := repick()
-				if next >= 0 && next != vri {
+				next := dst(e.key)
+				if next == src {
+					continue
+				}
+				changed++
+				if next >= 0 {
 					e.vri = int32(next)
 					e.epoch = epoch
 					e.stamp = now
@@ -417,7 +422,27 @@ func (t *Table) Evict(vri int, now int64, repick func() int) int {
 		}
 		s.mu.Unlock()
 	}
-	return touched
+	return changed
+}
+
+// Evict removes or re-pins all flows assigned to the given VRI. It is the
+// eager counterpart of the lazy epoch re-validation: VRI teardown calls it
+// after the dying instance's queue is closed, so no later Assign can hand a
+// frame to a VRI that will never service it.
+//
+// For each pin on vri, repick() chooses a surviving VRI while the shard lock
+// is held (keep it cheap). A non-negative result re-pins the flow there,
+// stamped with now and counted as a rebalance; a negative result (or vri
+// itself) deletes the pin, counted in Stats.Unpinned, and the flow re-enters
+// through the miss path on its next frame. Evict returns how many pins it
+// touched.
+func (t *Table) Evict(vri int, now int64, repick func() int) int {
+	return t.Transfer(vri, now, func(uint64) int {
+		if next := repick(); next != vri {
+			return next
+		}
+		return -1
+	})
 }
 
 // PinOf reports which VRI key is currently pinned to, without touching
@@ -440,34 +465,39 @@ func (t *Table) PinOf(key uint64) (vri int, ok bool) {
 	return vri, true
 }
 
-// MovePartition sweeps every shard and re-pins to dst each flow pinned to
-// src for which shouldMove(key) returns true — the bulk flow-partition
-// handoff a replica split performs. Moved pins are stamped with now and the
-// shard's current epoch (so they read as fresh Hits afterwards) and counted
-// as rebalances. shouldMove runs under the shard lock; keep it cheap and
-// deterministic. Returns how many pins moved.
+// MovePartition re-pins to dst each flow pinned to src for which
+// shouldMove(key) returns true — the bulk flow-partition handoff a replica
+// split performs. Moved pins are stamped with now and the shard's current
+// epoch (so they read as fresh Hits afterwards) and counted as rebalances.
+// shouldMove runs under the shard lock; keep it cheap and deterministic.
+// Returns how many pins moved.
 func (t *Table) MovePartition(src, dst int, now int64, shouldMove func(key uint64) bool) int {
-	moved := 0
+	return t.Transfer(src, now, func(key uint64) int {
+		if shouldMove(key) {
+			return dst
+		}
+		return src
+	})
+}
+
+// PartitionSizes counts the pinned flows each VRI currently owns, in one
+// sweep over every shard. It is a status-page read, not a hot-path one:
+// O(table slots) under the shard locks, like Transfer.
+func (t *Table) PartitionSizes() map[int]int {
+	sizes := make(map[int]int)
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
-		epoch := s.epoch.Load()
 		for _, b := range []*slab{&s.cur, &s.old} {
 			for idx := range b.entries {
-				e := &b.entries[idx]
-				if e.key == 0 || int(e.vri) != src || !shouldMove(e.key) {
-					continue
+				if e := &b.entries[idx]; e.key != 0 {
+					sizes[int(e.vri)]++
 				}
-				e.vri = int32(dst)
-				e.epoch = epoch
-				e.stamp = now
-				moved++
-				t.rebalances.Add(1)
 			}
 		}
 		s.mu.Unlock()
 	}
-	return moved
+	return sizes
 }
 
 // BumpEpoch marks every pin in the table stale. Called when a VRI is spawned

@@ -26,6 +26,10 @@ const (
 	// KindDrain is a VRI teardown's drain-then-handoff completing; Note
 	// carries the residue accounting (migrated/relayed/dropped counts).
 	KindDrain Kind = "drain"
+	// KindMigrate is a live VRI migration completing (a running instance
+	// relocated to another core mid-stream); Value carries the pause in
+	// nanoseconds, Note the source/destination and transplant accounting.
+	KindMigrate Kind = "migrate"
 )
 
 // Event is one traced occurrence on the data or control path.
